@@ -1,0 +1,68 @@
+// Command mikgen runs MikPoly's offline stage (S1) and saves the resulting
+// micro-kernel library as a JSON artifact, the analog of the paper's
+// once-per-platform auto-tuning run whose binaries "do not require
+// re-generation for the same operator on the same platform" (§4).
+//
+// Usage:
+//
+//	mikgen -hw a100|a100-cuda|ascend910 [-ngen 32 -nsyn 12 -nmik 40 -npred 5120] -o lib.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mikpoly/internal/hw"
+	"mikpoly/internal/tune"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mikgen: ")
+	var (
+		hwName = flag.String("hw", "a100", "target hardware: a100, a100-cuda, ascend910")
+		ngen   = flag.Int("ngen", 32, "tile-size grid bound n_gen")
+		nsyn   = flag.Int("nsyn", 12, "synthetic workload size bound n_syn")
+		nmik   = flag.Int("nmik", 40, "retained kernel count n_mik")
+		npred  = flag.Int("npred", 5120, "performance-model fit bound n_pred")
+		out    = flag.String("o", "mikpoly-lib.json", "output artifact path")
+	)
+	flag.Parse()
+
+	var h hw.Hardware
+	switch *hwName {
+	case "a100":
+		h = hw.A100()
+	case "a100-cuda":
+		h = hw.A100CUDACores()
+	case "ascend910":
+		h = hw.Ascend910()
+	default:
+		log.Fatalf("unknown hardware %q (want a100, a100-cuda or ascend910)", *hwName)
+	}
+
+	opt := tune.Options{NGen: *ngen, NSyn: *nsyn, NMik: *nmik, NPred: *npred}
+	start := time.Now()
+	lib, err := tune.Generate(h, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d micro-kernels for %s in %v\n",
+		len(lib.Kernels), h.Name, time.Since(start).Round(time.Millisecond))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := lib.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved offline artifact to %s\n", *out)
+}

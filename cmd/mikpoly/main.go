@@ -1,0 +1,88 @@
+// Command mikpoly regenerates the paper's evaluation tables and figures on
+// the simulator substrate.
+//
+// Usage:
+//
+//	mikpoly [-quick] [-list] [experiment ...]
+//
+// With no experiment arguments every experiment runs in paper order. The
+// -quick flag subsamples the workload suites so the full set finishes in
+// well under a minute; without it the complete paper-sized suites run
+// (1599 GEMM cases, 5485 convolutions, 150 sentences per model, ...).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mikpoly/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "subsample workload suites for a fast run")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	scatterDir := flag.String("scatter", "", "write per-case scatter series (figs 6/7/10) into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mikpoly [-quick] [-list] [experiment ...]\n\nexperiments:\n")
+		for _, e := range bench.Experiments() {
+			fmt.Fprintf(os.Stderr, "  %s\n", e.ID)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if args := flag.Args(); len(args) > 0 {
+		for _, id := range args {
+			e, ok := bench.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "mikpoly: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	} else {
+		selected = bench.Experiments()
+	}
+
+	cfg := bench.Config{Quick: *quick, ScatterDir: *scatterDir}
+	for _, e := range selected {
+		start := time.Now()
+		t, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mikpoly: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		t.Note("regenerated in %v (quick=%v)", time.Since(start).Round(time.Millisecond), *quick)
+		t.WriteText(os.Stdout)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, t); err != nil {
+				fmt.Fprintf(os.Stderr, "mikpoly: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeCSV stores one table as <dir>/<id>.csv, creating the directory.
+func writeCSV(dir string, t *bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	t.WriteCSV(f)
+	return f.Close()
+}

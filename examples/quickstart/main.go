@@ -1,0 +1,71 @@
+// Quickstart: compile and run a dynamic-shape GEMM with MikPoly.
+//
+// The program builds the offline micro-kernel library for the simulated
+// A100, then receives a "runtime" shape it has never seen, polymerizes a
+// program for it on the fly, executes it numerically, validates the result
+// against reference GEMM, and reports the simulated performance against the
+// vendor-library analog.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mikpoly"
+)
+
+func main() {
+	fmt.Println("== MikPoly quickstart ==")
+
+	// Offline stage (S1): generate fixed-size micro-kernels and their
+	// performance models. This is the expensive, once-per-device step.
+	start := time.Now()
+	compiler, err := mikpoly.NewCompiler(mikpoly.A100(), mikpoly.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := compiler.Library()
+	fmt.Printf("offline stage: %d micro-kernels generated in %v\n",
+		len(lib.Kernels), time.Since(start).Round(time.Millisecond))
+
+	// A dynamic shape becomes known only now, at "runtime" — note the
+	// deliberately awkward dimensions no library kernel fits exactly.
+	shape := mikpoly.GemmShape{M: 1234, N: 777, K: 2500}
+	fmt.Printf("\nruntime shape: %v\n", shape)
+
+	// Online stage (S2): polymerize micro-kernels into a program.
+	start = time.Now()
+	prog, err := compiler.Plan(shape)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planned in %v: pattern %s, %d region(s)\n",
+		time.Since(start).Round(time.Microsecond), prog.Pattern, len(prog.Regions))
+	for i, r := range prog.Regions {
+		fmt.Printf("  region %d: rows %d+%d, cols %d+%d, kernel %v\n",
+			i, r.M0, r.M, r.N0, r.N, r.Kern)
+	}
+
+	// Execute numerically and validate against reference GEMM.
+	a := mikpoly.RandomMatrix(shape.M, shape.K, 1)
+	b := mikpoly.RandomMatrix(shape.K, shape.N, 2)
+	out, err := compiler.GEMM(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnumeric result matches reference: %v\n",
+		mikpoly.AllClose(out, mikpoly.Gemm(a, b), 1e-3))
+
+	// Simulated performance on the accelerator substrate.
+	h := compiler.Hardware()
+	res, err := compiler.Simulate(shape)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tput := shape.FLOPs() / h.CyclesToSeconds(res.Cycles)
+	fmt.Printf("simulated: %.0f cycles, %.1f TFLOPS (%.0f%% PE efficiency, %d tasks, %d waves)\n",
+		res.Cycles, tput/1e12, 100*res.Efficiency(), res.NumTasks, res.Waves())
+}

@@ -1,0 +1,156 @@
+// A dynamic-shape compilation service: the deployment shape of MikPoly in a
+// serving stack. Worker processes POST the GEMM shapes they encounter at
+// runtime; the service polymerizes a program for each (caching per shape)
+// and returns the selected strategy and its predicted/simulated performance
+// as JSON.
+//
+//	go run ./examples/server            # serves on :8097
+//	curl -s localhost:8097/plan -d '{"m":4096,"n":1024,"k":4096}'
+//
+// The example also exercises itself: it starts the server, issues a few
+// requests, prints the responses, and shuts down.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"mikpoly"
+)
+
+// planRequest is the wire format of a compilation request.
+type planRequest struct {
+	M int `json:"m"`
+	N int `json:"n"`
+	K int `json:"k"`
+}
+
+// regionInfo describes one region of the returned program.
+type regionInfo struct {
+	RowOffset int    `json:"row_offset"`
+	Rows      int    `json:"rows"`
+	ColOffset int    `json:"col_offset"`
+	Cols      int    `json:"cols"`
+	Kernel    string `json:"kernel"`
+}
+
+// planResponse is the wire format of a compilation result.
+type planResponse struct {
+	Shape      string       `json:"shape"`
+	Pattern    string       `json:"pattern"`
+	Regions    []regionInfo `json:"regions"`
+	Tasks      int          `json:"tasks"`
+	SimCycles  float64      `json:"sim_cycles"`
+	SimTFLOPS  float64      `json:"sim_tflops"`
+	Efficiency float64      `json:"pe_efficiency"`
+}
+
+// server wraps a compiler behind HTTP.
+type server struct {
+	compiler *mikpoly.Compiler
+}
+
+func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSON body like {\"m\":4096,\"n\":1024,\"k\":4096}", http.StatusMethodNotAllowed)
+		return
+	}
+	var req planRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	shape := mikpoly.GemmShape{M: req.M, N: req.N, K: req.K}
+	if !shape.Valid() {
+		http.Error(w, fmt.Sprintf("invalid shape %v", shape), http.StatusBadRequest)
+		return
+	}
+	prog, err := s.compiler.Plan(shape)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	res := prog.Simulate(s.compiler.Hardware())
+	h := s.compiler.Hardware()
+	resp := planResponse{
+		Shape:      shape.String(),
+		Pattern:    prog.Pattern.String(),
+		Tasks:      res.NumTasks,
+		SimCycles:  res.Cycles,
+		SimTFLOPS:  shape.FLOPs() / h.CyclesToSeconds(res.Cycles) / 1e12,
+		Efficiency: res.Efficiency(),
+	}
+	for _, reg := range prog.Regions {
+		resp.Regions = append(resp.Regions, regionInfo{
+			RowOffset: reg.M0, Rows: reg.M,
+			ColOffset: reg.N0, Cols: reg.N,
+			Kernel: reg.Kern.String(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+func main() {
+	fmt.Println("== MikPoly compilation service ==")
+	compiler, err := mikpoly.NewCompiler(mikpoly.A100(), mikpoly.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &server{compiler: compiler}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/plan", srv.handlePlan)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:8097")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: mux}
+	go func() {
+		if err := hs.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	fmt.Printf("serving on http://%s/plan\n\n", ln.Addr())
+
+	// Exercise the service as a client would.
+	client := &http.Client{Timeout: 10 * time.Second}
+	for _, req := range []planRequest{
+		{M: 4096, N: 1024, K: 4096},
+		{M: 105, N: 1024, K: 12544},
+		{M: 37, N: 768, K: 768},
+	} {
+		body, _ := json.Marshal(req)
+		resp, err := client.Post(fmt.Sprintf("http://%s/plan", ln.Addr()),
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var pr planResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("%s -> pattern %s, %d region(s), %.1f TFLOPS, %.0f%% PE efficiency\n",
+			pr.Shape, pr.Pattern, len(pr.Regions), pr.SimTFLOPS, 100*pr.Efficiency)
+		for _, reg := range pr.Regions {
+			fmt.Printf("    rows %d+%d cols %d+%d %s\n",
+				reg.RowOffset, reg.Rows, reg.ColOffset, reg.Cols, reg.Kernel)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nserver drained and stopped")
+}

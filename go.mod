@@ -1,0 +1,3 @@
+module mikpoly
+
+go 1.22

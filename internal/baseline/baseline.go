@@ -1,0 +1,52 @@
+// Package baseline implements simulator-substrate analogs of every system
+// MikPoly is compared against in the paper's evaluation:
+//
+//   - cuBLAS / cuDNN / CANN — vendor libraries: a fixed set of hand-tuned
+//     kernels (with a hand-written-assembly efficiency premium) selected by
+//     a shape heuristic that minimizes padding waste but is oblivious to
+//     wave quantization — the blind spot MikPoly exploits (Fig. 1, §6);
+//   - CUTLASS — a single default template configuration with static padding;
+//   - DietCode — an offline auto-scheduler over a declared shape range: one
+//     tuned program per representative shape bucket, with errors for
+//     out-of-range runtime shapes (§2.2, §5.2.3);
+//   - Nimble — a single shape-generic program tuned once for the declared
+//     range, paying a genericity penalty on every shape.
+//
+// All baselines emit poly.Program values, so they execute and simulate on
+// exactly the same substrate as MikPoly.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"mikpoly/internal/poly"
+	"mikpoly/internal/tensor"
+)
+
+// Planner is the common planning interface shared by MikPoly and every
+// baseline: produce a tensor program for a runtime shape.
+type Planner interface {
+	// Name identifies the system in reports.
+	Name() string
+	// Plan returns a program for the shape, or an error for shapes the
+	// system cannot handle (an "invalid run" in Table 5's accounting).
+	Plan(shape tensor.GemmShape) (*poly.Program, error)
+}
+
+// ErrOutOfRange marks a runtime shape outside a range-restricted compiler's
+// declared tuning range — DietCode/Nimble's invalid runs.
+var ErrOutOfRange = errors.New("baseline: shape outside declared tuning range")
+
+// singleKernelProgram builds the Pattern-I program every baseline uses: one
+// region, one kernel, local padding.
+func singleKernelProgram(shape tensor.GemmShape, k kernelRef) (*poly.Program, error) {
+	if !shape.Valid() {
+		return nil, fmt.Errorf("baseline: invalid shape %v", shape)
+	}
+	return &poly.Program{
+		Shape:   shape,
+		Pattern: poly.PatternI,
+		Regions: []poly.Region{{M0: 0, N0: 0, M: shape.M, N: shape.N, K: shape.K, Kern: k.k}},
+	}, nil
+}

@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"fmt"
+
+	"mikpoly/internal/hw"
+	"mikpoly/internal/poly"
+	"mikpoly/internal/tensor"
+)
+
+// Cutlass models CUTLASS used as the paper uses it: the template library's
+// device-level default heuristic, which picks among a small ladder of
+// thread-block tiles purely by problem size (largest tile whose grid still
+// roughly occupies the device), with static padding, no per-kernel cost
+// knowledge and no hand-written-assembly premium. It is strong on large
+// aligned shapes and weak on small or ragged ones — the 0.45×-of-oracle
+// reference line in Fig. 12(b).
+type Cutlass struct {
+	hw     hw.Hardware
+	ladder []kernelRef // largest first
+}
+
+// NewCutlass builds the CUTLASS analog for h, dropping ladder rungs that do
+// not fit the device.
+func NewCutlass(h hw.Hardware) *Cutlass {
+	c := &Cutlass{hw: h}
+	for _, t := range [][3]int{{128, 128, 32}, {64, 64, 32}, {32, 32, 32}, {16, 16, 16}} {
+		if k, ok := vendorConfig(h, t[0], t[1], t[2], 1.0); ok {
+			c.ladder = append(c.ladder, kernelRef{k: k})
+		}
+	}
+	if len(c.ladder) == 0 {
+		panic(fmt.Sprintf("baseline: no feasible CUTLASS tile for %s", h.Name))
+	}
+	return c
+}
+
+// Name implements Planner.
+func (c *Cutlass) Name() string { return "CUTLASS" }
+
+// Plan implements Planner: the largest ladder tile whose grid reaches at
+// least a quarter of the device, else the smallest tile.
+func (c *Cutlass) Plan(shape tensor.GemmShape) (*poly.Program, error) {
+	if !shape.Valid() {
+		return nil, fmt.Errorf("baseline CUTLASS: invalid shape %v", shape)
+	}
+	pick := c.ladder[len(c.ladder)-1]
+	for _, kr := range c.ladder {
+		k := kr.k
+		tasks := ((shape.M + k.UM - 1) / k.UM) * ((shape.N + k.UN - 1) / k.UN)
+		if tasks*4 >= c.hw.NumPEs {
+			pick = kr
+			break
+		}
+	}
+	return singleKernelProgram(shape, pick)
+}

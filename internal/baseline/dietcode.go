@@ -1,0 +1,240 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"mikpoly/internal/kernel"
+	"mikpoly/internal/poly"
+	"mikpoly/internal/tensor"
+	"mikpoly/internal/tune"
+)
+
+// Range declares one dimension's dynamic range [Lo, Hi] (Lo == Hi for a
+// static dimension) — the foreknowledge DietCode and Nimble require from the
+// developer (§2.2).
+type Range struct{ Lo, Hi int }
+
+// Contains reports whether v lies in the declared range.
+func (r Range) Contains(v int) bool { return v >= r.Lo && v <= r.Hi }
+
+// Validate checks the range is non-empty and positive.
+func (r Range) Validate() error {
+	if r.Lo < 1 || r.Hi < r.Lo {
+		return fmt.Errorf("baseline: invalid range [%d, %d]", r.Lo, r.Hi)
+	}
+	return nil
+}
+
+// Ranges declares the GEMM shape ranges supplied at DietCode/Nimble
+// compile time.
+type Ranges struct{ M, N, K Range }
+
+// Contains reports whether the runtime shape falls inside the declaration.
+func (rs Ranges) Contains(s tensor.GemmShape) bool {
+	return rs.M.Contains(s.M) && rs.N.Contains(s.N) && rs.K.Contains(s.K)
+}
+
+// Validate checks every dimension range.
+func (rs Ranges) Validate() error {
+	for _, r := range []Range{rs.M, rs.N, rs.K} {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxRepsPerDim bounds how many representative values DietCode tunes per
+// dynamic dimension. DietCode keeps its auto-scheduling budget small by
+// tuning a handful of programs across the declared range (§2.2: "a series of
+// tuned tensor programs, each tailored for a set of shapes"); the coarse
+// buckets are precisely why in-range shapes still run sub-optimally
+// (§5.2.3).
+const maxRepsPerDim = 4
+
+// repPoints returns the representative values DietCode tunes for inside one
+// dimension range: both endpoints plus geometrically spaced interior points,
+// at most maxRepsPerDim total. A static dimension (Lo == Hi) gets one point.
+func repPoints(r Range) []int {
+	if r.Lo == r.Hi {
+		return []int{r.Lo}
+	}
+	seen := map[int]bool{}
+	var out []int
+	add := func(v int) {
+		if v < r.Lo {
+			v = r.Lo
+		}
+		if v > r.Hi {
+			v = r.Hi
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	add(r.Lo)
+	ratio := float64(r.Hi) / float64(r.Lo)
+	for i := 1; i < maxRepsPerDim-1; i++ {
+		f := float64(i) / float64(maxRepsPerDim-1)
+		add(int(float64(r.Lo) * math.Pow(ratio, f)))
+	}
+	add(r.Hi)
+	return out
+}
+
+// bucketFor returns the smallest representative >= v (DietCode dispatches a
+// runtime shape to the tuned program whose tuning shape covers it).
+func bucketFor(reps []int, v int) (int, bool) {
+	best := -1
+	for _, r := range reps {
+		if r >= v && (best == -1 || r < best) {
+			best = r
+		}
+	}
+	if best == -1 {
+		// v above every representative: fall back to the largest.
+		for _, r := range reps {
+			if r > best {
+				best = r
+			}
+		}
+		if best == -1 {
+			return 0, false
+		}
+	}
+	return best, true
+}
+
+// dietCodeGenericityPenalty reflects that each of DietCode's tuned programs
+// must stay valid and reasonable across its whole shape bucket, forfeiting
+// the per-shape specialization (unroll factors, if-hoisting, exact-fit
+// tiling) a shape-specific schedule gets.
+const dietCodeGenericityPenalty = 0.7
+
+// DietCode models the DietCode dynamic-shape auto-scheduler: at compile time
+// it tunes one single-kernel program per representative shape in the
+// declared range (using the same micro-kernel search space MikPoly's offline
+// stage has, minus polymerization); at runtime it dispatches to the program
+// of the covering bucket and refuses shapes outside the declaration.
+type DietCode struct {
+	lib    *tune.Library
+	ranges Ranges
+	reps   [3][]int
+	tuned  map[[3]int]kernel.MicroKernel
+}
+
+// NewDietCode runs DietCode's offline tuning over the declared ranges.
+func NewDietCode(lib *tune.Library, ranges Ranges) (*DietCode, error) {
+	if err := ranges.Validate(); err != nil {
+		return nil, err
+	}
+	d := &DietCode{
+		lib:    lib,
+		ranges: ranges,
+		reps:   [3][]int{repPoints(ranges.M), repPoints(ranges.N), repPoints(ranges.K)},
+		tuned:  make(map[[3]int]kernel.MicroKernel),
+	}
+	pl := poly.NewPlanner(lib)
+	pl.Patterns = []poly.PatternID{poly.PatternI}
+	for _, m := range d.reps[0] {
+		for _, n := range d.reps[1] {
+			for _, k := range d.reps[2] {
+				prog, _, err := pl.Plan(tensor.GemmShape{M: m, N: n, K: k})
+				if err != nil {
+					return nil, fmt.Errorf("dietcode offline tuning (%d,%d,%d): %w", m, n, k, err)
+				}
+				kern := prog.Regions[0].Kern
+				kern.Premium = dietCodeGenericityPenalty
+				d.tuned[[3]int{m, n, k}] = kern
+			}
+		}
+	}
+	return d, nil
+}
+
+// Name implements Planner.
+func (d *DietCode) Name() string { return "DietCode" }
+
+// NumTunedPrograms reports the offline program count (compile-cost proxy).
+func (d *DietCode) NumTunedPrograms() int { return len(d.tuned) }
+
+// Plan implements Planner. Out-of-range shapes are invalid runs.
+func (d *DietCode) Plan(shape tensor.GemmShape) (*poly.Program, error) {
+	if !shape.Valid() {
+		return nil, fmt.Errorf("baseline DietCode: invalid shape %v", shape)
+	}
+	if !d.ranges.Contains(shape) {
+		return nil, fmt.Errorf("%w: %v not in M%v N%v K%v", ErrOutOfRange,
+			shape, d.ranges.M, d.ranges.N, d.ranges.K)
+	}
+	key := [3]int{}
+	for i, v := range []int{shape.M, shape.N, shape.K} {
+		b, ok := bucketFor(d.reps[i], v)
+		if !ok {
+			return nil, ErrOutOfRange
+		}
+		key[i] = b
+	}
+	k, ok := d.tuned[key]
+	if !ok {
+		return nil, fmt.Errorf("baseline DietCode: no tuned program for bucket %v", key)
+	}
+	return singleKernelProgram(shape, kernelRef{k: k})
+}
+
+// Nimble models Nimble's virtual-machine execution of a single shape-generic
+// program: one kernel tuned for the middle of the declared range, carrying a
+// genericity penalty for the runtime shape checks and non-specialized code
+// the VM executes, and the same range restriction as DietCode.
+type Nimble struct {
+	lib    *tune.Library
+	ranges Ranges
+	k      kernelRef
+}
+
+// nimbleGenericityPenalty reflects shape-generic kernel code: symbolic loop
+// bounds block tensorization and vectorization of the inner loop, and every
+// launch pays VM dispatch — the reason Nimble trails DietCode by ~2.5× in
+// Fig. 10 despite handling the same ranges.
+const nimbleGenericityPenalty = 0.25
+
+// NewNimble tunes the single generic program.
+func NewNimble(lib *tune.Library, ranges Ranges) (*Nimble, error) {
+	if err := ranges.Validate(); err != nil {
+		return nil, err
+	}
+	mid := func(r Range) int { return int(math.Sqrt(float64(r.Lo) * float64(r.Hi))) }
+	pl := poly.NewPlanner(lib)
+	pl.Patterns = []poly.PatternID{poly.PatternI}
+	shape := tensor.GemmShape{M: max(1, mid(ranges.M)), N: max(1, mid(ranges.N)), K: max(1, mid(ranges.K))}
+	prog, _, err := pl.Plan(shape)
+	if err != nil {
+		return nil, fmt.Errorf("nimble offline tuning: %w", err)
+	}
+	k := prog.Regions[0].Kern
+	k.Premium = nimbleGenericityPenalty
+	return &Nimble{lib: lib, ranges: ranges, k: kernelRef{k: k}}, nil
+}
+
+// Name implements Planner.
+func (n *Nimble) Name() string { return "Nimble" }
+
+// Plan implements Planner.
+func (n *Nimble) Plan(shape tensor.GemmShape) (*poly.Program, error) {
+	if !shape.Valid() {
+		return nil, fmt.Errorf("baseline Nimble: invalid shape %v", shape)
+	}
+	if !n.ranges.Contains(shape) {
+		return nil, fmt.Errorf("%w: %v", ErrOutOfRange, shape)
+	}
+	return singleKernelProgram(shape, n.k)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,394 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mikpoly/internal/baseline"
+	"mikpoly/internal/core"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/kernel"
+	"mikpoly/internal/poly"
+	"mikpoly/internal/stats"
+	"mikpoly/internal/tensor"
+	"mikpoly/internal/tune"
+	"mikpoly/internal/workload"
+)
+
+// Fig12a reproduces Figure 12(a): the online polymerization cost as a
+// fraction of total execution time across shapes, alongside cuBLAS and
+// CUTLASS execution times (paper: the fraction is small and shrinks as the
+// shape grows; MikPoly's search takes ~2 µs per shape on their setup).
+func Fig12a(cfg Config) (*Table, error) {
+	h := hw.A100()
+	mik, err := mikpolyGPU()
+	if err != nil {
+		return nil, err
+	}
+	cublas := baseline.CuBLAS(h)
+	cutlass := baseline.NewCutlass(h)
+
+	t := &Table{
+		ID:    "fig12a",
+		Title: "Online polymerization overhead in end-to-end GEMM execution",
+		Header: []string{"shape", "go-plan-us", "candidates", "overhead-cycles",
+			"exec-cycles", "overhead%", "cuBLAS-rel", "CUTLASS-rel"},
+	}
+	shapes := []tensor.GemmShape{
+		{M: 128, N: 1024, K: 4096},
+		{M: 512, N: 1024, K: 4096},
+		{M: 1024, N: 1024, K: 4096},
+		{M: 2048, N: 1024, K: 4096},
+		{M: 4096, N: 1024, K: 4096},
+		{M: 8192, N: 1024, K: 4096},
+	}
+	for _, s := range shapes {
+		prog, st, err := mik.PlanUncached(s)
+		if err != nil {
+			return nil, err
+		}
+		planCycles := st.ModeledOverheadCycles()
+		exec := prog.Simulate(h).Cycles
+		vc, err := simCycles(cublas.Plan, h, s)
+		if err != nil {
+			return nil, err
+		}
+		cc, err := simCycles(cutlass.Plan, h, s)
+		if err != nil {
+			return nil, err
+		}
+		total := planCycles + exec
+		t.AddRow(s.String(), float64(st.Elapsed.Microseconds()), st.Candidates,
+			planCycles, exec, 100*planCycles/total, vc/total, cc/total)
+	}
+	t.Note("overhead-cycles models the paper's optimized runtime at %.0f cycles per costed candidate; go-plan-us is this Go implementation's wall-clock", poly.OnlineCostPerCandidate)
+	t.Note("cuBLAS-rel / CUTLASS-rel: baseline execution time relative to MikPoly plan+exec (>1 means MikPoly wins including overhead)")
+	return t, nil
+}
+
+// Fig12b reproduces Figure 12(b): cost-model ablation. Every variant's
+// simulated performance is normalized to MikPoly-Oracle, which exhaustively
+// simulates all candidates (paper: MikPoly 0.96x, Wave 0.81x, Pipe 0.72x,
+// CUTLASS 0.45x; Oracle needs ~1.6 s per shape vs ~2 µs for MikPoly).
+func Fig12b(cfg Config) (*Table, error) {
+	h := hw.A100()
+	lib, err := core.SharedLibrary(h, tune.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		cost poly.CostModel
+	}{
+		{"MikPoly", poly.CostFull},
+		{"MikPoly-Wave", poly.CostWaveOnly},
+		{"MikPoly-Pipe", poly.CostPipeOnly},
+	}
+	oracle := poly.NewPlanner(lib)
+	oracle.Cost = poly.CostOracle
+	cutlass := baseline.NewCutlass(h)
+
+	n := 30
+	if !cfg.Quick {
+		n = 120
+	}
+	cases := workload.Subsample(workload.Table3Suite(), n)
+
+	rel := make(map[string][]float64)
+	var oracleTime, mikTime time.Duration
+	for _, c := range cases {
+		t0 := time.Now()
+		po, _, err := oracle.Plan(c.Shape)
+		if err != nil {
+			return nil, err
+		}
+		oracleTime += time.Since(t0)
+		oc := po.EstimatedCost // oracle scores are simulated cycles
+		for _, v := range variants {
+			pl := poly.NewPlanner(lib)
+			pl.Cost = v.cost
+			t0 = time.Now()
+			p, _, err := pl.Plan(c.Shape)
+			if err != nil {
+				return nil, err
+			}
+			if v.cost == poly.CostFull {
+				mikTime += time.Since(t0)
+			}
+			rel[v.name] = append(rel[v.name], oc/p.Simulate(h).Cycles)
+		}
+		cc, err := simCycles(cutlass.Plan, h, c.Shape)
+		if err != nil {
+			return nil, err
+		}
+		rel["CUTLASS"] = append(rel["CUTLASS"], oc/cc)
+	}
+
+	t := &Table{
+		ID:     "fig12b",
+		Title:  "Cost-model ablation (performance normalized to MikPoly-Oracle)",
+		Header: []string{"variant", "mean", "geomean", "min", "cases"},
+	}
+	for _, name := range []string{"MikPoly", "MikPoly-Wave", "MikPoly-Pipe", "CUTLASS"} {
+		s := stats.Summarize(rel[name])
+		t.AddRow(name, s.Mean, s.Geomean, s.Min, s.N)
+	}
+	t.Note("oracle search %.1f ms/shape vs MikPoly %.1f us/shape",
+		float64(oracleTime.Microseconds())/float64(len(cases))/1000,
+		float64(mikTime.Microseconds())/float64(len(cases)))
+	return t, nil
+}
+
+// Fig13 reproduces Figure 13: sensitivity of the offline hyperparameters
+// n_gen, n_syn and n_mik. Each sweep regenerates the library at one setting
+// and reports the mean GEMM speedup over cuBLAS (paper: performance
+// saturates around n_gen=32, n_syn=12, n_mik=40).
+func Fig13(cfg Config) (*Table, error) {
+	h := hw.A100()
+	cublas := baseline.CuBLAS(h)
+	n := 60
+	if !cfg.Quick {
+		n = 200
+	}
+	cases := workload.Subsample(workload.Table3Suite(), n)
+
+	eval := func(opt tune.Options) (float64, error) {
+		lib, err := core.SharedLibrary(h, opt)
+		if err != nil {
+			return 0, err
+		}
+		mik := core.NewCompilerFromLibrary(lib)
+		var spd []float64
+		for _, c := range cases {
+			mc, err := simCycles(mik.Plan, h, c.Shape)
+			if err != nil {
+				return 0, err
+			}
+			vc, err := simCycles(cublas.Plan, h, c.Shape)
+			if err != nil {
+				return 0, err
+			}
+			spd = append(spd, vc/mc)
+		}
+		return stats.Mean(spd), nil
+	}
+
+	t := &Table{
+		ID:     "fig13",
+		Title:  "Hyperparameter sensitivity (mean GEMM speedup over cuBLAS)",
+		Header: []string{"parameter", "value", "speedup"},
+	}
+	base := tune.DefaultOptions()
+	genSweep := []int{4, 8, 16, 32, 40}
+	synSweep := []int{0, 3, 6, 9, 12, 15}
+	mikSweep := []int{5, 10, 20, 40, 60}
+	if cfg.Quick {
+		genSweep = []int{8, 32}
+		synSweep = []int{3, 12}
+		mikSweep = []int{10, 40}
+	}
+	for _, v := range genSweep {
+		opt := base
+		opt.NGen = v
+		s, err := eval(opt)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("n_gen", v, s)
+	}
+	for _, v := range synSweep {
+		opt := base
+		opt.NSyn = v
+		s, err := eval(opt)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("n_syn", v, s)
+	}
+	for _, v := range mikSweep {
+		opt := base
+		opt.NMik = v
+		s, err := eval(opt)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("n_mik", v, s)
+	}
+	return t, nil
+}
+
+// Table9 reproduces the §6 case study on (4096, 1024, 4096): the
+// single-kernel program GEMM-A vs the polymerized two-region program
+// GEMM-AB, with the Table 9 hardware counters (paper: sm_efficiency rises
+// from 58.9% to ~87%, speedup ≈1.21x on GPU) plus the Fig. 15(a) sweep of M.
+func Table9(cfg Config) (*Table, error) {
+	h := hw.A100()
+	mik, err := mikpolyGPU()
+	if err != nil {
+		return nil, err
+	}
+	// GEMM-A is the program a wave-oblivious static tuner builds: the
+	// single micro-kernel with the best steady-state throughput on one
+	// PE (the paper's kernel A, a large tile — oblivious to how its grid
+	// quantizes into waves). GEMM-AB is MikPoly's polymerized program.
+	var aKern kernel.MicroKernel
+	bestTput := 0.0
+	for _, k := range mik.Library().Kernels {
+		flops := 64 * 2 * float64(k.UM) * float64(k.UN) * float64(k.UK)
+		if tput := flops / tune.MeasureTaskCost(h, k, 64); tput > bestTput {
+			bestTput = tput
+			aKern = k
+		}
+	}
+	planSingle := func(s tensor.GemmShape) (*poly.Program, error) {
+		p := &poly.Program{
+			Shape:   s,
+			Pattern: poly.PatternI,
+			Regions: []poly.Region{{M0: 0, N0: 0, M: s.M, N: s.N, K: s.K, Kern: aKern}},
+		}
+		return p, p.Validate()
+	}
+	shape := tensor.GemmShape{M: 4096, N: 1024, K: 4096}
+	single, err := planSingle(shape)
+	if err != nil {
+		return nil, err
+	}
+	multi, err := mik.Plan(shape)
+	if err != nil {
+		return nil, err
+	}
+	rs := single.Simulate(h)
+	rm := multi.Simulate(h)
+
+	t := &Table{
+		ID:     "table9",
+		Title:  "Case study (4096, 1024, 4096): single kernel vs polymerized program",
+		Header: []string{"program", "regions", "grid", "waves", "sm_eff%", "cycles", "speedup"},
+	}
+	t.AddRow(fmt.Sprintf("GEMM-A (%v)", aKern), len(single.Regions), rs.NumTasks,
+		rs.Waves(), 100*rs.Efficiency(), rs.Cycles, 1.0)
+	t.AddRow(fmt.Sprintf("GEMM-AB (pattern %s)", multi.Pattern), len(multi.Regions),
+		rm.NumTasks, rm.Waves(), 100*rm.Efficiency(), rm.Cycles, rs.Cycles/rm.Cycles)
+
+	// Fig. 15(a): sweep M in [1024, 4096] stride 256 — MikPoly vs the
+	// static-tuner single-kernel program.
+	for m := 1024; m <= 4096; m += 256 {
+		s := tensor.GemmShape{M: m, N: 1024, K: 4096}
+		ps, err := planSingle(s)
+		if err != nil {
+			return nil, err
+		}
+		pm, err := mik.Plan(s)
+		if err != nil {
+			return nil, err
+		}
+		rsw := ps.Simulate(h)
+		rmw := pm.Simulate(h)
+		t.AddRow(fmt.Sprintf("M=%d", m), len(pm.Regions), rmw.NumTasks, rmw.Waves(),
+			100*rmw.Efficiency(), rmw.Cycles, rsw.Cycles/rmw.Cycles)
+	}
+	return t, nil
+}
+
+// AblationPatterns measures the value of the NPU's full pattern set against
+// the GPU subset (design choice called out in DESIGN.md §6).
+func AblationPatterns(cfg Config) (*Table, error) {
+	h := hw.Ascend910()
+	lib, err := core.SharedLibrary(h, tune.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	cann := baseline.CANN(h)
+	n := 60
+	if !cfg.Quick {
+		n = 200
+	}
+	cases := workload.Subsample(workload.Table3Suite(), n)
+
+	t := &Table{
+		ID:     "ablation-patterns",
+		Title:  "Pattern-set ablation on the NPU (speedup over CANN)",
+		Header: []string{"pattern set", "mean", "geomean", "max", "cases"},
+	}
+	for _, row := range []struct {
+		name string
+		pats []poly.PatternID
+	}{
+		{"I only", []poly.PatternID{poly.PatternI}},
+		{"I-II (GPU subset)", poly.GPUPatterns()},
+		{"I-IX (full)", poly.NPUPatterns()},
+	} {
+		pl := poly.NewPlanner(lib)
+		pl.Patterns = row.pats
+		var spd []float64
+		for _, c := range cases {
+			prog, _, err := pl.Plan(c.Shape)
+			if err != nil {
+				return nil, err
+			}
+			vc, err := simCycles(cann.Plan, h, c.Shape)
+			if err != nil {
+				return nil, err
+			}
+			spd = append(spd, vc/prog.Simulate(h).Cycles)
+		}
+		s := stats.Summarize(spd)
+		t.AddRow(row.name, s.Mean, s.Geomean, s.Max, s.N)
+	}
+	return t, nil
+}
+
+// AblationPruning measures the branch-and-bound anchor pruning: same chosen
+// programs, fewer candidates, lower online latency (§3.5).
+func AblationPruning(cfg Config) (*Table, error) {
+	h := hw.A100()
+	lib, err := core.SharedLibrary(h, tune.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	n := 80
+	if !cfg.Quick {
+		n = 300
+	}
+	cases := workload.Subsample(workload.Table3Suite(), n)
+
+	t := &Table{
+		ID:     "ablation-pruning",
+		Title:  "Branch-and-bound strategy pruning",
+		Header: []string{"pruning", "candidates", "pruned-anchors", "plan-us/shape", "cost-identical"},
+	}
+	run := func(disable bool) (cand, pruned int, us float64, costs []float64, err error) {
+		pl := poly.NewPlanner(lib)
+		pl.DisablePruning = disable
+		var elapsed time.Duration
+		for _, c := range cases {
+			prog, st, err := pl.Plan(c.Shape)
+			if err != nil {
+				return 0, 0, 0, nil, err
+			}
+			cand += st.Candidates
+			pruned += st.PrunedAnchors
+			elapsed += st.Elapsed
+			costs = append(costs, prog.EstimatedCost)
+		}
+		return cand, pruned, float64(elapsed.Microseconds()) / float64(len(cases)), costs, nil
+	}
+	cOn, pOn, usOn, costOn, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	cOff, _, usOff, costOff, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	identical := true
+	for i := range costOn {
+		if costOn[i] != costOff[i] {
+			identical = false
+			break
+		}
+	}
+	t.AddRow("on", cOn, pOn, usOn, fmt.Sprint(identical))
+	t.AddRow("off", cOff, 0, usOff, "-")
+	return t, nil
+}

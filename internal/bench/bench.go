@@ -1,0 +1,254 @@
+// Package bench regenerates every table and figure of the paper's evaluation
+// (§5–§6) on the simulator substrate. Each experiment is a function
+// returning a Table whose rows mirror what the paper plots; cmd/mikpoly
+// prints them and bench_test.go exposes them as testing.B benchmarks.
+//
+// Absolute numbers are substrate numbers, not A100/910A numbers; the claims
+// being reproduced are the *shapes* — who wins, by roughly what factor, and
+// where the crossovers fall. EXPERIMENTS.md records paper-vs-measured for
+// every experiment.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mikpoly/internal/baseline"
+	"mikpoly/internal/core"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/poly"
+	"mikpoly/internal/tensor"
+	"mikpoly/internal/tune"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick subsamples the suites so the whole set runs in seconds;
+	// full runs use the complete paper counts (1599 GEMM cases, 5485
+	// convolutions, 150 sentences, ...).
+	Quick bool
+
+	// ScatterDir, when set, makes the operator-suite experiments write
+	// per-case (FLOPs, speedup) series as CSV — the raw points behind the
+	// paper's scatter figures (Figs. 6, 7 and 10), which the summary
+	// tables alone cannot regenerate.
+	ScatterDir string
+}
+
+// scatterWriter appends per-case scatter points for one experiment.
+type scatterWriter struct {
+	f *os.File
+}
+
+// newScatterWriter opens <dir>/<id>-scatter.csv, or returns nil when
+// scatter output is disabled.
+func newScatterWriter(cfg Config, id string, header []string) (*scatterWriter, error) {
+	if cfg.ScatterDir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(cfg.ScatterDir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(cfg.ScatterDir, id+"-scatter.csv"))
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(f, strings.Join(header, ","))
+	return &scatterWriter{f: f}, nil
+}
+
+// point writes one row.
+func (w *scatterWriter) point(cells ...any) {
+	if w == nil {
+		return
+	}
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			parts[i] = fmt.Sprintf("%g", v)
+		default:
+			parts[i] = fmt.Sprint(v)
+		}
+	}
+	fmt.Fprintln(w.f, strings.Join(parts, ","))
+}
+
+// close finishes the file.
+func (w *scatterWriter) close() error {
+	if w == nil {
+		return nil
+	}
+	return w.f.Close()
+}
+
+// gemmCases returns the suite size for GEMM-operator experiments.
+func (c Config) gemmCases() int {
+	if c.Quick {
+		return 120
+	}
+	return 0 // no subsampling
+}
+
+// convCases returns the suite size for convolution experiments.
+func (c Config) convCases() int {
+	if c.Quick {
+		return 120
+	}
+	return 0
+}
+
+// seqCount returns how many sentence lengths e2e language experiments use.
+func (c Config) seqCount() int {
+	if c.Quick {
+		return 20
+	}
+	return 150
+}
+
+// Table is one regenerated figure or table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-form annotation printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) && len(c) < widths[i] {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (header row first); notes
+// are emitted as trailing comment lines.
+func (t *Table) WriteCSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, ","))
+	}
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+}
+
+// planFn abstracts a system's planning entry point.
+type planFn func(tensor.GemmShape) (*poly.Program, error)
+
+// simCycles plans and simulates one shape under a system.
+func simCycles(plan planFn, h hw.Hardware, s tensor.GemmShape) (float64, error) {
+	prog, err := plan(s)
+	if err != nil {
+		return 0, err
+	}
+	return prog.Simulate(h).Cycles, nil
+}
+
+// mikpolyGPU builds (or reuses) the Tensor-Core MikPoly compiler.
+func mikpolyGPU() (*core.Compiler, error) {
+	lib, err := core.SharedLibrary(hw.A100(), tune.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return core.NewCompilerFromLibrary(lib), nil
+}
+
+// mikpolyNPU builds (or reuses) the Ascend MikPoly compiler.
+func mikpolyNPU() (*core.Compiler, error) {
+	lib, err := core.SharedLibrary(hw.Ascend910(), tune.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return core.NewCompilerFromLibrary(lib), nil
+}
+
+// mikpolyCUDA builds (or reuses) the CUDA-core MikPoly compiler used in the
+// DietCode/Nimble comparisons, which exclude Tensor Cores (§5.2.3).
+func mikpolyCUDA() (*core.Compiler, error) {
+	lib, err := core.SharedLibrary(hw.A100CUDACores(), tune.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return core.NewCompilerFromLibrary(lib), nil
+}
+
+// table3Ranges is the declared range DietCode/Nimble receive for the Fig. 10
+// operator comparison: the envelope of Table 3.
+func table3Ranges() baseline.Ranges {
+	return baseline.Ranges{
+		M: baseline.Range{Lo: 1, Hi: 10752},
+		N: baseline.Range{Lo: 1, Hi: 48000},
+		K: baseline.Range{Lo: 1, Hi: 500000},
+	}
+}

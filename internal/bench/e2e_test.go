@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestFig8LanguageModels(t *testing.T) {
+	tb, err := Fig8(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 models", len(tb.Rows))
+	}
+	for i, row := range tb.Rows {
+		mik := speedupCell(t, tb, i, 1)
+		if mik < 1.0 {
+			t.Errorf("%s: e2e speedup %.2f < 1 (paper 1.36-1.39)", row[0], mik)
+		}
+		if mik > 3.0 {
+			t.Errorf("%s: e2e speedup %.2f implausibly high", row[0], mik)
+		}
+	}
+}
+
+func TestFig9CNNs(t *testing.T) {
+	for _, npu := range []bool{false, true} {
+		tb, err := Fig9(quickCfg(), npu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tb.Rows) != 4 {
+			t.Fatalf("rows = %d, want 4 models", len(tb.Rows))
+		}
+		for i, row := range tb.Rows {
+			mik := speedupCell(t, tb, i, 1)
+			if mik < 0.95 {
+				t.Errorf("npu=%v %s: e2e speedup %.2f < 0.95", npu, row[0], mik)
+			}
+		}
+	}
+}
+
+func TestTable5InvalidRuns(t *testing.T) {
+	tb, err := Table5(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range tb.Rows {
+		dietInvalid, _ := strconv.Atoi(row[3])
+		mikInvalid, _ := strconv.Atoi(row[5])
+		if mikInvalid != 0 {
+			t.Errorf("%s: MikPoly had %d invalid runs, must be 0", row[0], mikInvalid)
+		}
+		if dietInvalid == 0 {
+			t.Errorf("%s: DietCode had no invalid runs; lengths outside [8,256] must fail", row[0])
+		}
+		if spd := speedupCell(t, tb, i, 1); spd < 1.0 {
+			t.Errorf("%s: vs DietCode %.2f < 1 (paper ~1.55)", row[0], spd)
+		}
+	}
+}
+
+func TestTable8LlamaOperators(t *testing.T) {
+	tb, err := Table8(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 operators", len(tb.Rows))
+	}
+	for i, row := range tb.Rows {
+		spd := speedupCell(t, tb, i, 3)
+		if spd < 0.95 || spd > 3 {
+			t.Errorf("%s: operator speedup %.2f outside plausible band (paper 1.08-1.24)", row[0], spd)
+		}
+	}
+}
+
+func TestFig11LlamaE2E(t *testing.T) {
+	tb, err := Fig11(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 batch sizes", len(tb.Rows))
+	}
+	first := speedupCell(t, tb, 0, 1)
+	last := speedupCell(t, tb, 3, 1)
+	for i := range tb.Rows {
+		spd := speedupCell(t, tb, i, 1)
+		if spd < 0.95 || spd > 1.6 {
+			t.Errorf("batch %s: e2e speedup %.2f outside plausible band (paper 1.01-1.05)",
+				tb.Rows[i][0], spd)
+		}
+	}
+	if last > first+0.05 {
+		t.Errorf("gains should shrink with batch (paper 1.05 -> 1.01): b1=%.2f b8=%.2f", first, last)
+	}
+}
+
+func TestFig12aOverheadSmallAndShrinking(t *testing.T) {
+	tb, err := Fig12a(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 101.0
+	for i := range tb.Rows {
+		ov := speedupCell(t, tb, i, 5)
+		if ov > 30 {
+			t.Errorf("%s: overhead %.1f%% too large", tb.Rows[i][0], ov)
+		}
+		if i == len(tb.Rows)-1 && ov > prev {
+			t.Errorf("overhead should shrink with shape: %.2f%% -> %.2f%%", prev, ov)
+		}
+		prev = ov
+	}
+}
+
+func TestFig13Saturates(t *testing.T) {
+	tb, err := Fig13(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per parameter: the larger setting must not be dramatically worse
+	// than the smaller one (saturation, not regression).
+	byParam := map[string][]float64{}
+	for i, row := range tb.Rows {
+		byParam[row[0]] = append(byParam[row[0]], speedupCell(t, tb, i, 2))
+	}
+	for p, vals := range byParam {
+		if len(vals) < 2 {
+			t.Fatalf("%s: only %d sweep points", p, len(vals))
+		}
+		last := vals[len(vals)-1]
+		first := vals[0]
+		if last < first*0.9 {
+			t.Errorf("%s: larger setting regressed: %.2f -> %.2f", p, first, last)
+		}
+	}
+}
+
+func TestAblationPatternsMonotone(t *testing.T) {
+	tb, err := AblationPatterns(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	only1 := speedupCell(t, tb, 0, 1)
+	full := speedupCell(t, tb, 2, 1)
+	if full < only1*0.98 {
+		t.Errorf("full pattern set (%.2f) should not trail pattern I alone (%.2f)", full, only1)
+	}
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"time"
+
+	"mikpoly/internal/baseline"
+	"mikpoly/internal/core"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/stats"
+	"mikpoly/internal/tune"
+	"mikpoly/internal/workload"
+)
+
+// AblationEvolve measures the evolutionary refinement of the offline stage:
+// a small seed grid (n_gen = 4) plus mutation-based hill climbing should
+// recover most of the full grid's quality at a fraction of the offline
+// enumeration — the reason TVM-style auto-schedulers refine rather than
+// enumerate.
+func AblationEvolve(cfg Config) (*Table, error) {
+	h := hw.A100()
+	cublas := baseline.CuBLAS(h)
+	n := 60
+	if !cfg.Quick {
+		n = 200
+	}
+	cases := workload.Subsample(workload.Table3Suite(), n)
+
+	eval := func(lib *tune.Library) (float64, error) {
+		mik := core.NewCompilerFromLibrary(lib)
+		var spd []float64
+		for _, c := range cases {
+			mc, err := simCycles(mik.Plan, h, c.Shape)
+			if err != nil {
+				return 0, err
+			}
+			vc, err := simCycles(cublas.Plan, h, c.Shape)
+			if err != nil {
+				return 0, err
+			}
+			spd = append(spd, vc/mc)
+		}
+		return stats.Mean(spd), nil
+	}
+
+	t := &Table{
+		ID:     "ablation-evolve",
+		Title:  "Offline-stage refinement: seed grid vs evolved vs full grid (speedup over cuBLAS)",
+		Header: []string{"offline stage", "speedup", "offline-ms", "improved-kernels"},
+	}
+
+	smallOpt := tune.DefaultOptions()
+	smallOpt.NGen = 4
+	start := time.Now()
+	small, err := tune.Generate(h, smallOpt)
+	if err != nil {
+		return nil, err
+	}
+	smallMs := time.Since(start)
+	s1, err := eval(small)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("seed grid (n_gen=4)", s1, float64(smallMs.Milliseconds()), 0)
+
+	start = time.Now()
+	evolved, st, err := tune.Refine(small, tune.EvolveOptions{Rounds: 48, Seed: 5})
+	if err != nil {
+		return nil, err
+	}
+	evolveMs := time.Since(start)
+	s2, err := eval(evolved)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("seed + evolution", s2, float64((smallMs + evolveMs).Milliseconds()), st.Improved)
+
+	start = time.Now()
+	full, err := core.SharedLibrary(h, tune.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	fullMs := time.Since(start)
+	s3, err := eval(full)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("full grid (n_gen=32)", s3, float64(fullMs.Milliseconds()), 0)
+	t.Note("full-grid time is zero when another experiment already built the shared library")
+	return t, nil
+}

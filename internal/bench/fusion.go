@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"mikpoly/internal/baseline"
+	"mikpoly/internal/graphopt"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/nn"
+	"mikpoly/internal/stats"
+)
+
+// AblationFusion measures the additional end-to-end gain from combining
+// MikPoly with graph-level operator fusion (the paper's first future-work
+// direction, §7): elementwise chains fold into GEMM epilogues, so the
+// speedup over the unfused cuBLAS baseline grows beyond polymerization
+// alone.
+func AblationFusion(cfg Config) (*Table, error) {
+	h := hw.A100()
+	mik, err := mikpolyGPU()
+	if err != nil {
+		return nil, err
+	}
+	cublas := baseline.CuBLAS(h)
+
+	t := &Table{
+		ID:    "ablation-fusion",
+		Title: "Operator fusion on top of polymerization (e2e language models)",
+		Header: []string{"model", "MikPoly", "MikPoly+fusion", "fusion-gain",
+			"fused-ops", "inputs"},
+	}
+	seqs := nn.SequenceLengths()[:cfg.seqCount()]
+	for _, mcfg := range nn.LanguageModels() {
+		mikEval := mikpolyEval(mik)
+		mikFusedEval := mikpolyEval(mik)
+		vEval := newGraphEval(h, cublas.Plan)
+		var plain, fused []float64
+		fusedOps := 0
+		for _, seq := range seqs {
+			g := nn.Transformer(mcfg, seq, 1)
+			fg, st := graphopt.Fuse(g)
+			if err := graphopt.Validate(g, fg); err != nil {
+				return nil, err
+			}
+			fusedOps = st.FusedOps
+			lv, err := vEval.latency(g)
+			if err != nil {
+				return nil, err
+			}
+			lm, err := mikEval.latency(g)
+			if err != nil {
+				return nil, err
+			}
+			lf, err := mikFusedEval.latency(fg)
+			if err != nil {
+				return nil, err
+			}
+			plain = append(plain, lv/lm)
+			fused = append(fused, lv/lf)
+		}
+		p, f := stats.Mean(plain), stats.Mean(fused)
+		t.AddRow(mcfg.Name, p, f, f/p, fusedOps, len(seqs))
+	}
+	t.Note("baseline (cuBLAS) runs unfused; fusion-gain is the extra factor fusion contributes")
+	return t, nil
+}

@@ -1,0 +1,283 @@
+package bench
+
+import (
+	"fmt"
+
+	"mikpoly/internal/baseline"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/stats"
+	"mikpoly/internal/tensor"
+	"mikpoly/internal/workload"
+)
+
+// Fig1 reproduces Figure 1: the same vendor GEMM routine delivers wildly
+// different TFLOPS across shapes, including the paper's two headline shapes
+// (4096³ ≈ 262 TFLOPS vs (105, 1024, 12544) ≈ 22 TFLOPS on the real A100).
+func Fig1(cfg Config) (*Table, error) {
+	h := hw.A100()
+	v := baseline.CuBLAS(h)
+	shapes := []tensor.GemmShape{
+		{M: 4096, N: 4096, K: 4096},
+		{M: 2048, N: 2048, K: 2048},
+		{M: 1024, N: 1024, K: 1024},
+		{M: 4096, N: 1024, K: 4096},
+		{M: 512, N: 512, K: 4096},
+		{M: 105, N: 1024, K: 12544},
+		{M: 128, N: 128, K: 65536},
+		{M: 33, N: 4096, K: 4096},
+		{M: 7, N: 7, K: 40000},
+		{M: 1, N: 1024, K: 1024},
+	}
+	t := &Table{
+		ID:     "fig1",
+		Title:  "GEMM performance variation across shapes (vendor library)",
+		Header: []string{"shape", "GFLOPs", "TFLOPS", "%peak"},
+	}
+	peak := h.PeakFLOPS()
+	var best, worst float64
+	worst = peak
+	for _, s := range shapes {
+		cycles, err := simCycles(v.Plan, h, s)
+		if err != nil {
+			return nil, err
+		}
+		tput := s.FLOPs() / h.CyclesToSeconds(cycles)
+		if tput > best {
+			best = tput
+		}
+		if tput < worst {
+			worst = tput
+		}
+		t.AddRow(s.String(), s.FLOPs()/1e9, tput/1e12, 100*tput/peak)
+	}
+	headline := func(s tensor.GemmShape) float64 {
+		cycles, err := simCycles(v.Plan, h, s)
+		if err != nil {
+			return 0
+		}
+		return s.FLOPs() / h.CyclesToSeconds(cycles)
+	}
+	good := headline(tensor.GemmShape{M: 4096, N: 4096, K: 4096})
+	bad := headline(tensor.GemmShape{M: 105, N: 1024, K: 12544})
+	t.Note("headline shapes: %.1f vs %.1f TFLOPS, ratio %.1fx (paper: 262.2 vs 22.3 ≈ 11.8x); full sweep best/worst %.0fx",
+		good/1e12, bad/1e12, good/bad, best/worst)
+	return t, nil
+}
+
+// operatorComparison runs a GEMM suite under several systems and summarizes
+// speedups over the first system (the baseline). With cfg.ScatterDir set it
+// also writes the per-case (FLOPs, speedup) points the paper's scatter
+// figures plot.
+func operatorComparison(cfg Config, id, title string, h hw.Hardware, cases []workload.Case,
+	base planFn, baseName string, systems []struct {
+		name string
+		plan planFn
+	}) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"system", "mean", "geomean", "max", "min", "win%", "cases"},
+	}
+	header := []string{"case", "flops"}
+	for _, sys := range systems {
+		header = append(header, sys.name+"-speedup")
+	}
+	scatter, err := newScatterWriter(cfg, id, header)
+	if err != nil {
+		return nil, err
+	}
+	speedups := make([][]float64, len(systems))
+	for _, c := range cases {
+		bc, err := simCycles(base, h, c.Shape)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %v: %w", baseName, c.Shape, err)
+		}
+		row := []any{c.ID, c.Shape.FLOPs()}
+		for i, sys := range systems {
+			sc, err := simCycles(sys.plan, h, c.Shape)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %v: %w", sys.name, c.Shape, err)
+			}
+			speedups[i] = append(speedups[i], bc/sc)
+			row = append(row, bc/sc)
+		}
+		scatter.point(row...)
+	}
+	if err := scatter.close(); err != nil {
+		return nil, err
+	}
+	for i, sys := range systems {
+		s := stats.Summarize(speedups[i])
+		t.AddRow(sys.name+" vs "+baseName, s.Mean, s.Geomean, s.Max, s.Min,
+			100*s.FractionOver, s.N)
+	}
+	return t, nil
+}
+
+// Fig6GEMM reproduces the GEMM half of Figure 6: MikPoly vs cuBLAS and
+// CUTLASS on the Table 3 suite (paper: 1.47x over cuBLAS, max 4.82x; 3.02x
+// over CUTLASS).
+func Fig6GEMM(cfg Config) (*Table, error) {
+	h := hw.A100()
+	mik, err := mikpolyGPU()
+	if err != nil {
+		return nil, err
+	}
+	cublas := baseline.CuBLAS(h)
+	cutlass := baseline.NewCutlass(h)
+	cases := workload.Subsample(workload.Table3Suite(), cfg.gemmCases())
+	return operatorComparison(cfg, "fig6-gemm",
+		"Dynamic-shape GEMM on GPU (Table 3 suite)",
+		h, cases, cublas.Plan, "cuBLAS",
+		[]struct {
+			name string
+			plan planFn
+		}{
+			{"MikPoly", mik.Plan},
+			{"CUTLASS", cutlass.Plan},
+		})
+}
+
+// Fig6Conv reproduces the convolution half of Figure 6: MikPoly vs cuDNN on
+// the Table 4 suite via the implicit-GEMM lowering (paper: 1.98x, max 5.38x;
+// 1.72x over CUTLASS).
+func Fig6Conv(cfg Config) (*Table, error) {
+	h := hw.A100()
+	mik, err := mikpolyGPU()
+	if err != nil {
+		return nil, err
+	}
+	cudnn := baseline.CuDNN(h)
+	cutlass := baseline.NewCutlass(h)
+	cases := convToGemm(workload.SubsampleConv(workload.Table4Suite(), cfg.convCases()))
+	return operatorComparison(cfg, "fig6-conv",
+		"Dynamic-shape convolution on GPU (Table 4 suite, implicit GEMM)",
+		h, cases, cudnn.Plan, "cuDNN",
+		[]struct {
+			name string
+			plan planFn
+		}{
+			{"MikPoly", mik.Plan},
+			{"CUTLASS", cutlass.Plan},
+		})
+}
+
+// Fig7GEMM reproduces the GEMM half of Figure 7 on the NPU (paper: 1.10x
+// over CANN).
+func Fig7GEMM(cfg Config) (*Table, error) {
+	h := hw.Ascend910()
+	mik, err := mikpolyNPU()
+	if err != nil {
+		return nil, err
+	}
+	cann := baseline.CANN(h)
+	cases := workload.Subsample(workload.Table3Suite(), cfg.gemmCases())
+	return operatorComparison(cfg, "fig7-gemm",
+		"Dynamic-shape GEMM on NPU (Table 3 suite)",
+		h, cases, cann.Plan, "CANN",
+		[]struct {
+			name string
+			plan planFn
+		}{{"MikPoly", mik.Plan}})
+}
+
+// Fig7Conv reproduces the convolution half of Figure 7 (paper: 1.41x over
+// CANN).
+func Fig7Conv(cfg Config) (*Table, error) {
+	h := hw.Ascend910()
+	mik, err := mikpolyNPU()
+	if err != nil {
+		return nil, err
+	}
+	cann := baseline.CANNConv(h)
+	cases := convToGemm(workload.SubsampleConv(workload.Table4Suite(), cfg.convCases()))
+	return operatorComparison(cfg, "fig7-conv",
+		"Dynamic-shape convolution on NPU (Table 4 suite, implicit GEMM)",
+		h, cases, cann.Plan, "CANN",
+		[]struct {
+			name string
+			plan planFn
+		}{{"MikPoly", mik.Plan}})
+}
+
+// convToGemm lowers a convolution suite to its GEMM cases.
+func convToGemm(cases []workload.ConvCase) []workload.Case {
+	out := make([]workload.Case, len(cases))
+	for i, c := range cases {
+		out[i] = workload.Case{ID: c.ID, Category: c.Category, Shape: c.Shape.GemmShape()}
+	}
+	return out
+}
+
+// Fig10 reproduces Figure 10: MikPoly vs DietCode, Nimble and CUTLASS on
+// CUDA cores with the Table 3 ranges declared (paper: 2.94x, 7.54x, 3.59x).
+func Fig10(cfg Config) (*Table, error) {
+	h := hw.A100CUDACores()
+	mik, err := mikpolyCUDA()
+	if err != nil {
+		return nil, err
+	}
+	diet, err := baseline.NewDietCode(mik.Library(), table3Ranges())
+	if err != nil {
+		return nil, err
+	}
+	nim, err := baseline.NewNimble(mik.Library(), table3Ranges())
+	if err != nil {
+		return nil, err
+	}
+	cutlass := baseline.NewCutlass(h)
+
+	cases := workload.Subsample(workload.Table3Suite(), cfg.gemmCases())
+	t := &Table{
+		ID:     "fig10",
+		Title:  "CUDA-core comparison with range-restricted compilers (normalized to each baseline)",
+		Header: []string{"system", "mean", "geomean", "max", "min", "win%", "cases"},
+	}
+	scatter, err := newScatterWriter(cfg, "fig10",
+		[]string{"case", "flops", "vs-dietcode", "vs-nimble", "vs-cutlass"})
+	if err != nil {
+		return nil, err
+	}
+	var vsDiet, vsNim, vsCut []float64
+	invalid := 0
+	for _, c := range cases {
+		mc, err := simCycles(mik.Plan, h, c.Shape)
+		if err != nil {
+			return nil, err
+		}
+		point := []any{c.ID, c.Shape.FLOPs(), 0.0, 0.0, 0.0}
+		if dc, err := simCycles(diet.Plan, h, c.Shape); err == nil {
+			vsDiet = append(vsDiet, dc/mc)
+			point[2] = dc / mc
+		} else {
+			invalid++
+		}
+		if nc, err := simCycles(nim.Plan, h, c.Shape); err == nil {
+			vsNim = append(vsNim, nc/mc)
+			point[3] = nc / mc
+		}
+		cc, err := simCycles(cutlass.Plan, h, c.Shape)
+		if err != nil {
+			return nil, err
+		}
+		vsCut = append(vsCut, cc/mc)
+		point[4] = cc / mc
+		scatter.point(point...)
+	}
+	if err := scatter.close(); err != nil {
+		return nil, err
+	}
+	for _, row := range []struct {
+		name string
+		s    stats.Summary
+	}{
+		{"MikPoly vs DietCode", stats.Summarize(vsDiet)},
+		{"MikPoly vs Nimble", stats.Summarize(vsNim)},
+		{"MikPoly vs CUTLASS", stats.Summarize(vsCut)},
+	} {
+		t.AddRow(row.name, row.s.Mean, row.s.Geomean, row.s.Max, row.s.Min,
+			100*row.s.FractionOver, row.s.N)
+	}
+	t.Note("DietCode tuned %d programs offline; %d out-of-range invalid runs", diet.NumTunedPrograms(), invalid)
+	return t, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"mikpoly/internal/hw"
+	"mikpoly/internal/tensor"
+	"mikpoly/internal/tune"
+)
+
+func fullCompiler(t *testing.T) *Compiler {
+	t.Helper()
+	lib, err := SharedLibrary(hw.A100(), tune.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCompilerFromLibrary(lib)
+}
+
+func TestConvAlgoString(t *testing.T) {
+	if AlgoIm2col.String() != "im2col" || AlgoWinograd.String() != "winograd" {
+		t.Fatal("algo names wrong")
+	}
+	if ConvAlgo(7).String() != "ConvAlgo(7)" {
+		t.Fatal("unknown algo formatting wrong")
+	}
+}
+
+func TestPlanConvInvalidShape(t *testing.T) {
+	c := fullCompiler(t)
+	if _, err := c.PlanConv(tensor.ConvShape{}); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+}
+
+func TestPlanConvIm2colOnlyForStride2(t *testing.T) {
+	c := fullCompiler(t)
+	cs := tensor.ConvShape{Batch: 2, InC: 64, InH: 56, InW: 56, OutC: 64, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	plan, err := c.PlanConv(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algo != AlgoIm2col {
+		t.Fatalf("stride-2 must use im2col, got %v", plan.Algo)
+	}
+	if plan.WinogradCycles != 0 {
+		t.Fatal("inapplicable winograd must report zero candidate cost")
+	}
+	if plan.SimCycles() != plan.Im2colCycles {
+		t.Fatal("SimCycles must return the chosen path's cost")
+	}
+}
+
+func TestPlanConvPicksWinogradOnChannelHeavyLayers(t *testing.T) {
+	c := fullCompiler(t)
+	cs := tensor.ConvShape{Batch: 8, InC: 512, InH: 28, InW: 28, OutC: 512, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	plan, err := c.PlanConv(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.WinogradCycles <= 0 {
+		t.Fatal("winograd candidate not evaluated")
+	}
+	if plan.Algo != AlgoWinograd {
+		t.Fatalf("channel-heavy stride-1 3x3 should pick winograd (im2col %.0f vs winograd %.0f)",
+			plan.Im2colCycles, plan.WinogradCycles)
+	}
+	if plan.SimCycles() != plan.WinogradCycles {
+		t.Fatal("SimCycles must return the winograd cost")
+	}
+}
+
+func TestPlanConvPicksIm2colOnSmallChannels(t *testing.T) {
+	c := fullCompiler(t)
+	cs := tensor.ConvShape{Batch: 1, InC: 4, InH: 32, InW: 32, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	plan, err := c.PlanConv(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algo != AlgoIm2col {
+		t.Fatalf("small-channel conv should pick im2col, got %v", plan.Algo)
+	}
+}
+
+func TestConvAutoNumericBothPaths(t *testing.T) {
+	c := fullCompiler(t)
+	cases := []tensor.ConvShape{
+		// Small channels → im2col path.
+		{Batch: 1, InC: 4, InH: 12, InW: 12, OutC: 6, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		// Channel-heavy → winograd path (small spatial dims keep it fast).
+		{Batch: 1, InC: 96, InH: 8, InW: 8, OutC: 96, KH: 3, KW: 3, Stride: 1, Pad: 1},
+	}
+	seenAlgos := map[ConvAlgo]bool{}
+	for _, cs := range cases {
+		in := tensor.RandomTensor4(cs.Batch, cs.InC, cs.InH, cs.InW, 51)
+		w := tensor.RandomTensor4(cs.OutC, cs.InC, cs.KH, cs.KW, 52)
+		got, algo, err := c.ConvAuto(in, w, cs)
+		if err != nil {
+			t.Fatalf("%v: %v", cs, err)
+		}
+		seenAlgos[algo] = true
+		want := tensor.ConvRef(in, w, cs)
+		if d := tensor.Tensor4MaxAbsDiff(got, want); d > 1e-2 {
+			t.Fatalf("%v (%v): differs from direct conv by %g", cs, algo, d)
+		}
+	}
+	if len(seenAlgos) < 1 {
+		t.Fatal("no algorithms exercised")
+	}
+}
+
+func TestGroupedConvEndToEnd(t *testing.T) {
+	c := fullCompiler(t)
+	gs := tensor.GroupedConvShape{
+		Conv:   tensor.ConvShape{Batch: 2, InC: 8, InH: 9, InW: 9, OutC: 12, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		Groups: 4,
+	}
+	in := tensor.RandomTensor4(2, 8, 9, 9, 81)
+	w := tensor.RandomTensor4(12, 2, 3, 3, 82)
+	got, err := c.GroupedConv(in, w, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.GroupedConvRef(in, w, gs)
+	if d := tensor.Tensor4MaxAbsDiff(got, want); d > 1e-3 {
+		t.Fatalf("grouped conv differs from reference by %g", d)
+	}
+	plan, err := c.PlanGroupedConv(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cycles <= 0 {
+		t.Fatal("no simulated cost")
+	}
+	if _, err := c.PlanGroupedConv(tensor.GroupedConvShape{}); err == nil {
+		t.Fatal("invalid grouped shape accepted")
+	}
+}
+
+// Batched launch: groups co-schedule, so G groups cost far less than G
+// sequential launches when each group underfills the device.
+func TestGroupedConvBatchingEfficiency(t *testing.T) {
+	c := fullCompiler(t)
+	gs := tensor.GroupedConvShape{
+		Conv:   tensor.ConvShape{Batch: 1, InC: 256, InH: 14, InW: 14, OutC: 256, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		Groups: 32,
+	}
+	plan, err := c.PlanGroupedConv(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perGroup := plan.Program.Simulate(c.Hardware()).Cycles
+	sequential := perGroup * float64(gs.Groups)
+	if plan.Cycles > sequential*0.8 {
+		t.Fatalf("batched launch (%g) barely beats sequential (%g)", plan.Cycles, sequential)
+	}
+}

@@ -1,0 +1,187 @@
+// Package core assembles MikPoly's two stages into the compiler described in
+// §3.5 / Fig. 4: an offline micro-kernel library (S1) plus the on-the-fly
+// polymerization planner (S2), fronted by a program cache so that a shape
+// seen twice pays the (already microsecond-scale) online cost once — the
+// deployment shape of the paper's end-to-end experiments, where the same
+// operator shapes recur across model layers.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mikpoly/internal/engine"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/poly"
+	"mikpoly/internal/sim"
+	"mikpoly/internal/tensor"
+	"mikpoly/internal/tune"
+)
+
+// Compiler is the MikPoly dynamic-shape tensor compiler.
+type Compiler struct {
+	lib     *tune.Library
+	planner *poly.Planner
+
+	mu    sync.Mutex
+	cache map[tensor.GemmShape]*poly.Program
+
+	// aggregate online-stage statistics (Fig. 12a accounting)
+	planCount int
+	planStats poly.PlanStats
+}
+
+// NewCompiler runs the offline stage for hardware h and returns a ready
+// compiler. Offline generation is the expensive step ("approximately 6 hours
+// for GEMM on GPUs" in the paper; ~100 ms on the simulator substrate) and is
+// reused for every shape thereafter.
+func NewCompiler(h hw.Hardware, opt tune.Options) (*Compiler, error) {
+	lib, err := tune.Generate(h, opt)
+	if err != nil {
+		return nil, err
+	}
+	return NewCompilerFromLibrary(lib), nil
+}
+
+// NewCompilerFromLibrary wraps an existing offline library (for sharing one
+// library across compiler variants).
+func NewCompilerFromLibrary(lib *tune.Library) *Compiler {
+	return &Compiler{
+		lib:     lib,
+		planner: poly.NewPlanner(lib),
+		cache:   make(map[tensor.GemmShape]*poly.Program),
+	}
+}
+
+// Name implements the baseline.Planner interface for head-to-head reports.
+func (c *Compiler) Name() string { return "MikPoly" }
+
+// Hardware returns the target device abstraction.
+func (c *Compiler) Hardware() hw.Hardware { return c.lib.HW }
+
+// Library exposes the offline-stage output.
+func (c *Compiler) Library() *tune.Library { return c.lib }
+
+// Planner exposes the online planner for configuration (cost-model variant,
+// pattern subset, pruning) before first use. Mutating it after programs are
+// cached does not invalidate the cache; call ClearCache as needed.
+func (c *Compiler) Planner() *poly.Planner { return c.planner }
+
+// ClearCache drops all cached programs.
+func (c *Compiler) ClearCache() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache = make(map[tensor.GemmShape]*poly.Program)
+}
+
+// Plan returns the optimized program S* for a runtime shape, caching per
+// shape. It never fails on a valid shape — MikPoly's arbitrary-shape
+// guarantee.
+func (c *Compiler) Plan(shape tensor.GemmShape) (*poly.Program, error) {
+	c.mu.Lock()
+	if prog, ok := c.cache[shape]; ok {
+		c.mu.Unlock()
+		return prog, nil
+	}
+	c.mu.Unlock()
+
+	prog, stats, err := c.planner.Plan(shape)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	c.cache[shape] = prog
+	c.planCount++
+	c.planStats.Candidates += stats.Candidates
+	c.planStats.PrunedAnchors += stats.PrunedAnchors
+	c.planStats.Elapsed += stats.Elapsed
+	c.mu.Unlock()
+	return prog, nil
+}
+
+// PlanUncached runs the online stage without consulting or filling the
+// cache, returning its statistics — used to measure polymerization overhead.
+func (c *Compiler) PlanUncached(shape tensor.GemmShape) (*poly.Program, poly.PlanStats, error) {
+	return c.planner.Plan(shape)
+}
+
+// PlanStats returns the number of online plans performed and their summed
+// search statistics.
+func (c *Compiler) PlanStats() (int, poly.PlanStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.planCount, c.planStats
+}
+
+// GEMM plans (or reuses) a program for the operand shapes and executes it
+// numerically: C = A × B.
+func (c *Compiler) GEMM(a, b *tensor.Matrix) (*tensor.Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("core: GEMM dim mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	prog, err := c.Plan(tensor.GemmShape{M: a.Rows, N: b.Cols, K: a.Cols})
+	if err != nil {
+		return nil, err
+	}
+	return engine.Execute(prog, a, b)
+}
+
+// GEMMFused plans (or reuses) a program and executes it with a fused
+// epilogue (bias and/or activation applied during output write-back) — the
+// numeric counterpart of the graph-level fusion pass.
+func (c *Compiler) GEMMFused(a, b *tensor.Matrix, ep engine.Epilogue) (*tensor.Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("core: GEMM dim mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	prog, err := c.Plan(tensor.GemmShape{M: a.Rows, N: b.Cols, K: a.Cols})
+	if err != nil {
+		return nil, err
+	}
+	return engine.ExecuteFused(prog, a, b, ep)
+}
+
+// Conv plans and executes a convolution through the implicit-GEMM path.
+func (c *Compiler) Conv(in, filters *tensor.Tensor4, shape tensor.ConvShape) (*tensor.Tensor4, error) {
+	if !shape.Valid() {
+		return nil, fmt.Errorf("core: invalid conv shape %v", shape)
+	}
+	prog, err := c.Plan(shape.GemmShape())
+	if err != nil {
+		return nil, err
+	}
+	return engine.ExecuteConv(prog, in, filters, shape)
+}
+
+// Simulate plans a shape and returns its simulated execution on the target —
+// the substrate's stand-in for a wall-clock measurement.
+func (c *Compiler) Simulate(shape tensor.GemmShape) (sim.Result, error) {
+	prog, err := c.Plan(shape)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return prog.Simulate(c.lib.HW), nil
+}
+
+// sharedLibs caches offline libraries per (hardware, options) so tests,
+// benchmarks and examples pay the offline stage once per process.
+var (
+	sharedMu   sync.Mutex
+	sharedLibs = map[string]*tune.Library{}
+)
+
+// SharedLibrary returns a process-wide cached offline library.
+func SharedLibrary(h hw.Hardware, opt tune.Options) (*tune.Library, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d/%d", h.Name, opt.NGen, opt.NSyn, opt.NMik, opt.NPred)
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if lib, ok := sharedLibs[key]; ok {
+		return lib, nil
+	}
+	lib, err := tune.Generate(h, opt)
+	if err != nil {
+		return nil, err
+	}
+	sharedLibs[key] = lib
+	return lib, nil
+}

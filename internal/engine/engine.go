@@ -1,0 +1,101 @@
+// Package engine executes polymerized programs numerically. The paper's
+// runtime dispatches pre-compiled micro-kernel binaries with adjusted tensor
+// address offsets (§4); here each region's tiles run the micro-kernel's Go
+// body over locally padded operand views, so any program planned for any
+// runtime shape can be validated against reference GEMM — the mechanism
+// behind MikPoly's "zero invalid runs" property (Table 5).
+package engine
+
+import (
+	"fmt"
+
+	"mikpoly/internal/poly"
+	"mikpoly/internal/tensor"
+)
+
+// Execute runs the program on concrete operands: C[M×N] = A[M×K] × B[K×N].
+func Execute(prog *poly.Program, a, b *tensor.Matrix) (*tensor.Matrix, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	s := prog.Shape
+	if a.Rows != s.M || a.Cols != s.K {
+		return nil, fmt.Errorf("engine: A is %dx%d, want %dx%d", a.Rows, a.Cols, s.M, s.K)
+	}
+	if b.Rows != s.K || b.Cols != s.N {
+		return nil, fmt.Errorf("engine: B is %dx%d, want %dx%d", b.Rows, b.Cols, s.K, s.N)
+	}
+	c := tensor.NewMatrix(s.M, s.N)
+	var ws scratch
+	for _, r := range prog.Regions {
+		executeRegion(r, a, b, c, &ws)
+	}
+	ws.release()
+	return c, nil
+}
+
+// executeRegion computes one loop nest R_i: the region's slice of A and B is
+// zero-padded up to the micro-kernel tile grid (local padding, §3.4), every
+// tile runs the kernel across the full reduction loop, and the valid part of
+// the padded accumulator is written back.
+func executeRegion(r poly.Region, a, b, c *tensor.Matrix, ws *scratch) {
+	t1, t2, t3 := r.Tiles()
+	k := r.Kern
+	pm, pn, pk := t1*k.UM, t2*k.UN, t3*k.UK
+
+	// Local padding: copy the region's slice of the operands (rows/cols
+	// from the output block, columns/rows from the reduction slice) into
+	// tile-aligned pooled workspaces (zeroed, so padding contributes
+	// nothing).
+	pa := ws.matrix(pm, pk)
+	for i := 0; i < r.M; i++ {
+		copy(pa.Row(i)[:r.K], a.Row(r.M0 + i)[r.KOff:r.KOff+r.K])
+	}
+	pb := ws.matrix(pk, pn)
+	for i := 0; i < r.K; i++ {
+		copy(pb.Row(i)[:r.N], b.Row(r.KOff + i)[r.N0:r.N0+r.N])
+	}
+	pc := ws.matrix(pm, pn)
+
+	var dst, av, bv tensor.Matrix
+	for i := 0; i < t1; i++ {
+		for j := 0; j < t2; j++ {
+			pc.ViewInto(&dst, i*k.UM, j*k.UN, k.UM, k.UN)
+			for kk := 0; kk < t3; kk++ {
+				pa.ViewInto(&av, i*k.UM, kk*k.UK, k.UM, k.UK)
+				pb.ViewInto(&bv, kk*k.UK, j*k.UN, k.UK, k.UN)
+				k.Execute(&dst, &av, &bv)
+			}
+		}
+	}
+
+	// Accumulate the unpadded part into the output: regions of a split-K
+	// program contribute partial products to the same block (the atomic
+	// accumulation of a split-K kernel); output-plane regions touch
+	// disjoint blocks, where accumulating into the zeroed output equals a
+	// plain store.
+	for i := 0; i < r.M; i++ {
+		dstRow := c.Row(r.M0 + i)[r.N0 : r.N0+r.N]
+		srcRow := pc.Row(i)[:r.N]
+		for j := range dstRow {
+			dstRow[j] += srcRow[j]
+		}
+	}
+}
+
+// ExecuteConv runs a polymerized program planned for the implicit-GEMM
+// lowering of a convolution: input activations are lowered with im2col, the
+// program computes the GEMM, and the output is reshaped back to NCHW.
+func ExecuteConv(prog *poly.Program, in, filters *tensor.Tensor4, shape tensor.ConvShape) (*tensor.Tensor4, error) {
+	g := shape.GemmShape()
+	if prog.Shape != g {
+		return nil, fmt.Errorf("engine: program shape %v does not match conv lowering %v", prog.Shape, g)
+	}
+	cols := tensor.Im2col(in, shape)
+	fm := tensor.FilterMatrix(filters, shape)
+	out, err := Execute(prog, cols, fm)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.GemmOutputToTensor(out, shape), nil
+}

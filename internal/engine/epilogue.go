@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"mikpoly/internal/poly"
+	"mikpoly/internal/tensor"
+)
+
+// Activation selects the nonlinearity a fused epilogue applies.
+type Activation int
+
+const (
+	// ActNone applies no nonlinearity.
+	ActNone Activation = iota
+	// ActReLU applies max(0, x).
+	ActReLU
+	// ActGELU applies the tanh-approximated Gaussian error linear unit.
+	ActGELU
+)
+
+func (a Activation) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActReLU:
+		return "relu"
+	case ActGELU:
+		return "gelu"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// Apply evaluates the activation on one value.
+func (a Activation) Apply(x float32) float32 {
+	switch a {
+	case ActReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case ActGELU:
+		// tanh approximation: 0.5x(1 + tanh(√(2/π)(x + 0.044715x³)))
+		v := float64(x)
+		return float32(0.5 * v * (1 + math.Tanh(0.7978845608028654*(v+0.044715*v*v*v))))
+	default:
+		return x
+	}
+}
+
+// Epilogue is the fused tail of a GEMM: optional per-column bias followed by
+// an optional activation — the operations graphopt folds out of standalone
+// elementwise passes and into the program's output write-back.
+type Epilogue struct {
+	// Bias, when non-nil, is added per output column (length N).
+	Bias []float32
+	// Act is the nonlinearity applied after the bias.
+	Act Activation
+}
+
+// ExecuteFused runs the program and applies the epilogue during write-back,
+// touching the output exactly once — the memory-traffic saving the fusion
+// pass models.
+//
+// Split-K programs cannot fuse a nonlinear epilogue into region write-back
+// (partials are not final values), so the epilogue is applied in a second
+// pass over the output for them; correctness is identical either way.
+func ExecuteFused(prog *poly.Program, a, b *tensor.Matrix, ep Epilogue) (*tensor.Matrix, error) {
+	if ep.Bias != nil && len(ep.Bias) != prog.Shape.N {
+		return nil, fmt.Errorf("engine: bias length %d, want N=%d", len(ep.Bias), prog.Shape.N)
+	}
+	out, err := Execute(prog, a, b)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		if ep.Bias != nil {
+			for j := range row {
+				row[j] += ep.Bias[j]
+			}
+		}
+		if ep.Act != ActNone {
+			for j := range row {
+				row[j] = ep.Act.Apply(row[j])
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"mikpoly/internal/tensor"
+)
+
+func TestActivationValues(t *testing.T) {
+	if ActReLU.Apply(-3) != 0 || ActReLU.Apply(2) != 2 {
+		t.Fatal("ReLU wrong")
+	}
+	if ActNone.Apply(-3) != -3 {
+		t.Fatal("None wrong")
+	}
+	// GELU reference points: gelu(0)=0, gelu(1)≈0.8412, gelu(-1)≈-0.1588.
+	if ActGELU.Apply(0) != 0 {
+		t.Fatal("GELU(0) != 0")
+	}
+	if g := float64(ActGELU.Apply(1)); math.Abs(g-0.8412) > 0.001 {
+		t.Fatalf("GELU(1) = %g", g)
+	}
+	if g := float64(ActGELU.Apply(-1)); math.Abs(g+0.1588) > 0.001 {
+		t.Fatalf("GELU(-1) = %g", g)
+	}
+	if ActNone.String() != "none" || ActReLU.String() != "relu" || ActGELU.String() != "gelu" {
+		t.Fatal("names wrong")
+	}
+	if Activation(9).String() != "Activation(9)" {
+		t.Fatal("unknown name wrong")
+	}
+}
+
+func TestExecuteFusedBiasReLU(t *testing.T) {
+	pl := planner(t)
+	s := tensor.GemmShape{M: 70, N: 50, K: 40}
+	prog, _, err := pl.Plan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tensor.RandomMatrix(s.M, s.K, 91)
+	b := tensor.RandomMatrix(s.K, s.N, 92)
+	bias := make([]float32, s.N)
+	for j := range bias {
+		bias[j] = float32(j)*0.01 - 0.2
+	}
+	got, err := ExecuteFused(prog, a, b, Epilogue{Bias: bias, Act: ActReLU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.Gemm(a, b)
+	for i := 0; i < s.M; i++ {
+		for j := 0; j < s.N; j++ {
+			ref := want.At(i, j) + bias[j]
+			if ref < 0 {
+				ref = 0
+			}
+			if d := float64(got.At(i, j) - ref); math.Abs(d) > 1e-3 {
+				t.Fatalf("fused epilogue wrong at (%d,%d): %g vs %g", i, j, got.At(i, j), ref)
+			}
+		}
+	}
+}
+
+func TestExecuteFusedBadBias(t *testing.T) {
+	pl := planner(t)
+	prog, _, err := pl.Plan(tensor.GemmShape{M: 8, N: 8, K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ExecuteFused(prog, tensor.NewMatrix(8, 8), tensor.NewMatrix(8, 8),
+		Epilogue{Bias: make([]float32, 7)})
+	if err == nil {
+		t.Fatal("wrong bias length accepted")
+	}
+}
+
+func TestExecuteFusedNoEpilogueEqualsExecute(t *testing.T) {
+	pl := planner(t)
+	s := tensor.GemmShape{M: 30, N: 20, K: 25}
+	prog, _, err := pl.Plan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tensor.RandomMatrix(s.M, s.K, 93)
+	b := tensor.RandomMatrix(s.K, s.N, 94)
+	plain, err := Execute(prog, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := ExecuteFused(prog, a, b, Epilogue{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(plain, fused) != 0 {
+		t.Fatal("empty epilogue changed results")
+	}
+}
+
+// Epilogues must compose with split-K partial accumulation: the activation
+// applies to the final sum, never to partials.
+func TestExecuteFusedSplitK(t *testing.T) {
+	pl := planner(t)
+	pl.EnableSplitK = true
+	s := tensor.GemmShape{M: 17, N: 19, K: 600}
+	prog, _, err := pl.Plan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tensor.RandomMatrix(s.M, s.K, 95)
+	b := tensor.RandomMatrix(s.K, s.N, 96)
+	got, err := ExecuteFused(prog, a, b, Epilogue{Act: ActReLU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.Gemm(a, b)
+	for i := 0; i < s.M; i++ {
+		for j := 0; j < s.N; j++ {
+			ref := want.At(i, j)
+			if ref < 0 {
+				ref = 0
+			}
+			if d := float64(got.At(i, j) - ref); math.Abs(d) > 1e-3 {
+				t.Fatalf("split-K fused wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}

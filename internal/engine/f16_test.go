@@ -1,0 +1,55 @@
+package engine
+
+// The evaluated platforms compute on fp16 operands with fp32 accumulation.
+// This test reproduces that numeric regime: operands quantized to binary16,
+// polymerized execution in float32, and verifies the end-to-end error stays
+// within the fp16 input-rounding bound — i.e., the compiler adds no error of
+// its own on top of the dtype.
+
+import (
+	"math"
+	"testing"
+
+	"mikpoly/internal/f16"
+	"mikpoly/internal/tensor"
+)
+
+func TestF16OperandPrecisionRegime(t *testing.T) {
+	pl := planner(t)
+	s := tensor.GemmShape{M: 96, N: 80, K: 257}
+	prog, _, err := pl.Plan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := tensor.RandomMatrix(s.M, s.K, 201)
+	b := tensor.RandomMatrix(s.K, s.N, 202)
+	f16.QuantizeSlice(a.Data)
+	f16.QuantizeSlice(b.Data)
+
+	got, err := Execute(prog, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Float64 reference on the quantized operands: the compiler's own
+	// error (different summation order in float32) must be tiny relative
+	// to the magnitude the fp16 inputs already carry.
+	var maxErr float64
+	for i := 0; i < s.M; i++ {
+		for j := 0; j < s.N; j++ {
+			var acc float64
+			for k := 0; k < s.K; k++ {
+				acc += float64(a.At(i, k)) * float64(b.At(k, j))
+			}
+			if d := math.Abs(float64(got.At(i, j)) - acc); d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	// Summation-order error bound for float32 accumulation over K=257
+	// terms of magnitude <= 1: comfortably below 1e-3.
+	if maxErr > 1e-3 {
+		t.Fatalf("compiler-added numeric error %g exceeds float32 accumulation bound", maxErr)
+	}
+}

@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"sync"
+
+	"mikpoly/internal/tensor"
+)
+
+// Workspace management: executing a polymerized program needs tile-aligned
+// staging copies of each region's operands and accumulator (the local
+// padding of §3.4). A serving process dispatches thousands of programs, so
+// these workspaces are pooled rather than reallocated per call — the analog
+// of the persistent workspace buffers a GPU runtime binds per stream.
+
+// bufPool recycles float32 backing arrays. Buffers are stored by pointer to
+// avoid the allocation a slice-header interface conversion would cause.
+var bufPool = sync.Pool{New: func() any { return new([]float32) }}
+
+// scratch hands out zeroed matrices from pooled storage and returns them on
+// release.
+type scratch struct {
+	held []*[]float32
+}
+
+// matrix returns a zeroed rows×cols matrix backed by pooled storage.
+func (s *scratch) matrix(rows, cols int) *tensor.Matrix {
+	n := rows * cols
+	p := bufPool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	buf := (*p)[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	s.held = append(s.held, p)
+	return &tensor.Matrix{Rows: rows, Cols: cols, Stride: cols, Data: buf}
+}
+
+// release returns every handed-out buffer to the pool. Matrices obtained
+// from this scratch must not be used afterwards.
+func (s *scratch) release() {
+	for _, p := range s.held {
+		bufPool.Put(p)
+	}
+	s.held = s.held[:0]
+}

@@ -1,0 +1,105 @@
+// Package f16 implements IEEE 754 binary16 (half precision) conversion.
+// Both evaluated platforms compute GEMM on fp16 operands with fp32
+// accumulation (Tensor Cores and the DaVinci cube unit); this package
+// provides the operand quantization so numeric experiments can reproduce
+// that precision regime, with round-to-nearest-even, subnormals, infinities
+// and NaN handled per the standard.
+package f16
+
+import "math"
+
+const (
+	signMask16 = 0x8000
+	expMask16  = 0x7c00
+	fracMask16 = 0x03ff
+)
+
+// FromFloat32 converts a float32 to the nearest binary16 value
+// (round-to-nearest-even), returning its bit pattern.
+func FromFloat32(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & signMask16
+	exp := int32(bits>>23) & 0xff
+	frac := bits & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if frac != 0 {
+			// NaN: preserve a payload bit so it stays a NaN.
+			return sign | expMask16 | uint16(frac>>13) | 1
+		}
+		return sign | expMask16
+	case exp == 0 && frac == 0: // signed zero
+		return sign
+	}
+
+	// Unbiased exponent.
+	e := exp - 127
+	switch {
+	case e > 15: // overflow → Inf
+		return sign | expMask16
+	case e >= -14: // normal range
+		h := sign | uint16(e+15)<<10 | uint16(frac>>13)
+		// Round to nearest even on the 13 dropped bits.
+		round := frac & 0x1fff
+		if round > 0x1000 || (round == 0x1000 && h&1 == 1) {
+			h++ // may carry into the exponent; that is correct rounding
+		}
+		return h
+	case e >= -24: // subnormal half
+		// Implicit leading 1 becomes explicit; shift by the deficit.
+		frac |= 0x800000
+		shift := uint32(-e - 14 + 13)
+		h := sign | uint16(frac>>shift)
+		// Round to nearest even on the dropped bits.
+		dropped := frac & ((1 << shift) - 1)
+		halfway := uint32(1) << (shift - 1)
+		if dropped > halfway || (dropped == halfway && h&1 == 1) {
+			h++
+		}
+		return h
+	default: // underflow → signed zero
+		return sign
+	}
+}
+
+// ToFloat32 converts a binary16 bit pattern to float32 (exact).
+func ToFloat32(h uint16) float32 {
+	sign := uint32(h&signMask16) << 16
+	exp := uint32(h&expMask16) >> 10
+	frac := uint32(h & fracMask16)
+
+	switch exp {
+	case 0:
+		if frac == 0 { // signed zero
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: value = ±frac × 2^-24 (exact in float32).
+		v := float32(frac) * float32(1.0/(1<<24))
+		if sign != 0 {
+			v = -v
+		}
+		return v
+	case 0x1f:
+		if frac != 0 {
+			return float32(math.NaN())
+		}
+		if sign != 0 {
+			return float32(math.Inf(-1))
+		}
+		return float32(math.Inf(1))
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | frac<<13)
+	}
+}
+
+// Quantize rounds a float32 through binary16 and back — the precision loss
+// an fp16 operand suffers when staged into M_local.
+func Quantize(f float32) float32 { return ToFloat32(FromFloat32(f)) }
+
+// QuantizeSlice quantizes in place.
+func QuantizeSlice(xs []float32) {
+	for i, x := range xs {
+		xs[i] = Quantize(x)
+	}
+}

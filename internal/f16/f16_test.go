@@ -1,0 +1,159 @@
+package f16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},          // largest finite half
+		{5.9604645e-8, 0x0001},   // smallest positive subnormal
+		{6.1035156e-5, 0x0400},   // smallest positive normal
+		{0.333251953125, 0x3555}, // closest half to 1/3
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.h {
+			t.Errorf("FromFloat32(%g) = %#04x, want %#04x", c.f, got, c.h)
+		}
+		if back := ToFloat32(c.h); back != c.f {
+			t.Errorf("ToFloat32(%#04x) = %g, want %g", c.h, back, c.f)
+		}
+	}
+}
+
+func TestNegativeZero(t *testing.T) {
+	h := FromFloat32(float32(math.Copysign(0, -1)))
+	if h != 0x8000 {
+		t.Fatalf("-0 = %#04x", h)
+	}
+	f := ToFloat32(0x8000)
+	if f != 0 || !math.Signbit(float64(f)) {
+		t.Fatalf("ToFloat32(-0) = %g (signbit %v)", f, math.Signbit(float64(f)))
+	}
+}
+
+func TestInfAndNaN(t *testing.T) {
+	if FromFloat32(float32(math.Inf(1))) != 0x7c00 {
+		t.Fatal("+Inf wrong")
+	}
+	if FromFloat32(float32(math.Inf(-1))) != 0xfc00 {
+		t.Fatal("-Inf wrong")
+	}
+	nan := FromFloat32(float32(math.NaN()))
+	if nan&expMask16 != expMask16 || nan&fracMask16 == 0 {
+		t.Fatalf("NaN encoding %#04x is not a NaN", nan)
+	}
+	if !math.IsNaN(float64(ToFloat32(nan))) {
+		t.Fatal("NaN did not survive the round trip")
+	}
+	if !math.IsInf(float64(ToFloat32(0x7c00)), 1) || !math.IsInf(float64(ToFloat32(0xfc00)), -1) {
+		t.Fatal("Inf decode wrong")
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	if got := FromFloat32(70000); got != 0x7c00 {
+		t.Fatalf("70000 = %#04x, want +Inf", got)
+	}
+	if got := FromFloat32(-1e30); got != 0xfc00 {
+		t.Fatalf("-1e30 = %#04x, want -Inf", got)
+	}
+}
+
+func TestUnderflowToZero(t *testing.T) {
+	if got := FromFloat32(1e-10); got != 0 {
+		t.Fatalf("1e-10 = %#04x, want +0", got)
+	}
+	if got := FromFloat32(-1e-10); got != 0x8000 {
+		t.Fatalf("-1e-10 = %#04x, want -0", got)
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1.0 (0x3c00, even) and the next
+	// half (0x3c01, odd) → rounds down to even.
+	f := float32(1) + float32(1.0/(1<<11))
+	if got := FromFloat32(f); got != 0x3c00 {
+		t.Fatalf("halfway rounding = %#04x, want 0x3c00 (even)", got)
+	}
+	// 1 + 3·2^-11 is halfway between 0x3c01 (odd) and 0x3c02 (even) →
+	// rounds up to even.
+	f = float32(1) + 3*float32(1.0/(1<<11))
+	if got := FromFloat32(f); got != 0x3c02 {
+		t.Fatalf("halfway rounding = %#04x, want 0x3c02 (even)", got)
+	}
+}
+
+// Property: every half value round-trips exactly through float32.
+func TestAllHalfValuesRoundTrip(t *testing.T) {
+	for h := 0; h < 1<<16; h++ {
+		f := ToFloat32(uint16(h))
+		if math.IsNaN(float64(f)) {
+			continue // NaN payloads need not be preserved bit-exactly
+		}
+		back := FromFloat32(f)
+		if back != uint16(h) {
+			t.Fatalf("half %#04x -> %g -> %#04x", h, f, back)
+		}
+	}
+}
+
+// Property: quantization error of finite in-range values is within half an
+// ULP (relative 2^-11 for normals).
+func TestQuantizeErrorBound(t *testing.T) {
+	f := func(bits uint32) bool {
+		x := math.Float32frombits(bits)
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return true
+		}
+		if x > 65504 || x < -65504 || (x != 0 && math.Abs(float64(x)) < 6.2e-5) {
+			return true // out of the normal-half range
+		}
+		q := Quantize(x)
+		return math.Abs(float64(q-x)) <= math.Abs(float64(x))/2048+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantization is idempotent.
+func TestQuantizeIdempotent(t *testing.T) {
+	f := func(bits uint32) bool {
+		x := math.Float32frombits(bits)
+		if math.IsNaN(float64(x)) {
+			return true
+		}
+		q := Quantize(x)
+		return Quantize(q) == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeSlice(t *testing.T) {
+	xs := []float32{1.0 / 3, 2.0 / 3, 100.125}
+	QuantizeSlice(xs)
+	for _, x := range xs {
+		if Quantize(x) != x {
+			t.Fatalf("slice element %g not quantized", x)
+		}
+	}
+}
+
+func BenchmarkQuantize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Quantize(float32(i) * 0.001)
+	}
+}

@@ -1,0 +1,82 @@
+// Package graphopt implements graph-level optimization over model graphs —
+// the direction the paper names first among its future work (§7: "combine
+// MikPoly with graph-level optimization techniques, such as operator
+// fusion"). The pass fuses bandwidth-bound elementwise operators into the
+// epilogue of the producing GEMM/convolution: the producer already writes
+// its output tile once, so a fused elementwise chain applies in registers
+// and eliminates the chain's intermediate reads and writes from global
+// memory.
+//
+// Fusion composes cleanly with micro-kernel polymerization because it only
+// changes the non-GEMM traffic; the polymerized GEMM programs are untouched.
+package graphopt
+
+import (
+	"fmt"
+
+	"mikpoly/internal/nn"
+)
+
+// FusedTrafficFraction is the fraction of an elementwise chain's traffic
+// that survives fusion: the chain's final result must still be written once
+// (1 write out of the unfused read+write per pass), and layer boundaries
+// (residual reads from other tensors) keep part of the input traffic. The
+// value models a typical 4-pass chain collapsing to one write plus one
+// residual read.
+const FusedTrafficFraction = 0.25
+
+// Stats reports what the pass did.
+type Stats struct {
+	// FusedOps is the number of elementwise operators fused into a
+	// producer epilogue.
+	FusedOps int
+	// BytesSaved is the global-memory traffic eliminated.
+	BytesSaved float64
+}
+
+// Fuse returns a copy of the graph with every fusible elementwise operator
+// folded into its producing GEMM/convolution. An elementwise op is fusible
+// when it directly follows a GEMM or convolution operator with Count 1 (a
+// repeated producer has no single epilogue to host the chain).
+func Fuse(g nn.Graph) (nn.Graph, Stats) {
+	out := nn.Graph{Name: g.Name + "+fused", Ops: make([]nn.Op, 0, len(g.Ops))}
+	var st Stats
+	for i, op := range g.Ops {
+		if op.Kind == nn.OpOther && i > 0 {
+			prev := g.Ops[i-1]
+			if (prev.Kind == nn.OpGemm || prev.Kind == nn.OpConv) && prev.Count == 1 && op.OtherBytes > 0 {
+				saved := op.OtherBytes * float64(op.Count) * (1 - FusedTrafficFraction)
+				fused := op
+				fused.Name = op.Name + "(fused)"
+				fused.OtherBytes = op.OtherBytes * FusedTrafficFraction
+				out.Ops = append(out.Ops, fused)
+				st.FusedOps++
+				st.BytesSaved += saved
+				continue
+			}
+		}
+		out.Ops = append(out.Ops, op)
+	}
+	return out, st
+}
+
+// Validate checks that fusion preserved the graph's compute: identical GEMM
+// work, identical operator count, and non-increased traffic.
+func Validate(before, after nn.Graph) error {
+	if len(before.Ops) != len(after.Ops) {
+		return fmt.Errorf("graphopt: op count changed %d -> %d", len(before.Ops), len(after.Ops))
+	}
+	if before.TotalFLOPs() != after.TotalFLOPs() {
+		return fmt.Errorf("graphopt: GEMM work changed")
+	}
+	for i := range before.Ops {
+		b, a := before.Ops[i], after.Ops[i]
+		if b.Kind != a.Kind || b.Gemm != a.Gemm || b.Count != a.Count {
+			return fmt.Errorf("graphopt: op %d structure changed", i)
+		}
+		if a.OtherBytes > b.OtherBytes {
+			return fmt.Errorf("graphopt: op %d traffic increased", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package graphopt
+
+import (
+	"testing"
+
+	"mikpoly/internal/nn"
+	"mikpoly/internal/tensor"
+)
+
+func bertGraph() nn.Graph { return nn.Transformer(nn.BERTBaseConfig, 128, 1) }
+
+func TestFuseTransformer(t *testing.T) {
+	g := bertGraph()
+	fused, st := Fuse(g)
+	if err := fused.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, fused); err != nil {
+		t.Fatal(err)
+	}
+	// Every layer's elementwise op follows ffn_down (a Count-1 GEMM).
+	if st.FusedOps != 12 {
+		t.Fatalf("fused %d ops, want 12 (one per layer)", st.FusedOps)
+	}
+	if st.BytesSaved <= 0 {
+		t.Fatal("no traffic saved")
+	}
+	// Saved bytes must equal the traffic delta.
+	var before, after float64
+	for i := range g.Ops {
+		before += g.Ops[i].OtherBytes * float64(g.Ops[i].Count)
+		after += fused.Ops[i].OtherBytes * float64(fused.Ops[i].Count)
+	}
+	if diff := before - after; diff != st.BytesSaved {
+		t.Fatalf("BytesSaved %g != traffic delta %g", st.BytesSaved, diff)
+	}
+}
+
+func TestFuseSkipsRepeatedProducers(t *testing.T) {
+	g := nn.Graph{Name: "x"}
+	g.Ops = append(g.Ops,
+		nn.Op{Name: "batched", Kind: nn.OpGemm, Gemm: tensor.GemmShape{M: 8, N: 8, K: 8}, Count: 12},
+		nn.Op{Name: "eltwise", Kind: nn.OpOther, OtherBytes: 1000, Count: 1},
+	)
+	fused, st := Fuse(g)
+	if st.FusedOps != 0 {
+		t.Fatal("fused across a repeated producer")
+	}
+	if fused.Ops[1].OtherBytes != 1000 {
+		t.Fatal("traffic changed without fusion")
+	}
+}
+
+func TestFuseSkipsLeadingElementwise(t *testing.T) {
+	g := nn.Graph{Name: "x"}
+	g.Ops = append(g.Ops,
+		nn.Op{Name: "pre", Kind: nn.OpOther, OtherBytes: 500, Count: 1},
+		nn.Op{Name: "gemm", Kind: nn.OpGemm, Gemm: tensor.GemmShape{M: 8, N: 8, K: 8}, Count: 1},
+	)
+	_, st := Fuse(g)
+	if st.FusedOps != 0 {
+		t.Fatal("fused an op with no producer")
+	}
+}
+
+func TestFuseIdempotentStructure(t *testing.T) {
+	g := bertGraph()
+	once, st1 := Fuse(g)
+	twice, st2 := Fuse(once)
+	if st2.FusedOps != st1.FusedOps {
+		t.Fatalf("second pass fused %d vs %d", st2.FusedOps, st1.FusedOps)
+	}
+	// Traffic shrinks geometrically but structure is stable; a second
+	// fusion must not break validity.
+	if err := Validate(once, twice); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := bertGraph()
+	fused, _ := Fuse(g)
+
+	grown := fused
+	grown.Ops = append([]nn.Op(nil), fused.Ops...)
+	grown.Ops[6].OtherBytes = 1e18
+	if Validate(g, grown) == nil {
+		t.Fatal("traffic increase not caught")
+	}
+
+	shrunk := fused
+	shrunk.Ops = fused.Ops[:len(fused.Ops)-1]
+	if Validate(g, shrunk) == nil {
+		t.Fatal("op removal not caught")
+	}
+}
+
+func TestFuseCNN(t *testing.T) {
+	g := nn.ResNet18(4, 224)
+	fused, st := Fuse(g)
+	if err := Validate(g, fused); err != nil {
+		t.Fatal(err)
+	}
+	// Every conv's activation pass is fusible.
+	if st.FusedOps < 10 {
+		t.Fatalf("only %d CNN ops fused", st.FusedOps)
+	}
+}
+
+// Property: Fuse over random op sequences always yields a valid graph with
+// non-increased traffic and identical GEMM structure.
+func TestFuseProperty(t *testing.T) {
+	build := func(seed uint64) nn.Graph {
+		g := nn.Graph{Name: "rand"}
+		s := seed
+		n := int(seed%12) + 1
+		for i := 0; i < n; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			switch s % 3 {
+			case 0:
+				g.Ops = append(g.Ops, nn.Op{
+					Name: "g", Kind: nn.OpGemm,
+					Gemm:  tensor.GemmShape{M: int(s/3%50) + 1, N: int(s/150%50) + 1, K: int(s/7500%50) + 1},
+					Count: int(s/375000%3) + 1,
+				})
+			case 1:
+				g.Ops = append(g.Ops, nn.Op{
+					Name: "o", Kind: nn.OpOther,
+					OtherBytes: float64(s % 100000),
+					Count:      1,
+				})
+			default:
+				cs := tensor.ConvShape{Batch: 1, InC: 2, InH: 8, InW: 8,
+					OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1}
+				g.Ops = append(g.Ops, nn.Op{
+					Name: "c", Kind: nn.OpConv, Conv: cs, Gemm: cs.GemmShape(), Count: 1,
+				})
+			}
+		}
+		return g
+	}
+	for seed := uint64(1); seed < 60; seed++ {
+		g := build(seed)
+		fused, st := Fuse(g)
+		if err := Validate(g, fused); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if st.BytesSaved < 0 {
+			t.Fatalf("seed %d: negative savings", seed)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package infer is a small numeric inference engine over the compiler: model
+// layers whose every matrix multiplication flows through a pluggable GEMM
+// strategy. With the reference strategy the layers compute ground truth;
+// with a MikPoly compiler they exercise exactly the operator-replacement
+// integration of the paper's end-to-end experiments (§5.1: "we substituted
+// the standard GEMM operators in the DNN framework with those tailored by
+// MikPoly") — and the two must agree for any runtime sequence length.
+package infer
+
+import (
+	"fmt"
+	"math"
+
+	"mikpoly/internal/core"
+	"mikpoly/internal/engine"
+	"mikpoly/internal/tensor"
+)
+
+// Gemm is the strategy the layers multiply with.
+type Gemm func(a, b *tensor.Matrix) (*tensor.Matrix, error)
+
+// Reference multiplies with the validated reference implementation.
+func Reference(a, b *tensor.Matrix) (*tensor.Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("infer: dim mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	return tensor.Gemm(a, b), nil
+}
+
+// Compiled multiplies through a MikPoly compiler (planning cached per shape).
+func Compiled(c *core.Compiler) Gemm {
+	return func(a, b *tensor.Matrix) (*tensor.Matrix, error) { return c.GEMM(a, b) }
+}
+
+// Linear is a dense layer y = act(xW + b).
+type Linear struct {
+	// W is the K×N weight matrix; B the optional per-output bias.
+	W *tensor.Matrix
+	B []float32
+	// Act is the fused activation.
+	Act engine.Activation
+}
+
+// Forward applies the layer to an M×K input.
+func (l *Linear) Forward(x *tensor.Matrix, g Gemm) (*tensor.Matrix, error) {
+	y, err := g(x, l.W)
+	if err != nil {
+		return nil, err
+	}
+	if l.B != nil && len(l.B) != y.Cols {
+		return nil, fmt.Errorf("infer: bias length %d, want %d", len(l.B), y.Cols)
+	}
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		for j := range row {
+			if l.B != nil {
+				row[j] += l.B[j]
+			}
+			row[j] = l.Act.Apply(row[j])
+		}
+	}
+	return y, nil
+}
+
+// LayerNorm normalizes each row to zero mean and unit variance, then scales
+// and shifts.
+type LayerNorm struct {
+	Gamma, Beta []float32
+	Eps         float64
+}
+
+// Forward applies layer normalization row-wise.
+func (l *LayerNorm) Forward(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if len(l.Gamma) != x.Cols || len(l.Beta) != x.Cols {
+		return nil, fmt.Errorf("infer: layernorm params %d/%d, want %d", len(l.Gamma), len(l.Beta), x.Cols)
+	}
+	eps := l.Eps
+	if eps == 0 {
+		eps = 1e-5
+	}
+	out := tensor.NewMatrix(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(len(row))
+		var varsum float64
+		for _, v := range row {
+			d := float64(v) - mean
+			varsum += d * d
+		}
+		inv := 1 / math.Sqrt(varsum/float64(len(row))+eps)
+		dst := out.Row(i)
+		for j, v := range row {
+			dst[j] = float32((float64(v)-mean)*inv)*l.Gamma[j] + l.Beta[j]
+		}
+	}
+	return out, nil
+}
+
+// Softmax applies a numerically stable row-wise softmax in place.
+func Softmax(x *tensor.Matrix) {
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - max))
+			row[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// SelfAttention is a multi-head self-attention block (no masking: encoder
+// style).
+type SelfAttention struct {
+	// Wq, Wk, Wv, Wo are H×H projection matrices.
+	Wq, Wk, Wv, Wo *tensor.Matrix
+	Heads          int
+}
+
+// Forward applies attention to a seq×H input.
+func (a *SelfAttention) Forward(x *tensor.Matrix, g Gemm) (*tensor.Matrix, error) {
+	h := x.Cols
+	if a.Heads < 1 || h%a.Heads != 0 {
+		return nil, fmt.Errorf("infer: %d heads do not divide hidden %d", a.Heads, h)
+	}
+	q, err := g(x, a.Wq)
+	if err != nil {
+		return nil, err
+	}
+	k, err := g(x, a.Wk)
+	if err != nil {
+		return nil, err
+	}
+	v, err := g(x, a.Wv)
+	if err != nil {
+		return nil, err
+	}
+	d := h / a.Heads
+	scale := float32(1 / math.Sqrt(float64(d)))
+	ctx := tensor.NewMatrix(x.Rows, h)
+	for head := 0; head < a.Heads; head++ {
+		qh := q.View(0, head*d, x.Rows, d)
+		kh := k.View(0, head*d, x.Rows, d)
+		vh := v.View(0, head*d, x.Rows, d)
+		scores, err := g(qh.Clone(), kh.Clone().Transpose())
+		if err != nil {
+			return nil, err
+		}
+		for i := range scores.Data {
+			scores.Data[i] *= scale
+		}
+		Softmax(scores)
+		ch, err := g(scores, vh.Clone())
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < x.Rows; i++ {
+			copy(ctx.Row(i)[head*d:(head+1)*d], ch.Row(i))
+		}
+	}
+	return g(ctx, a.Wo)
+}
+
+// EncoderLayer is one pre-norm transformer encoder layer.
+type EncoderLayer struct {
+	Norm1, Norm2 *LayerNorm
+	Attn         *SelfAttention
+	FFNUp        *Linear
+	FFNDown      *Linear
+}
+
+// Forward applies the layer with residual connections.
+func (e *EncoderLayer) Forward(x *tensor.Matrix, g Gemm) (*tensor.Matrix, error) {
+	n1, err := e.Norm1.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	att, err := e.Attn.Forward(n1, g)
+	if err != nil {
+		return nil, err
+	}
+	mid := addInto(att, x)
+
+	n2, err := e.Norm2.Forward(mid)
+	if err != nil {
+		return nil, err
+	}
+	up, err := e.FFNUp.Forward(n2, g)
+	if err != nil {
+		return nil, err
+	}
+	down, err := e.FFNDown.Forward(up, g)
+	if err != nil {
+		return nil, err
+	}
+	return addInto(down, mid), nil
+}
+
+// Encoder is a stack of layers.
+type Encoder struct {
+	Layers []*EncoderLayer
+}
+
+// Forward runs the stack.
+func (enc *Encoder) Forward(x *tensor.Matrix, g Gemm) (*tensor.Matrix, error) {
+	cur := x
+	for i, l := range enc.Layers {
+		next, err := l.Forward(cur, g)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// addInto returns a + b (element-wise; a is mutated and returned).
+func addInto(a, b *tensor.Matrix) *tensor.Matrix {
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			ra[j] += rb[j]
+		}
+	}
+	return a
+}
+
+// NewRandomEncoder builds an encoder with deterministic random weights,
+// scaled down to keep activations in a stable range.
+func NewRandomEncoder(layers, hidden, ffn, heads int, seed uint64) *Encoder {
+	scale := func(m *tensor.Matrix, s float32) *tensor.Matrix {
+		for i := range m.Data {
+			m.Data[i] *= s
+		}
+		return m
+	}
+	ones := func(n int) []float32 {
+		out := make([]float32, n)
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	wScale := float32(1 / math.Sqrt(float64(hidden)))
+	enc := &Encoder{}
+	for l := 0; l < layers; l++ {
+		base := seed + uint64(l)*1000
+		enc.Layers = append(enc.Layers, &EncoderLayer{
+			Norm1: &LayerNorm{Gamma: ones(hidden), Beta: make([]float32, hidden)},
+			Norm2: &LayerNorm{Gamma: ones(hidden), Beta: make([]float32, hidden)},
+			Attn: &SelfAttention{
+				Wq:    scale(tensor.RandomMatrix(hidden, hidden, base+1), wScale),
+				Wk:    scale(tensor.RandomMatrix(hidden, hidden, base+2), wScale),
+				Wv:    scale(tensor.RandomMatrix(hidden, hidden, base+3), wScale),
+				Wo:    scale(tensor.RandomMatrix(hidden, hidden, base+4), wScale),
+				Heads: heads,
+			},
+			FFNUp: &Linear{
+				W:   scale(tensor.RandomMatrix(hidden, ffn, base+5), wScale),
+				B:   make([]float32, ffn),
+				Act: engine.ActGELU,
+			},
+			FFNDown: &Linear{
+				W: scale(tensor.RandomMatrix(ffn, hidden, base+6), float32(1/math.Sqrt(float64(ffn)))),
+				B: make([]float32, hidden),
+			},
+		})
+	}
+	return enc
+}

@@ -1,0 +1,164 @@
+package infer
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"mikpoly/internal/core"
+	"mikpoly/internal/engine"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/tensor"
+	"mikpoly/internal/tune"
+)
+
+var (
+	once sync.Once
+	comp *core.Compiler
+)
+
+func compiler(t *testing.T) *core.Compiler {
+	t.Helper()
+	once.Do(func() {
+		lib, err := core.SharedLibrary(hw.A100(), tune.Options{NGen: 6, NSyn: 9, NMik: 10, NPred: 256})
+		if err != nil {
+			panic(err)
+		}
+		comp = core.NewCompilerFromLibrary(lib)
+	})
+	return comp
+}
+
+func TestLinearForward(t *testing.T) {
+	l := &Linear{
+		W:   tensor.FromRows([][]float32{{1, 0}, {0, 1}, {1, 1}}),
+		B:   []float32{0.5, -10},
+		Act: engine.ActReLU,
+	}
+	x := tensor.FromRows([][]float32{{1, 2, 3}})
+	y, err := l.Forward(x, Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// xW = [4, 5]; +bias = [4.5, -5]; relu = [4.5, 0].
+	if y.At(0, 0) != 4.5 || y.At(0, 1) != 0 {
+		t.Fatalf("linear forward = %v", y)
+	}
+	if _, err := l.Forward(tensor.NewMatrix(1, 2), Reference); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestLayerNorm(t *testing.T) {
+	ln := &LayerNorm{Gamma: []float32{1, 1, 1, 1}, Beta: []float32{0, 0, 0, 0}}
+	x := tensor.FromRows([][]float32{{1, 2, 3, 4}})
+	y, err := ln.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean, varsum float64
+	for j := 0; j < 4; j++ {
+		mean += float64(y.At(0, j))
+	}
+	mean /= 4
+	for j := 0; j < 4; j++ {
+		d := float64(y.At(0, j)) - mean
+		varsum += d * d
+	}
+	if math.Abs(mean) > 1e-6 {
+		t.Fatalf("normalized mean = %g", mean)
+	}
+	if math.Abs(varsum/4-1) > 1e-3 {
+		t.Fatalf("normalized variance = %g", varsum/4)
+	}
+	if _, err := ln.Forward(tensor.NewMatrix(1, 3)); err == nil {
+		t.Fatal("param mismatch accepted")
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	x := tensor.FromRows([][]float32{{0, 0, 0}, {1000, 1000, 1000}, {1, 2, 3}})
+	Softmax(x)
+	for i := 0; i < 3; i++ {
+		var sum float64
+		for j := 0; j < 3; j++ {
+			v := float64(x.At(i, j))
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("softmax value %g out of range (row %d)", v, i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Fatalf("row %d sums to %g", i, sum)
+		}
+	}
+	// Monotone: larger logit → larger probability.
+	if !(x.At(2, 0) < x.At(2, 1) && x.At(2, 1) < x.At(2, 2)) {
+		t.Fatal("softmax not monotone")
+	}
+}
+
+func TestAttentionHeadsDivide(t *testing.T) {
+	a := &SelfAttention{
+		Wq: tensor.NewMatrix(6, 6), Wk: tensor.NewMatrix(6, 6),
+		Wv: tensor.NewMatrix(6, 6), Wo: tensor.NewMatrix(6, 6),
+		Heads: 4,
+	}
+	if _, err := a.Forward(tensor.NewMatrix(3, 6), Reference); err == nil {
+		t.Fatal("4 heads over hidden 6 accepted")
+	}
+}
+
+// The integration claim of §5.1: swapping the framework's GEMM for MikPoly's
+// must not change model outputs, at any runtime sequence length.
+func TestEncoderCompiledMatchesReference(t *testing.T) {
+	c := compiler(t)
+	enc := NewRandomEncoder(2, 64, 128, 4, 42)
+	for _, seq := range []int{1, 7, 33, 100} {
+		x := tensor.RandomMatrix(seq, 64, uint64(seq))
+		ref, err := enc.Forward(x.Clone(), Reference)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := enc.Forward(x.Clone(), Compiled(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.AllClose(ref, got, 1e-2) {
+			t.Fatalf("seq %d: compiled encoder diverges from reference (max diff %g)",
+				seq, tensor.MaxAbsDiff(ref, got))
+		}
+	}
+}
+
+// Numerical sanity: the encoder keeps activations bounded (the random-weight
+// scaling works), so float32 GEMM differences stay interpretable.
+func TestEncoderActivationsBounded(t *testing.T) {
+	enc := NewRandomEncoder(3, 64, 128, 4, 7)
+	x := tensor.RandomMatrix(50, 64, 9)
+	y, err := enc.Forward(x, Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range y.Data {
+		if math.IsNaN(float64(v)) || math.Abs(float64(v)) > 1e3 {
+			t.Fatalf("activation %g out of bounds", v)
+		}
+	}
+}
+
+func TestEncoderDeterministic(t *testing.T) {
+	enc := NewRandomEncoder(1, 32, 64, 2, 5)
+	x := tensor.RandomMatrix(9, 32, 5)
+	a, err := enc.Forward(x.Clone(), Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := enc.Forward(x.Clone(), Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(a, b) != 0 {
+		t.Fatal("encoder forward is not deterministic")
+	}
+}

@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"fmt"
+
+	"mikpoly/internal/tensor"
+)
+
+// CNNBuilder instantiates one of the TorchVision models of Fig. 9 for a
+// (batch, resolution) input — the dynamic dimensions of the CNN experiments
+// (batch 2^0..2^7, resolution 64·i for i = 1..10).
+type CNNBuilder func(batch, res int) Graph
+
+// CNNModels returns the Fig. 9 model set.
+func CNNModels() map[string]CNNBuilder {
+	return map[string]CNNBuilder{
+		"alexnet":   AlexNet,
+		"googlenet": GoogLeNet,
+		"resnet18":  ResNet18,
+		"vgg11":     VGG11,
+	}
+}
+
+// CNNBatchSizes returns the Fig. 9 batch sweep 2^0..2^7.
+func CNNBatchSizes() []int {
+	var out []int
+	for i := 0; i <= 7; i++ {
+		out = append(out, 1<<i)
+	}
+	return out
+}
+
+// CNNResolutions returns the Fig. 9 resolution sweep 64·i, i = 1..10.
+func CNNResolutions() []int {
+	var out []int
+	for i := 1; i <= 10; i++ {
+		out = append(out, 64*i)
+	}
+	return out
+}
+
+// cnnState tracks activation geometry while a builder lays down layers.
+type cnnState struct {
+	g     *Graph
+	batch int
+	c     int // current channels
+	h, w  int // current spatial dims
+}
+
+func checkCNNInput(batch, res int) {
+	if batch < 1 || res < 16 {
+		panic(fmt.Sprintf("nn: invalid CNN input batch=%d res=%d", batch, res))
+	}
+}
+
+// conv lays down a convolution and updates the activation geometry.
+func (s *cnnState) conv(name string, outC, k, stride, pad int) {
+	cs := tensor.ConvShape{
+		Batch: s.batch, InC: s.c, InH: s.h, InW: s.w,
+		OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad,
+	}
+	s.g.conv(name, cs, 1)
+	oh, ow := cs.OutDims()
+	s.c, s.h, s.w = outC, oh, ow
+	// ReLU/batchnorm traffic: two passes over the output activations.
+	s.g.other(name+"/act", 2*float64(s.batch*outC*oh*ow)*2, 1)
+}
+
+// pool halves the spatial dims (stride-2 pooling) and accounts its traffic.
+func (s *cnnState) pool(name string) {
+	s.g.other(name, float64(s.batch*s.c*s.h*s.w)*2, 1)
+	s.h = max(1, s.h/2)
+	s.w = max(1, s.w/2)
+}
+
+// fc lays down a fully-connected layer as a GEMM over the batch.
+func (s *cnnState) fc(name string, out, in int) {
+	s.g.gemm(name, s.batch, out, in, 1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AlexNet builds torchvision.models.alexnet (adaptive 6×6 pooling keeps the
+// classifier input width fixed across resolutions).
+func AlexNet(batch, res int) Graph {
+	checkCNNInput(batch, res)
+	g := Graph{Name: fmt.Sprintf("alexnet@b%d_r%d", batch, res)}
+	s := &cnnState{g: &g, batch: batch, c: 3, h: res, w: res}
+	s.conv("conv1", 64, 11, 4, 2)
+	s.pool("pool1")
+	s.conv("conv2", 192, 5, 1, 2)
+	s.pool("pool2")
+	s.conv("conv3", 384, 3, 1, 1)
+	s.conv("conv4", 256, 3, 1, 1)
+	s.conv("conv5", 256, 3, 1, 1)
+	s.pool("pool5")
+	s.fc("fc6", 4096, 256*6*6)
+	s.fc("fc7", 4096, 4096)
+	s.fc("fc8", 1000, 4096)
+	return g
+}
+
+// VGG11 builds torchvision.models.vgg11.
+func VGG11(batch, res int) Graph {
+	checkCNNInput(batch, res)
+	g := Graph{Name: fmt.Sprintf("vgg11@b%d_r%d", batch, res)}
+	s := &cnnState{g: &g, batch: batch, c: 3, h: res, w: res}
+	s.conv("conv1", 64, 3, 1, 1)
+	s.pool("pool1")
+	s.conv("conv2", 128, 3, 1, 1)
+	s.pool("pool2")
+	s.conv("conv3a", 256, 3, 1, 1)
+	s.conv("conv3b", 256, 3, 1, 1)
+	s.pool("pool3")
+	s.conv("conv4a", 512, 3, 1, 1)
+	s.conv("conv4b", 512, 3, 1, 1)
+	s.pool("pool4")
+	s.conv("conv5a", 512, 3, 1, 1)
+	s.conv("conv5b", 512, 3, 1, 1)
+	s.pool("pool5")
+	s.fc("fc6", 4096, 512*7*7)
+	s.fc("fc7", 4096, 4096)
+	s.fc("fc8", 1000, 4096)
+	return g
+}
+
+// ResNet18 builds torchvision.models.resnet18 (basic blocks, 1×1 projection
+// shortcuts at stage transitions).
+func ResNet18(batch, res int) Graph {
+	checkCNNInput(batch, res)
+	g := Graph{Name: fmt.Sprintf("resnet18@b%d_r%d", batch, res)}
+	s := &cnnState{g: &g, batch: batch, c: 3, h: res, w: res}
+	s.conv("conv1", 64, 7, 2, 3)
+	s.pool("maxpool")
+	stage := func(name string, outC, stride int) {
+		s.conv(name+"/b1c1", outC, 3, stride, 1)
+		s.conv(name+"/b1c2", outC, 3, 1, 1)
+		if stride != 1 {
+			// The 1×1 projection shortcut runs on the pre-stride input;
+			// approximate its cost at the post-stride geometry.
+			s.conv(name+"/down", outC, 1, 1, 0)
+		}
+		s.conv(name+"/b2c1", outC, 3, 1, 1)
+		s.conv(name+"/b2c2", outC, 3, 1, 1)
+	}
+	stage("layer1", 64, 1)
+	stage("layer2", 128, 2)
+	stage("layer3", 256, 2)
+	stage("layer4", 512, 2)
+	s.fc("fc", 1000, 512)
+	return g
+}
+
+// inceptionSpec lists the branch channel counts of one GoogLeNet inception
+// block: 1×1, 3×3-reduce, 3×3, 5×5-reduce, 5×5, pool-projection.
+type inceptionSpec struct {
+	name                       string
+	c1, c3r, c3, c5r, c5, pool int
+}
+
+var googlenetBlocks = []inceptionSpec{
+	{"3a", 64, 96, 128, 16, 32, 32},
+	{"3b", 128, 128, 192, 32, 96, 64},
+	{"4a", 192, 96, 208, 16, 48, 64},
+	{"4b", 160, 112, 224, 24, 64, 64},
+	{"4c", 128, 128, 256, 24, 64, 64},
+	{"4d", 112, 144, 288, 32, 64, 64},
+	{"4e", 256, 160, 320, 32, 128, 128},
+	{"5a", 256, 160, 320, 32, 128, 128},
+	{"5b", 384, 192, 384, 48, 128, 128},
+}
+
+// GoogLeNet builds torchvision.models.googlenet.
+func GoogLeNet(batch, res int) Graph {
+	checkCNNInput(batch, res)
+	g := Graph{Name: fmt.Sprintf("googlenet@b%d_r%d", batch, res)}
+	s := &cnnState{g: &g, batch: batch, c: 3, h: res, w: res}
+	s.conv("conv1", 64, 7, 2, 3)
+	s.pool("pool1")
+	s.conv("conv2", 64, 1, 1, 0)
+	s.conv("conv3", 192, 3, 1, 1)
+	s.pool("pool2")
+	for i, blk := range googlenetBlocks {
+		inC, h, w := s.c, s.h, s.w
+		branch := func(name string, outC, k, pad int, fromC int) {
+			cs := tensor.ConvShape{
+				Batch: s.batch, InC: fromC, InH: h, InW: w,
+				OutC: outC, KH: k, KW: k, Stride: 1, Pad: pad,
+			}
+			s.g.conv(fmt.Sprintf("inception%s/%s", blk.name, name), cs, 1)
+		}
+		branch("1x1", blk.c1, 1, 0, inC)
+		branch("3x3r", blk.c3r, 1, 0, inC)
+		branch("3x3", blk.c3, 3, 1, blk.c3r)
+		branch("5x5r", blk.c5r, 1, 0, inC)
+		branch("5x5", blk.c5, 5, 2, blk.c5r)
+		branch("poolproj", blk.pool, 1, 0, inC)
+		s.c = blk.c1 + blk.c3 + blk.c5 + blk.pool
+		s.g.other(fmt.Sprintf("inception%s/concat", blk.name),
+			float64(s.batch*s.c*h*w)*2, 1)
+		// Stage-boundary pools after 3b (i==1) and 4e (i==6).
+		if i == 1 || i == 6 {
+			s.pool(fmt.Sprintf("pool_after_%s", blk.name))
+		}
+	}
+	s.fc("fc", 1000, 1024)
+	return g
+}

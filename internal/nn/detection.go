@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+
+	"mikpoly/internal/tensor"
+)
+
+// FasterRCNN builds a two-stage detection graph in the style the paper's
+// §2.1 names as its dynamic-resolution motivation: a ResNet-18 backbone
+// running at the image's *native* resolution (no lossy resize), a region
+// proposal network, and ROI heads whose GEMM rows are the *runtime proposal
+// count* — two independent dynamic dimensions in one model.
+func FasterRCNN(batch, resH, resW, proposals int) Graph {
+	if batch < 1 || resH < 64 || resW < 64 || proposals < 1 {
+		panic(fmt.Sprintf("nn: invalid detection input batch=%d res=%dx%d proposals=%d",
+			batch, resH, resW, proposals))
+	}
+	g := Graph{Name: fmt.Sprintf("faster-rcnn@b%d_%dx%d_p%d", batch, resH, resW, proposals)}
+	s := &cnnState{g: &g, batch: batch, c: 3, h: resH, w: resW}
+
+	// ResNet-18 backbone (no classifier head).
+	s.conv("backbone/conv1", 64, 7, 2, 3)
+	s.pool("backbone/maxpool")
+	stage := func(name string, outC, stride int) {
+		s.conv(name+"/b1c1", outC, 3, stride, 1)
+		s.conv(name+"/b1c2", outC, 3, 1, 1)
+		if stride != 1 {
+			s.conv(name+"/down", outC, 1, 1, 0)
+		}
+		s.conv(name+"/b2c1", outC, 3, 1, 1)
+		s.conv(name+"/b2c2", outC, 3, 1, 1)
+	}
+	stage("backbone/layer1", 64, 1)
+	stage("backbone/layer2", 128, 2)
+	stage("backbone/layer3", 256, 2)
+	stage("backbone/layer4", 512, 2)
+
+	// Region proposal network on the final feature map: a 3×3 conv plus
+	// 1×1 objectness and box-regression heads (9 anchors per location).
+	const anchors = 9
+	s.conv("rpn/conv", 256, 3, 1, 1)
+	rpnIn := tensor.ConvShape{
+		Batch: s.batch, InC: s.c, InH: s.h, InW: s.w,
+		OutC: anchors, KH: 1, KW: 1, Stride: 1, Pad: 0,
+	}
+	g.conv("rpn/objectness", rpnIn, 1)
+	rpnBox := rpnIn
+	rpnBox.OutC = 4 * anchors
+	g.conv("rpn/bbox", rpnBox, 1)
+	// Proposal selection (NMS, sorting) is bandwidth/latency-bound.
+	g.other("rpn/nms", float64(s.batch*anchors*s.h*s.w)*8, 1)
+
+	// ROI heads: every proposal is pooled to 7×7×512 and classified. The
+	// GEMM row count is the runtime proposal count — the second dynamic
+	// dimension.
+	rows := batch * proposals
+	g.other("roi/align", float64(rows*512*7*7)*2*2, 1)
+	g.gemm("roi/fc6", rows, 1024, 512*7*7, 1)
+	g.gemm("roi/fc7", rows, 1024, 1024, 1)
+	g.gemm("roi/cls", rows, 91, 1024, 1)
+	g.gemm("roi/bbox", rows, 4*91, 1024, 1)
+	return g
+}
+
+// DetectionProposalCounts returns the proposal sweep used by the detection
+// scenario experiment: real images keep anywhere from a handful to a
+// thousand post-NMS proposals.
+func DetectionProposalCounts() []int { return []int{10, 50, 100, 300, 1000} }
+
+// DetectionResolutions returns the native-resolution sweep (height, width):
+// detection datasets mix aspect ratios and scales.
+func DetectionResolutions() [][2]int {
+	return [][2]int{{480, 640}, {600, 800}, {768, 1024}, {800, 1333}, {1080, 1920}}
+}

@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"fmt"
+
+	"mikpoly/internal/workload"
+)
+
+// Llama2-13b under 4-way tensor parallelism (§5.2.4): 40 decoder layers;
+// per-GPU GEMM slices as in Table 8. Attention score/context computation is
+// fused (FlashAttention-style) identically in FasterTransformer and in the
+// MikPoly-integrated build, so it is carried as bandwidth-bound work.
+const (
+	llamaLayers = 40
+	llamaHidden = 5120
+)
+
+// Llama2Prefill builds the prompt-processing pass: every GEMM sees
+// N = batch·seq in-flight tokens.
+func Llama2Prefill(batch, seq int) Graph {
+	if batch < 1 || seq < 1 {
+		panic(fmt.Sprintf("nn: invalid llama input batch=%d seq=%d", batch, seq))
+	}
+	return llamaStep(fmt.Sprintf("llama2-13b-prefill@b%d_s%d", batch, seq), batch*seq, batch, seq)
+}
+
+// Llama2Decode builds one autoregressive decode step: every GEMM sees
+// N = batch in-flight tokens (one new token per sequence, KV-cached).
+func Llama2Decode(batch, kvLen int) Graph {
+	if batch < 1 || kvLen < 1 {
+		panic(fmt.Sprintf("nn: invalid llama decode batch=%d kvLen=%d", batch, kvLen))
+	}
+	return llamaStep(fmt.Sprintf("llama2-13b-decode@b%d_kv%d", batch, kvLen), batch, batch, kvLen)
+}
+
+// llamaStep lays down one full pass with `tokens` tokens in flight and an
+// attention context of kvLen per sequence.
+func llamaStep(name string, tokens, batch, kvLen int) Graph {
+	g := Graph{Name: name}
+	ops := workload.LlamaOps()
+	for l := 0; l < llamaLayers; l++ {
+		for _, op := range ops {
+			// Table 8 convention: M and K are the weight-slice dims,
+			// N is the dynamic token dimension.
+			g.gemm(fmt.Sprintf("layer%d/%s", l, op.Layer), op.M, tokens, op.K, 1)
+		}
+		// Fused attention: reads Q plus the KV cache, writes the context
+		// (per-GPU slice of the hidden dim), plus RMSNorm/SiLU/residual
+		// passes over the token activations.
+		attnBytes := float64(batch) * float64(kvLen) * float64(llamaHidden/4) * 2 * 2
+		elemBytes := 8 * float64(tokens) * float64(llamaHidden) * 2
+		g.other(fmt.Sprintf("layer%d/attention", l), attnBytes, 1)
+		g.other(fmt.Sprintf("layer%d/elementwise", l), elemBytes, 1)
+	}
+	return g
+}
+
+// LlamaBatchSizes returns the Fig. 11 batch sweep 2^0..2^3.
+func LlamaBatchSizes() []int { return []int{1, 2, 4, 8} }
+
+// LlamaSeqLengths returns the Fig. 11 input-length sweep 2^0..2^9.
+func LlamaSeqLengths() []int {
+	var out []int
+	for i := 0; i <= 9; i++ {
+		out = append(out, 1<<i)
+	}
+	return out
+}
+
+// LlamaOutputLen is the fixed generation length of §5.2.4.
+const LlamaOutputLen = 512

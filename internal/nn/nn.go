@@ -1,0 +1,156 @@
+// Package nn provides the operator-graph representation used by the
+// end-to-end experiments (§5.2.2–§5.2.4): each evaluated model (the
+// BERT-family language models, the TorchVision CNNs, and Llama2-13b) is
+// expressed as the sequence of GEMM/convolution operators MikPoly replaces
+// plus the aggregate memory traffic of the surrounding non-GEMM operators
+// (layernorm, softmax, activation, pooling), which cost the same under every
+// compared system and are carried as bandwidth-bound work.
+package nn
+
+import (
+	"fmt"
+
+	"mikpoly/internal/hw"
+	"mikpoly/internal/tensor"
+)
+
+// OpKind classifies graph operators.
+type OpKind int
+
+const (
+	// OpGemm is a dense matrix multiplication (dynamic shape).
+	OpGemm OpKind = iota
+	// OpConv is a convolution executed through the implicit-GEMM path.
+	OpConv
+	// OpOther is bandwidth-bound non-GEMM work identical across systems.
+	OpOther
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpGemm:
+		return "gemm"
+	case OpConv:
+		return "conv"
+	case OpOther:
+		return "other"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one operator instance in a model graph.
+type Op struct {
+	// Name labels the operator ("layer3/ffn_up").
+	Name string
+	// Kind selects the payload fields.
+	Kind OpKind
+	// Gemm is the GEMM shape (the lowering for OpConv).
+	Gemm tensor.GemmShape
+	// Conv is the original convolution geometry for OpConv.
+	Conv tensor.ConvShape
+	// Count repeats the operator (e.g., per-head attention GEMMs).
+	Count int
+	// OtherBytes is the memory traffic of an OpOther operator.
+	OtherBytes float64
+}
+
+// Validate checks internal consistency.
+func (o Op) Validate() error {
+	if o.Count < 1 {
+		return fmt.Errorf("nn: op %q has count %d", o.Name, o.Count)
+	}
+	switch o.Kind {
+	case OpGemm:
+		if !o.Gemm.Valid() {
+			return fmt.Errorf("nn: op %q has invalid GEMM shape %v", o.Name, o.Gemm)
+		}
+	case OpConv:
+		if !o.Conv.Valid() {
+			return fmt.Errorf("nn: op %q has invalid conv shape %v", o.Name, o.Conv)
+		}
+		if o.Gemm != o.Conv.GemmShape() {
+			return fmt.Errorf("nn: op %q GEMM lowering mismatch", o.Name)
+		}
+	case OpOther:
+		if o.OtherBytes < 0 {
+			return fmt.Errorf("nn: op %q has negative traffic", o.Name)
+		}
+	default:
+		return fmt.Errorf("nn: op %q has unknown kind %d", o.Name, int(o.Kind))
+	}
+	return nil
+}
+
+// OtherCycles converts an OpOther's traffic to device cycles at full global
+// bandwidth (fused elementwise kernels are bandwidth-bound on both
+// platforms).
+func (o Op) OtherCycles(h hw.Hardware) float64 {
+	return o.OtherBytes / h.GlobalBytesPerCycle
+}
+
+// Graph is one model instantiated at concrete dynamic-input settings.
+type Graph struct {
+	// Name is "model@inputs", e.g. "bert-base@seq128".
+	Name string
+	Ops  []Op
+}
+
+// Validate checks every operator.
+func (g Graph) Validate() error {
+	if len(g.Ops) == 0 {
+		return fmt.Errorf("nn: graph %q has no operators", g.Name)
+	}
+	for _, o := range g.Ops {
+		if err := o.Validate(); err != nil {
+			return fmt.Errorf("graph %q: %w", g.Name, err)
+		}
+	}
+	return nil
+}
+
+// GemmShapes returns the distinct GEMM shapes in the graph with their total
+// repeat counts — the planning workload a dynamic-shape compiler sees.
+func (g Graph) GemmShapes() map[tensor.GemmShape]int {
+	out := make(map[tensor.GemmShape]int)
+	for _, o := range g.Ops {
+		if o.Kind == OpGemm || o.Kind == OpConv {
+			out[o.Gemm] += o.Count
+		}
+	}
+	return out
+}
+
+// TotalFLOPs sums the GEMM work of the graph.
+func (g Graph) TotalFLOPs() float64 {
+	var f float64
+	for _, o := range g.Ops {
+		if o.Kind == OpGemm || o.Kind == OpConv {
+			f += o.Gemm.FLOPs() * float64(o.Count)
+		}
+	}
+	return f
+}
+
+// gemm appends a GEMM op.
+func (g *Graph) gemm(name string, m, n, k, count int) {
+	g.Ops = append(g.Ops, Op{
+		Name: name, Kind: OpGemm,
+		Gemm:  tensor.GemmShape{M: m, N: n, K: k},
+		Count: count,
+	})
+}
+
+// conv appends a convolution op via its implicit-GEMM lowering.
+func (g *Graph) conv(name string, cs tensor.ConvShape, count int) {
+	g.Ops = append(g.Ops, Op{
+		Name: name, Kind: OpConv,
+		Conv: cs, Gemm: cs.GemmShape(),
+		Count: count,
+	})
+}
+
+// other appends bandwidth-bound non-GEMM work.
+func (g *Graph) other(name string, bytes float64, count int) {
+	g.Ops = append(g.Ops, Op{Name: name, Kind: OpOther, OtherBytes: bytes, Count: count})
+}

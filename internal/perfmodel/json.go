@@ -1,0 +1,43 @@
+package perfmodel
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// modelJSON is the serialized form of a fitted model: the knot positions and
+// measured costs.
+type modelJSON struct {
+	Xs []float64 `json:"xs"`
+	Ys []float64 `json:"ys"`
+}
+
+// MarshalJSON serializes the fitted knots, so offline-stage artifacts can be
+// shipped with the micro-kernel binaries and reloaded without re-measuring.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelJSON{Xs: m.xs, Ys: m.ys})
+}
+
+// UnmarshalJSON restores a fitted model, validating the knot invariants.
+func (m *Model) UnmarshalJSON(b []byte) error {
+	var raw modelJSON
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	if len(raw.Xs) == 0 || len(raw.Xs) != len(raw.Ys) {
+		return fmt.Errorf("perfmodel: malformed model: %d xs, %d ys", len(raw.Xs), len(raw.Ys))
+	}
+	for i := 1; i < len(raw.Xs); i++ {
+		if raw.Xs[i] <= raw.Xs[i-1] {
+			return fmt.Errorf("perfmodel: knots not strictly increasing at %d", i)
+		}
+	}
+	for i, y := range raw.Ys {
+		if y < 0 {
+			return fmt.Errorf("perfmodel: negative cost at knot %d", i)
+		}
+	}
+	m.xs = raw.Xs
+	m.ys = raw.Ys
+	return nil
+}

@@ -1,0 +1,290 @@
+package poly
+
+import (
+	"fmt"
+
+	"mikpoly/internal/kernel"
+)
+
+// PatternID names the nine representative polymerization patterns retained
+// from the seven-block skeleton of Fig. 5(b). Pattern I keeps the template
+// intact (one region); the others split the output space so that each region
+// can be served by a differently sized micro-kernel, isolating ragged edges
+// and balancing the final wave.
+//
+// On GPUs only Patterns I and II are used (§4: the dynamic hardware
+// scheduler makes finer splits rarely profitable and online time is at a
+// premium); on NPUs all nine are explored.
+type PatternID int
+
+const (
+	// PatternI: one region covering the whole output.
+	PatternI PatternID = iota + 1
+	// PatternII: horizontal split — top band + bottom band (the pattern
+	// of the paper's running example and case study).
+	PatternII
+	// PatternIII: vertical split — left band + right band.
+	PatternIII
+	// PatternIV: horizontal split, bottom band split vertically.
+	PatternIV
+	// PatternV: vertical split, right band split horizontally.
+	PatternV
+	// PatternVI: 2×2 grid — main block, right edge, bottom edge, corner.
+	PatternVI
+	// PatternVII: three horizontal bands.
+	PatternVII
+	// PatternVIII: three vertical bands.
+	PatternVIII
+	// PatternIX: horizontal split, bottom band split into three columns.
+	PatternIX
+	// PatternSplitK slices the reduction dimension instead of the output
+	// plane, restoring parallelism for skinny outputs with deep
+	// reductions (e.g. Fig. 1's (105, 1024, 12544)). This is an extension
+	// beyond the paper's nine output-plane patterns; enable it with
+	// Planner.EnableSplitK.
+	PatternSplitK
+)
+
+// GPUPatterns is the pattern subset used on dynamically scheduled devices.
+func GPUPatterns() []PatternID { return []PatternID{PatternI, PatternII} }
+
+// NPUPatterns is the full pattern set used on statically scheduled devices.
+func NPUPatterns() []PatternID {
+	return []PatternID{
+		PatternI, PatternII, PatternIII, PatternIV, PatternV,
+		PatternVI, PatternVII, PatternVIII, PatternIX,
+	}
+}
+
+func (p PatternID) String() string {
+	names := map[PatternID]string{
+		PatternI: "I", PatternII: "II", PatternIII: "III",
+		PatternIV: "IV", PatternV: "V", PatternVI: "VI",
+		PatternVII: "VII", PatternVIII: "VIII", PatternIX: "IX",
+		PatternSplitK: "split-K",
+	}
+	if s, ok := names[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// rect is a candidate region geometry before kernel assignment.
+type rect struct{ m0, n0, m, n int }
+
+// roundDown returns the largest multiple of align not exceeding n.
+func roundDown(n, align int) int {
+	if align <= 0 {
+		return n
+	}
+	return n / align * align
+}
+
+// tileGrid is the granularity all secondary split points snap to; every
+// generated micro-kernel tile is a multiple of it.
+const tileGrid = 16
+
+// splitPointsM returns the candidate first-split rows for anchor kernel a:
+// the maximal a-aligned prefix plus the wave-aligned prefixes, i.e. row
+// counts whose task count fills an integral number of waves on numPEs PEs —
+// the choice that removes the underfull last wave of the case study (§6).
+func splitPointsM(M, N int, a kernel.MicroKernel, numPEs int) []int {
+	t1max := M / a.UM
+	if t1max < 1 {
+		return nil
+	}
+	t2 := (N + a.UN - 1) / a.UN
+	seen := map[int]bool{}
+	var out []int
+	add := func(t1 int) {
+		if t1 < 1 || t1 > t1max {
+			return
+		}
+		mA := t1 * a.UM
+		if mA >= M {
+			// Full coverage degenerates to Pattern I unless a ragged
+			// remainder exists.
+			if M%a.UM == 0 {
+				return
+			}
+			mA = t1max * a.UM
+		}
+		if !seen[mA] {
+			seen[mA] = true
+			out = append(out, mA)
+		}
+	}
+	add(t1max)
+	maxWaves := (t1max*t2 + numPEs - 1) / numPEs
+	for w := 1; w <= maxWaves && w <= 8; w++ {
+		add(w * numPEs / t2)
+	}
+	return out
+}
+
+// splitPointsN mirrors splitPointsM for vertical splits.
+func splitPointsN(M, N int, a kernel.MicroKernel, numPEs int) []int {
+	t2max := N / a.UN
+	if t2max < 1 {
+		return nil
+	}
+	t1 := (M + a.UM - 1) / a.UM
+	seen := map[int]bool{}
+	var out []int
+	add := func(t2 int) {
+		if t2 < 1 || t2 > t2max {
+			return
+		}
+		nA := t2 * a.UN
+		if nA >= N {
+			if N%a.UN == 0 {
+				return
+			}
+			nA = t2max * a.UN
+		}
+		if !seen[nA] {
+			seen[nA] = true
+			out = append(out, nA)
+		}
+	}
+	add(t2max)
+	maxWaves := (t2max*t1 + numPEs - 1) / numPEs
+	for w := 1; w <= maxWaves && w <= 8; w++ {
+		add(w * numPEs / t1)
+	}
+	return out
+}
+
+// dropEmpty filters zero-area rects; a candidate with no rects left is
+// meaningless and the caller skips it.
+func dropEmpty(rs []rect) []rect {
+	out := rs[:0]
+	for _, r := range rs {
+		if r.m > 0 && r.n > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// boundaryCandidates enumerates the region geometries a pattern yields for
+// the given shape and anchor kernel. The anchor sizes the primary split; the
+// secondary splits snap to the 16-wide tile grid so that any library kernel
+// can serve the remaining regions.
+func boundaryCandidates(pat PatternID, M, N int, anchor kernel.MicroKernel, numPEs int) [][]rect {
+	var out [][]rect
+	switch pat {
+	case PatternI:
+		out = append(out, []rect{{0, 0, M, N}})
+
+	case PatternII:
+		for _, mA := range splitPointsM(M, N, anchor, numPEs) {
+			out = append(out, dropEmpty([]rect{
+				{0, 0, mA, N},
+				{mA, 0, M - mA, N},
+			}))
+		}
+
+	case PatternIII:
+		for _, nA := range splitPointsN(M, N, anchor, numPEs) {
+			out = append(out, dropEmpty([]rect{
+				{0, 0, M, nA},
+				{0, nA, M, N - nA},
+			}))
+		}
+
+	case PatternIV:
+		nSplit := roundDown(N, max(anchor.UN, tileGrid))
+		if nSplit <= 0 || nSplit >= N {
+			nSplit = roundDown(N/2, tileGrid)
+		}
+		for _, mA := range splitPointsM(M, N, anchor, numPEs) {
+			out = append(out, dropEmpty([]rect{
+				{0, 0, mA, N},
+				{mA, 0, M - mA, nSplit},
+				{mA, nSplit, M - mA, N - nSplit},
+			}))
+		}
+
+	case PatternV:
+		mSplit := roundDown(M, max(anchor.UM, tileGrid))
+		if mSplit <= 0 || mSplit >= M {
+			mSplit = roundDown(M/2, tileGrid)
+		}
+		for _, nA := range splitPointsN(M, N, anchor, numPEs) {
+			out = append(out, dropEmpty([]rect{
+				{0, 0, M, nA},
+				{0, nA, mSplit, N - nA},
+				{mSplit, nA, M - mSplit, N - nA},
+			}))
+		}
+
+	case PatternVI:
+		nA := roundDown(N, anchor.UN)
+		if nA <= 0 || nA >= N {
+			return nil // no ragged right edge: covered by II
+		}
+		for _, mA := range splitPointsM(M, nA, anchor, numPEs) {
+			out = append(out, dropEmpty([]rect{
+				{0, 0, mA, nA},
+				{0, nA, mA, N - nA},
+				{mA, 0, M - mA, nA},
+				{mA, nA, M - mA, N - nA},
+			}))
+		}
+
+	case PatternVII:
+		for _, mA := range splitPointsM(M, N, anchor, numPEs) {
+			rest := M - mA
+			mB := roundDown(rest/2, tileGrid)
+			out = append(out, dropEmpty([]rect{
+				{0, 0, mA, N},
+				{mA, 0, mB, N},
+				{mA + mB, 0, rest - mB, N},
+			}))
+		}
+
+	case PatternVIII:
+		for _, nA := range splitPointsN(M, N, anchor, numPEs) {
+			rest := N - nA
+			nB := roundDown(rest/2, tileGrid)
+			out = append(out, dropEmpty([]rect{
+				{0, 0, M, nA},
+				{0, nA, M, nB},
+				{0, nA + nB, M, rest - nB},
+			}))
+		}
+
+	case PatternIX:
+		for _, mA := range splitPointsM(M, N, anchor, numPEs) {
+			rest := M - mA
+			n1 := roundDown(N/3, tileGrid)
+			n2 := roundDown(2*N/3, tileGrid)
+			if n1 <= 0 || n2 <= n1 || n2 >= N {
+				continue
+			}
+			out = append(out, dropEmpty([]rect{
+				{0, 0, mA, N},
+				{mA, 0, rest, n1},
+				{mA, n1, rest, n2 - n1},
+				{mA, n2, rest, N - n2},
+			}))
+		}
+	}
+
+	// Drop candidates that lost all regions.
+	kept := out[:0]
+	for _, rs := range out {
+		if len(rs) > 0 {
+			kept = append(kept, rs)
+		}
+	}
+	return kept
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,309 @@
+package poly
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mikpoly/internal/hw"
+	"mikpoly/internal/kernel"
+	"mikpoly/internal/tensor"
+	"mikpoly/internal/tune"
+)
+
+// CostModel selects how candidate programs are scored. The variants other
+// than CostFull exist for the ablation of Fig. 12(b).
+type CostModel int
+
+const (
+	// CostFull is the paper's model, Eq. 2: Σ_i f_wave × f_pipe.
+	CostFull CostModel = iota
+	// CostWaveOnly scores by Σ_i f_wave alone (MikPoly-Wave): it chases
+	// minimal wave counts and therefore over-selects large micro-kernels.
+	CostWaveOnly
+	// CostPipeOnly scores by Σ_i f_pipe alone (MikPoly-Pipe): it chases
+	// the cheapest single pipelined task and over-selects small kernels.
+	CostPipeOnly
+	// CostOracle simulates every candidate program on the substrate and
+	// picks the true optimum (MikPoly-Oracle) — far too slow for runtime
+	// use (§5.3.2) but the reference point for cost-model quality.
+	CostOracle
+)
+
+func (c CostModel) String() string {
+	switch c {
+	case CostFull:
+		return "full"
+	case CostWaveOnly:
+		return "wave-only"
+	case CostPipeOnly:
+		return "pipe-only"
+	case CostOracle:
+		return "oracle"
+	default:
+		return fmt.Sprintf("CostModel(%d)", int(c))
+	}
+}
+
+// PlanStats reports what the online search did — the polymerization overhead
+// of Fig. 12(a).
+type PlanStats struct {
+	// Candidates is the number of fully costed candidate programs.
+	Candidates int
+	// PrunedAnchors counts anchor kernels skipped by branch-and-bound.
+	PrunedAnchors int
+	// Elapsed is the wall-clock planning time of this Go implementation.
+	Elapsed time.Duration
+}
+
+// OnlineCostPerCandidate is the modeled per-candidate cost, in device-clock
+// cycles, of the paper's optimized C++ runtime evaluating one polymerization
+// strategy (a handful of integer divisions plus a piecewise-linear lookup —
+// ~7 ns). End-to-end latencies charge MikPoly this modeled overhead rather
+// than this Go process's wall-clock, which measures the wrong
+// implementation; Fig. 12(a) reports both.
+const OnlineCostPerCandidate = 10.0
+
+// ModeledOverheadCycles is the deployed-runtime estimate of the online
+// stage's cost for this plan.
+func (st PlanStats) ModeledOverheadCycles() float64 {
+	return float64(st.Candidates) * OnlineCostPerCandidate
+}
+
+// Planner performs on-the-fly micro-kernel polymerization against an offline
+// library.
+type Planner struct {
+	// Lib is the offline-stage output (kernels + g_predict models).
+	Lib *tune.Library
+
+	// Patterns is the pattern subset to explore; nil selects the platform
+	// default (GPU: I–II, NPU: I–IX) from the library's hardware.
+	Patterns []PatternID
+
+	// Cost selects the scoring model (default CostFull).
+	Cost CostModel
+
+	// DisablePruning turns off the branch-and-bound anchor skip, for the
+	// online-overhead ablation.
+	DisablePruning bool
+
+	// EnableSplitK adds reduction-dimension splitting (PatternSplitK) to
+	// the search — an extension beyond the paper's output-plane patterns
+	// for skinny outputs with deep reductions.
+	EnableSplitK bool
+}
+
+// NewPlanner returns a planner with the platform-default pattern set.
+func NewPlanner(lib *tune.Library) *Planner { return &Planner{Lib: lib} }
+
+func (p *Planner) patterns() []PatternID {
+	if p.Patterns != nil {
+		return p.Patterns
+	}
+	if p.Lib.HW.Scheduler == hw.ScheduleStaticMaxMin {
+		return NPUPatterns()
+	}
+	return GPUPatterns()
+}
+
+// regionCost evaluates one (R_i, K̃_i) term of Eq. 2 under the active cost
+// model: f_wave = ceil(f_parallel / |P_multi|), f_pipe = g_predict(f_num).
+func (p *Planner) regionCost(r Region) float64 {
+	t1, t2, t3 := r.Tiles()
+	waves := math.Ceil(float64(t1*t2) / float64(p.Lib.HW.NumPEs))
+	switch p.Cost {
+	case CostWaveOnly:
+		return waves
+	case CostPipeOnly:
+		return p.Lib.PredictTask(r.Kern, t3)
+	default:
+		return waves * p.Lib.PredictTask(r.Kern, t3)
+	}
+}
+
+// bestKernelFor picks the library kernel minimizing the region cost — exact
+// for Eq. 2 because region terms are independent given boundaries.
+func (p *Planner) bestKernelFor(geom rect, K int) (Region, float64) {
+	best := Region{}
+	bestCost := math.Inf(1)
+	for _, k := range p.Lib.Kernels {
+		r := Region{M0: geom.m0, N0: geom.n0, M: geom.m, N: geom.n, K: K, Kern: k}
+		if c := p.regionCost(r); c < bestCost {
+			bestCost = c
+			best = r
+		}
+	}
+	return best, bestCost
+}
+
+// Plan produces the optimized tensor program S* for the runtime shape
+// (Algorithm 1, On-the-Fly Polymerization).
+func (p *Planner) Plan(shape tensor.GemmShape) (*Program, PlanStats, error) {
+	start := time.Now()
+	var stats PlanStats
+	if !shape.Valid() {
+		return nil, stats, fmt.Errorf("poly: invalid shape %v", shape)
+	}
+	if p.Lib == nil || len(p.Lib.Kernels) == 0 {
+		return nil, stats, fmt.Errorf("poly: empty micro-kernel library")
+	}
+
+	var best *Program
+	bestCost := math.Inf(1)
+	consider := func(prog *Program, cost float64) {
+		stats.Candidates++
+		if cost < bestCost {
+			bestCost = cost
+			best = prog
+		}
+	}
+
+	for _, pat := range p.patterns() {
+		for _, anchor := range p.Lib.Kernels {
+			// Branch-and-bound: if the anchor's best possible main
+			// region alone already exceeds the current best program,
+			// every strategy built on this anchor loses too (§3.5).
+			// Oracle mode never prunes: its score scale (simulated
+			// cycles) is not comparable to the bound.
+			if !p.DisablePruning && p.Cost != CostOracle && best != nil && pat != PatternI {
+				lower := p.anchorLowerBound(shape, anchor)
+				if lower >= bestCost {
+					stats.PrunedAnchors++
+					continue
+				}
+			}
+			for _, geoms := range boundaryCandidates(pat, shape.M, shape.N, anchor, p.Lib.HW.NumPEs) {
+				prog := &Program{Shape: shape, Pattern: pat}
+				total := 0.0
+				for gi, g := range geoms {
+					var reg Region
+					var c float64
+					anchored := gi == 0 && pat != PatternI
+					if p.Cost == CostOracle && gi == 0 {
+						// Oracle enumerates the primary kernel explicitly
+						// even for Pattern I, so every single-kernel
+						// program is simulated.
+						anchored = true
+					}
+					if anchored {
+						// The primary region is anchored: its boundary
+						// was derived from this kernel's tile.
+						reg = Region{M0: g.m0, N0: g.n0, M: g.m, N: g.n, K: shape.K, Kern: anchor}
+						c = p.regionCost(reg)
+					} else {
+						reg, c = p.bestKernelFor(g, shape.K)
+					}
+					prog.Regions = append(prog.Regions, reg)
+					total += c
+				}
+				if p.Cost == CostOracle {
+					total = prog.Simulate(p.Lib.HW).Cycles
+				}
+				prog.EstimatedCost = total
+				consider(prog, total)
+			}
+			if pat == PatternI && p.Cost != CostOracle {
+				// Pattern I ignores the anchor beyond region kernel
+				// choice; a single argmin pass covers all kernels.
+				break
+			}
+		}
+	}
+
+	if p.EnableSplitK {
+		for _, prog := range p.splitKCandidates(shape) {
+			cost := p.splitKCost(prog)
+			if p.Cost == CostOracle {
+				cost = prog.Simulate(p.Lib.HW).Cycles
+			}
+			prog.EstimatedCost = cost
+			consider(prog, cost)
+		}
+	}
+
+	if best == nil {
+		return nil, stats, fmt.Errorf("poly: no candidate programs for %v", shape)
+	}
+	if err := best.Validate(); err != nil {
+		return nil, stats, fmt.Errorf("poly: planned program invalid: %w", err)
+	}
+	stats.Elapsed = time.Since(start)
+	return best, stats, nil
+}
+
+// anchorLowerBound is an optimistic cost for any program whose primary
+// region uses the anchor kernel: at least one wave of one pipelined task
+// with a single reduction instance.
+func (p *Planner) anchorLowerBound(shape tensor.GemmShape, anchor kernel.MicroKernel) float64 {
+	if p.Cost == CostWaveOnly {
+		return 1
+	}
+	t3 := (shape.K + anchor.UK - 1) / anchor.UK
+	return p.Lib.PredictTask(anchor, t3)
+}
+
+// splitKCandidates builds PatternSplitK programs: the full output computed
+// ks times over contiguous reduction slices, with partial products
+// accumulated into the shared output. Splitting only helps when the
+// output-plane grid underfills the device, so candidates are generated only
+// while the split grid still gains occupancy.
+func (p *Planner) splitKCandidates(shape tensor.GemmShape) []*Program {
+	var out []*Program
+	pes := p.Lib.HW.NumPEs
+	for _, k := range p.Lib.Kernels {
+		baseTasks := ((shape.M + k.UM - 1) / k.UM) * ((shape.N + k.UN - 1) / k.UN)
+		if baseTasks >= pes {
+			continue // already a full wave; splitting only adds traffic
+		}
+		for _, ks := range []int{2, 4, 8, 16, 32} {
+			if (ks-1)*baseTasks >= pes || ks > shape.K {
+				break
+			}
+			prog := &Program{Shape: shape, Pattern: PatternSplitK}
+			for i := 0; i < ks; i++ {
+				k0 := i * shape.K / ks
+				k1 := (i + 1) * shape.K / ks
+				prog.Regions = append(prog.Regions, Region{
+					M0: 0, N0: 0, M: shape.M, N: shape.N,
+					KOff: k0, K: k1 - k0, Kern: k,
+				})
+			}
+			out = append(out, prog)
+		}
+	}
+	return out
+}
+
+// splitKCost scores a split-K program. Unlike output-plane regions, split-K
+// slices co-run over the same output, so the wave term covers the combined
+// grid rather than summing per-region waves.
+func (p *Planner) splitKCost(prog *Program) float64 {
+	total := 0
+	maxPipe := 0.0
+	for _, r := range prog.Regions {
+		total += r.Tasks()
+		_, _, t3 := r.Tiles()
+		if c := p.Lib.PredictTask(r.Kern, t3); c > maxPipe {
+			maxPipe = c
+		}
+	}
+	waves := math.Ceil(float64(total) / float64(p.Lib.HW.NumPEs))
+	switch p.Cost {
+	case CostWaveOnly:
+		return waves
+	case CostPipeOnly:
+		return maxPipe
+	default:
+		return waves * maxPipe
+	}
+}
+
+// PlanPatternI builds the best single-kernel program — the structure every
+// baseline library routine uses, and the comparison point of the case study.
+func (p *Planner) PlanPatternI(shape tensor.GemmShape) (*Program, error) {
+	saved := p.Patterns
+	p.Patterns = []PatternID{PatternI}
+	prog, _, err := p.Plan(shape)
+	p.Patterns = saved
+	return prog, err
+}

@@ -1,0 +1,58 @@
+package poly
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sketch renders the program's region layout as ASCII art on a grid of at
+// most width×height cells — the visual form of Fig. 14's polymerization
+// strategies. Each region is drawn with a distinct letter (A, B, C, ...) in
+// row-major region order.
+func (p *Program) Sketch(width, height int) string {
+	if width < 4 {
+		width = 4
+	}
+	if height < 2 {
+		height = 2
+	}
+	if len(p.Regions) == 0 || p.Shape.M <= 0 || p.Shape.N <= 0 {
+		return "(empty program)"
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = make([]byte, width)
+		for j := range grid[i] {
+			grid[i][j] = '?'
+		}
+	}
+	for ri, r := range p.Regions {
+		label := byte('A' + ri%26)
+		y0 := r.M0 * height / p.Shape.M
+		y1 := (r.M0 + r.M) * height / p.Shape.M
+		x0 := r.N0 * width / p.Shape.N
+		x1 := (r.N0 + r.N) * width / p.Shape.N
+		if y1 <= y0 {
+			y1 = y0 + 1
+		}
+		if x1 <= x0 {
+			x1 = x0 + 1
+		}
+		for y := y0; y < y1 && y < height; y++ {
+			for x := x0; x < x1 && x < width; x++ {
+				grid[y][x] = label
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "+%s+\n", strings.Repeat("-", width))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s|\n", row)
+	}
+	fmt.Fprintf(&b, "+%s+", strings.Repeat("-", width))
+	for ri, r := range p.Regions {
+		fmt.Fprintf(&b, "\n%c = %v over %dx%d at (%d,%d)",
+			'A'+ri%26, r.Kern, r.M, r.N, r.M0, r.N0)
+	}
+	return b.String()
+}

@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"mikpoly/internal/hw"
+)
+
+const eps = 1e-9
+
+// memEps is the residual-stream threshold in bytes below which a transfer
+// counts as drained; absolute because bytes have a natural scale.
+const memEps = 1e-3
+
+// timeEps is the time-comparison tolerance at clock value now. It must be
+// relative: an absolute epsilon is absorbed by float64 rounding once now
+// reaches ~1e9 cycles, stalling event progress on long simulations.
+func timeEps(now float64) float64 { return 1e-9 * (now + 1) }
+
+// perTaskBandwidthCap returns the most global bandwidth a single task can
+// consume: one PE's load/store unit cannot saturate HBM by itself, so a lone
+// task is capped well below the device total (1/16th) but never below the
+// fair share.
+func perTaskBandwidthCap(h hw.Hardware) float64 {
+	return math.Max(h.FairShareBandwidth(), h.GlobalBytesPerCycle/16)
+}
+
+// running tracks one in-flight task on a PE.
+type running struct {
+	task          Task
+	pe            int
+	start         float64 // dispatch time (for tracing)
+	memStartAt    float64 // startup completes, streaming may begin
+	computeDoneAt float64 // startup + compute fully elapsed
+	memLeft       float64 // bytes still to stream
+}
+
+func (r *running) done(now float64) bool {
+	return now+timeEps(now) >= r.computeDoneAt && r.memLeft <= memEps
+}
+
+// Run executes the task list on hardware h and returns the makespan and
+// per-PE utilization. Placement follows h.Scheduler: GPUs hand each ready
+// task to the first idle PE (hardware dynamic scheduling, so regions of a
+// polymerized program overlap and tail waves shrink); NPUs pre-assign tasks
+// with the max-min static allocation of §4 and each core drains its own list.
+func Run(h hw.Hardware, tasks []Task) Result {
+	if err := h.Validate(); err != nil {
+		panic(err)
+	}
+	if len(tasks) == 0 {
+		return Result{PEBusy: make([]float64, h.NumPEs)}
+	}
+	if res, ok := analyticFastPath(h, tasks); ok {
+		return res
+	}
+	switch h.Scheduler {
+	case hw.ScheduleStaticMaxMin:
+		return runEventLoop(h, staticAssign(h, tasks))
+	default:
+		return runEventLoop(h, dynamicQueue(tasks))
+	}
+}
+
+// fastPathMinWaves gates the analytic path: only programs whose identical
+// task runs each span many waves take it, where the boundary-wave
+// approximation error is negligible.
+const fastPathMinWaves = 64
+
+// analyticFastPath computes the makespan of very large programs in closed
+// form. For a run of identical tasks the event loop is exactly wave-lockstep
+// — every wave of |P| tasks starts and finishes together with an equal
+// bandwidth share — so the analytic result matches the event loop except at
+// region boundaries, where the dynamic scheduler would overlap one partial
+// wave with the next region's first wave (a ≤1/waves relative error at the
+// gated sizes).
+func analyticFastPath(h hw.Hardware, tasks []Task) (Result, bool) {
+	if len(tasks) < fastPathMinWaves*h.NumPEs {
+		return Result{}, false
+	}
+	// Split into runs of identical tasks; every run must itself be large.
+	type run struct {
+		t Task
+		n int
+	}
+	var runs []run
+	for _, t := range tasks {
+		if len(runs) > 0 && runs[len(runs)-1].t == t {
+			runs[len(runs)-1].n++
+		} else {
+			runs = append(runs, run{t: t, n: 1})
+		}
+	}
+	for _, r := range runs {
+		if r.n < fastPathMinWaves*h.NumPEs {
+			return Result{}, false
+		}
+	}
+
+	bwCap := perTaskBandwidthCap(h)
+	duration := func(t Task, active int) float64 {
+		share := math.Min(bwCap, h.GlobalBytesPerCycle/float64(active))
+		return t.StartupCycles + math.Max(t.ComputeCycles, t.MemBytes/share)
+	}
+	var makespan, busy float64
+	for _, r := range runs {
+		full := r.n / h.NumPEs
+		rem := r.n % h.NumPEs
+		dFull := duration(r.t, h.NumPEs)
+		makespan += float64(full) * dFull
+		busy += float64(full*h.NumPEs) * dFull
+		if rem > 0 {
+			dRem := duration(r.t, rem)
+			makespan += dRem
+			busy += float64(rem) * dRem
+		}
+	}
+	peBusy := make([]float64, h.NumPEs)
+	for i := range peBusy {
+		peBusy[i] = busy / float64(h.NumPEs)
+	}
+	return Result{Cycles: makespan, BusyPECycles: busy, NumTasks: len(tasks), PEBusy: peBusy}, true
+}
+
+// feeder abstracts task placement: next returns the task a freed PE should
+// run, or false when that PE has no more work.
+type feeder interface {
+	next(pe int) (Task, bool)
+	remaining() int
+}
+
+// dynamicQueue models the GPU hardware scheduler: a single FIFO shared by
+// all PEs.
+type dynQueue struct {
+	tasks []Task
+	head  int
+}
+
+func dynamicQueue(tasks []Task) *dynQueue { return &dynQueue{tasks: tasks} }
+
+func (q *dynQueue) next(pe int) (Task, bool) {
+	if q.head >= len(q.tasks) {
+		return Task{}, false
+	}
+	t := q.tasks[q.head]
+	q.head++
+	return t, true
+}
+
+func (q *dynQueue) remaining() int { return len(q.tasks) - q.head }
+
+// staticFeeder holds the per-PE lists computed by the max-min allocator.
+type staticFeeder struct {
+	perPE [][]Task
+	left  int
+}
+
+func (f *staticFeeder) next(pe int) (Task, bool) {
+	l := f.perPE[pe]
+	if len(l) == 0 {
+		return Task{}, false
+	}
+	t := l[0]
+	f.perPE[pe] = l[1:]
+	f.left--
+	return t, true
+}
+
+func (f *staticFeeder) remaining() int { return f.left }
+
+// staticAssign implements the max-min static allocation used on the NPU
+// platform (§4): tasks are ordered by decreasing estimated duration (with the
+// fair-share bandwidth) and each is placed on the currently least-loaded
+// core, maximizing the minimum slack — classic LPT scheduling.
+func staticAssign(h hw.Hardware, tasks []Task) *staticFeeder {
+	type est struct {
+		idx  int
+		cost float64
+	}
+	ests := make([]est, len(tasks))
+	bw := h.FairShareBandwidth()
+	for i, t := range tasks {
+		ests[i] = est{idx: i, cost: PipelinedTaskCycles(t, bw)}
+	}
+	sort.SliceStable(ests, func(a, b int) bool { return ests[a].cost > ests[b].cost })
+
+	load := make([]float64, h.NumPEs)
+	perPE := make([][]Task, h.NumPEs)
+	for _, e := range ests {
+		best := 0
+		for pe := 1; pe < h.NumPEs; pe++ {
+			if load[pe] < load[best]-eps {
+				best = pe
+			}
+		}
+		load[best] += e.cost
+		perPE[best] = append(perPE[best], tasks[e.idx])
+	}
+	return &staticFeeder{perPE: perPE, left: len(tasks)}
+}
+
+// runEventLoop is the event-driven core without tracing.
+func runEventLoop(h hw.Hardware, f feeder) Result {
+	return runEventLoopInner(h, f, nil)
+}
+
+// runEventLoopInner is the event-driven core. At every event boundary it
+// recomputes the equal bandwidth share among streaming tasks (capped per
+// task), advances streaming progress, retires finished tasks (reporting them
+// to collect when tracing), and starts new ones on idle PEs.
+func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent)) Result {
+	bwCap := perTaskBandwidthCap(h)
+	var (
+		now    float64
+		active []*running
+		peBusy = make([]float64, h.NumPEs)
+		peFree = make([]bool, h.NumPEs)
+		nTasks int
+	)
+	for i := range peFree {
+		peFree[i] = true
+	}
+
+	start := func(pe int, t Task) {
+		nTasks++
+		active = append(active, &running{
+			task:          t,
+			pe:            pe,
+			start:         now,
+			memStartAt:    now + t.StartupCycles,
+			computeDoneAt: now + t.StartupCycles + t.ComputeCycles,
+			memLeft:       t.MemBytes,
+		})
+		peFree[pe] = false
+		peBusy[pe] -= now // completed at retire time below
+	}
+
+	for {
+		// Retire finished tasks.
+		keep := active[:0]
+		for _, r := range active {
+			if r.done(now) {
+				peFree[r.pe] = true
+				peBusy[r.pe] += now
+				if collect != nil {
+					collect(TraceEvent{PE: r.pe, Tag: r.task.Tag, Start: r.start, End: now})
+				}
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		active = keep
+
+		// Fill idle PEs.
+		for pe := 0; pe < h.NumPEs; pe++ {
+			if !peFree[pe] {
+				continue
+			}
+			t, ok := f.next(pe)
+			if !ok {
+				continue
+			}
+			start(pe, t)
+		}
+
+		if len(active) == 0 {
+			if f.remaining() == 0 {
+				break
+			}
+			// Static feeder can strand work only if every PE list is
+			// empty while remaining()>0, which cannot happen; guard
+			// against infinite loops regardless.
+			panic("sim: no runnable tasks but work remains")
+		}
+
+		// Current bandwidth share among streaming tasks.
+		tEps := timeEps(now)
+		streaming := 0
+		for _, r := range active {
+			if now+tEps >= r.memStartAt && r.memLeft > memEps {
+				streaming++
+			}
+		}
+		share := bwCap
+		if streaming > 0 {
+			share = math.Min(bwCap, h.GlobalBytesPerCycle/float64(streaming))
+		}
+
+		// Next event: a startup completing, a compute finishing, or a
+		// stream draining.
+		next := math.Inf(1)
+		for _, r := range active {
+			if r.memStartAt > now+tEps {
+				next = math.Min(next, r.memStartAt)
+			} else if r.memLeft > memEps {
+				next = math.Min(next, now+r.memLeft/share)
+			}
+			if r.computeDoneAt > now+tEps {
+				next = math.Min(next, r.computeDoneAt)
+			}
+		}
+		if math.IsInf(next, 1) {
+			// Every active task is already finishable; loop retires them.
+			continue
+		}
+		if next < now+tEps {
+			// Force progress past float rounding.
+			next = now + tEps
+		}
+
+		// Advance streaming progress to the event time. Steps never cross
+		// a startup boundary: memStartAt times are event candidates.
+		dt := next - now
+		for _, r := range active {
+			if now+tEps >= r.memStartAt && r.memLeft > memEps {
+				r.memLeft = math.Max(0, r.memLeft-share*dt)
+			}
+		}
+		now = next
+	}
+
+	var busy float64
+	for _, b := range peBusy {
+		busy += b
+	}
+	return Result{Cycles: now, BusyPECycles: busy, NumTasks: nTasks, PEBusy: peBusy}
+}

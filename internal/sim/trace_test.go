@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunTraceMatchesRun(t *testing.T) {
+	h := tinyGPU()
+	tasks := []Task{
+		{ComputeCycles: 100, MemBytes: 50, Tag: 0},
+		{ComputeCycles: 200, MemBytes: 20, Tag: 0},
+		{ComputeCycles: 150, MemBytes: 80, Tag: 1},
+		{ComputeCycles: 90, MemBytes: 10, Tag: 1},
+		{ComputeCycles: 60, MemBytes: 5, Tag: 1},
+	}
+	plain := Run(h, tasks)
+	traced, events := RunTrace(h, tasks)
+	if math.Abs(plain.Cycles-traced.Cycles) > 1e-9 {
+		t.Fatalf("traced makespan %g != plain %g", traced.Cycles, plain.Cycles)
+	}
+	if len(events) != len(tasks) {
+		t.Fatalf("events = %d, want %d", len(events), len(tasks))
+	}
+	tags := map[int]int{}
+	for _, e := range events {
+		if e.End <= e.Start {
+			t.Fatalf("event with non-positive duration: %+v", e)
+		}
+		if e.End > traced.Cycles+1e-6 {
+			t.Fatalf("event ends after makespan: %+v", e)
+		}
+		if e.PE < 0 || e.PE >= h.NumPEs {
+			t.Fatalf("event on unknown PE: %+v", e)
+		}
+		tags[e.Tag]++
+	}
+	if tags[0] != 2 || tags[1] != 3 {
+		t.Fatalf("tag counts %v, want 2 and 3", tags)
+	}
+}
+
+func TestRunTraceEmpty(t *testing.T) {
+	res, events := RunTrace(tinyGPU(), nil)
+	if res.Cycles != 0 || events != nil {
+		t.Fatal("empty trace should be empty")
+	}
+}
+
+func TestRunTraceNoOverlapPerPE(t *testing.T) {
+	h := tinyGPU()
+	tasks := make([]Task, 13)
+	for i := range tasks {
+		tasks[i] = Task{ComputeCycles: float64(50 + i*10), MemBytes: float64(i * 5)}
+	}
+	_, events := RunTrace(h, tasks)
+	byPE := map[int][]TraceEvent{}
+	for _, e := range events {
+		byPE[e.PE] = append(byPE[e.PE], e)
+	}
+	for pe, evs := range byPE {
+		for i := range evs {
+			for j := i + 1; j < len(evs); j++ {
+				a, b := evs[i], evs[j]
+				if a.Start < b.End-1e-9 && b.Start < a.End-1e-9 {
+					t.Fatalf("PE %d runs two tasks at once: %+v and %+v", pe, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	events := []TraceEvent{
+		{PE: 0, Tag: 0, Start: 0, End: 50},
+		{PE: 0, Tag: 1, Start: 50, End: 100},
+		{PE: 1, Tag: 0, Start: 0, End: 100},
+	}
+	out := Timeline(events, 2, 20, 8)
+	if !strings.Contains(out, "PE0") || !strings.Contains(out, "PE1") {
+		t.Fatalf("timeline missing PE rows:\n%s", out)
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatalf("timeline missing region letters:\n%s", out)
+	}
+	if Timeline(nil, 4, 20, 8) != "(no events)" {
+		t.Fatal("empty timeline wrong")
+	}
+}
+
+func TestTimelineSubsamplesPEs(t *testing.T) {
+	var events []TraceEvent
+	for pe := 0; pe < 100; pe++ {
+		events = append(events, TraceEvent{PE: pe, Tag: 0, Start: 0, End: 10})
+	}
+	out := Timeline(events, 100, 20, 10)
+	rows := strings.Count(out, "PE")
+	if rows > 12 {
+		t.Fatalf("timeline shows %d rows, want <= ~10", rows)
+	}
+}
+
+// The Fig. 15(b) picture: an underfull second wave appears as idle tail
+// cells on most PEs.
+func TestTimelineShowsImbalance(t *testing.T) {
+	h := tinyGPU()
+	task := Task{ComputeCycles: 100}
+	tasks := []Task{task, task, task, task, task} // 5 tasks on 4 PEs
+	_, events := RunTrace(h, tasks)
+	out := Timeline(events, h.NumPEs, 16, 8)
+	// Three of four PEs are idle in the second half: dots must appear.
+	if !strings.Contains(out, "....") {
+		t.Fatalf("imbalance not visible:\n%s", out)
+	}
+}
+
+func TestRunTraceStaticScheduler(t *testing.T) {
+	h := tinyNPU()
+	tasks := []Task{
+		{ComputeCycles: 100, Tag: 0},
+		{ComputeCycles: 200, Tag: 0},
+		{ComputeCycles: 150, Tag: 1},
+	}
+	res, events := RunTrace(h, tasks)
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	plain := Run(h, tasks)
+	if math.Abs(res.Cycles-plain.Cycles) > 1e-9 {
+		t.Fatal("traced static run diverges from plain run")
+	}
+}

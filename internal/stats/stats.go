@@ -1,0 +1,127 @@
+// Package stats provides the aggregation helpers the evaluation harness
+// uses: means, geometric means, extrema, and speedup summaries matching the
+// way the paper reports results ("average speedup of 1.47× with a maximum of
+// 4.82×").
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Geomean returns the geometric mean of positive values, or 0 for an empty
+// slice. It panics on non-positive entries, which always indicate a harness
+// bug.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geomean of non-positive value %g", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Max returns the maximum, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank on a
+// copy of the input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %g out of range", p))
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	rank := int(math.Ceil(p/100*float64(len(c)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(c) {
+		rank = len(c) - 1
+	}
+	return c[rank]
+}
+
+// Summary condenses a speedup series the way the paper quotes results.
+type Summary struct {
+	N            int
+	Mean         float64
+	Geomean      float64
+	Max          float64
+	Min          float64
+	FractionOver float64 // fraction of cases with speedup > 1
+}
+
+// Summarize builds a Summary from a speedup series.
+func Summarize(speedups []float64) Summary {
+	over := 0
+	for _, s := range speedups {
+		if s > 1 {
+			over++
+		}
+	}
+	frac := 0.0
+	if len(speedups) > 0 {
+		frac = float64(over) / float64(len(speedups))
+	}
+	return Summary{
+		N:            len(speedups),
+		Mean:         Mean(speedups),
+		Geomean:      Geomean(speedups),
+		Max:          Max(speedups),
+		Min:          Min(speedups),
+		FractionOver: frac,
+	}
+}
+
+// String formats the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2fx geomean=%.2fx max=%.2fx min=%.2fx win%%=%.0f",
+		s.N, s.Mean, s.Geomean, s.Max, s.Min, 100*s.FractionOver)
+}

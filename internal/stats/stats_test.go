@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %g", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if Geomean(nil) != 0 {
+		t.Fatal("Geomean(nil)")
+	}
+	if got := Geomean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Geomean = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive input")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestMaxMin(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Max(xs) != 7 || Min(xs) != -1 {
+		t.Fatal("Max/Min wrong")
+	}
+	if Max(nil) != 0 || Min(nil) != 0 {
+		t.Fatal("empty Max/Min must be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("P50 = %g", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("P100 = %g", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("P0 = %g", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated input")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Percentile(xs, 101)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.5, 1.5, 2.0})
+	if s.N != 3 || s.Max != 2.0 || s.Min != 0.5 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.FractionOver-2.0/3) > 1e-12 {
+		t.Fatalf("FractionOver = %g", s.FractionOver)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.FractionOver != 0 {
+		t.Fatalf("empty summary %+v", empty)
+	}
+}
+
+// Property: geomean lies between min and max; mean >= geomean (AM-GM).
+func TestAMGMProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r%1000)/100 + 0.01
+		}
+		g, m := Geomean(xs), Mean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9 && m >= g-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package tensor
+
+import "fmt"
+
+// Gemm computes C = A × B with float32 accumulation, the reference
+// implementation against which every polymerized program is validated.
+// A is M×K, B is K×N, C is M×N.
+func Gemm(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: gemm dim mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	GemmInto(c, a, b)
+	return c
+}
+
+// GemmInto accumulates A × B into dst (dst += A·B). dst must be
+// a.Rows × b.Cols. Loop order (i, k, j) keeps inner accesses sequential.
+func GemmInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: gemm-into dim mismatch dst %dx%d, a %dx%d, b %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// GemmShape is a GEMM problem size (M, N, K): C[M×N] = A[M×K] × B[K×N].
+// It is the dynamic shape that MikPoly learns only at runtime.
+type GemmShape struct {
+	M, N, K int
+}
+
+// Valid reports whether every dimension is positive.
+func (s GemmShape) Valid() bool { return s.M > 0 && s.N > 0 && s.K > 0 }
+
+// FLOPs returns the floating-point operation count 2·M·N·K used on the
+// x-axes of Figs. 6, 7, 10 and 12(b).
+func (s GemmShape) FLOPs() float64 {
+	return 2 * float64(s.M) * float64(s.N) * float64(s.K)
+}
+
+// String formats the shape as (M, N, K).
+func (s GemmShape) String() string { return fmt.Sprintf("(%d,%d,%d)", s.M, s.N, s.K) }

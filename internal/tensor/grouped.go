@@ -1,0 +1,137 @@
+package tensor
+
+import "fmt"
+
+// GroupedConvShape describes a grouped convolution (ResNeXt/MobileNet-style):
+// input and output channels are partitioned into Groups independent slices,
+// each convolved with its own filter bank of shape
+// (OutC/Groups) × (InC/Groups) × KH × KW. Groups = 1 degenerates to ConvShape;
+// Groups = InC = OutC is depthwise convolution.
+type GroupedConvShape struct {
+	Conv   ConvShape
+	Groups int
+}
+
+// Valid reports whether the grouped shape is well-formed.
+func (g GroupedConvShape) Valid() bool {
+	return g.Conv.Valid() && g.Groups >= 1 &&
+		g.Conv.InC%g.Groups == 0 && g.Conv.OutC%g.Groups == 0
+}
+
+// GroupShape returns the per-group convolution.
+func (g GroupedConvShape) GroupShape() ConvShape {
+	c := g.Conv
+	c.InC = g.Conv.InC / g.Groups
+	c.OutC = g.Conv.OutC / g.Groups
+	return c
+}
+
+// GroupGemmShape returns the implicit-GEMM lowering of one group; the full
+// operator is Groups such GEMMs launched as one batch.
+func (g GroupedConvShape) GroupGemmShape() GemmShape {
+	return g.GroupShape().GemmShape()
+}
+
+// FLOPs returns the total multiply-add work across groups.
+func (g GroupedConvShape) FLOPs() float64 {
+	return g.GroupGemmShape().FLOPs() * float64(g.Groups)
+}
+
+// String formats the grouped shape.
+func (g GroupedConvShape) String() string {
+	return fmt.Sprintf("%v groups=%d", g.Conv, g.Groups)
+}
+
+// GroupedConvRef computes the grouped convolution directly. Filters are
+// OutC × (InC/Groups) × KH × KW.
+func GroupedConvRef(in, w *Tensor4, g GroupedConvShape) *Tensor4 {
+	if !g.Valid() {
+		panic(fmt.Sprintf("tensor: invalid grouped conv %v", g))
+	}
+	s := g.Conv
+	if in.N != s.Batch || in.C != s.InC || in.H != s.InH || in.W != s.InW {
+		panic(fmt.Sprintf("tensor: grouped input %dx%dx%dx%d does not match %v", in.N, in.C, in.H, in.W, g))
+	}
+	icPerG := s.InC / g.Groups
+	ocPerG := s.OutC / g.Groups
+	if w.N != s.OutC || w.C != icPerG || w.H != s.KH || w.W != s.KW {
+		panic(fmt.Sprintf("tensor: grouped filter %dx%dx%dx%d does not match %v", w.N, w.C, w.H, w.W, g))
+	}
+	oh, ow := s.OutDims()
+	out := NewTensor4(s.Batch, s.OutC, oh, ow)
+	for n := 0; n < s.Batch; n++ {
+		for oc := 0; oc < s.OutC; oc++ {
+			grp := oc / ocPerG
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var acc float32
+					for ci := 0; ci < icPerG; ci++ {
+						ic := grp*icPerG + ci
+						for ky := 0; ky < s.KH; ky++ {
+							iy := oy*s.Stride + ky - s.Pad
+							if iy < 0 || iy >= s.InH {
+								continue
+							}
+							for kx := 0; kx < s.KW; kx++ {
+								ix := ox*s.Stride + kx - s.Pad
+								if ix < 0 || ix >= s.InW {
+									continue
+								}
+								acc += in.At(n, ic, iy, ix) * w.At(oc, ci, ky, kx)
+							}
+						}
+					}
+					out.Set(n, oc, oy, ox, acc)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ExtractGroup copies one group's channel slice of an activation tensor.
+func ExtractGroup(in *Tensor4, g GroupedConvShape, group int) *Tensor4 {
+	icPerG := in.C / g.Groups
+	out := NewTensor4(in.N, icPerG, in.H, in.W)
+	for n := 0; n < in.N; n++ {
+		for c := 0; c < icPerG; c++ {
+			for y := 0; y < in.H; y++ {
+				for x := 0; x < in.W; x++ {
+					out.Set(n, c, y, x, in.At(n, group*icPerG+c, y, x))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ExtractGroupFilters copies one group's filter bank: rows
+// [group·OutC/G, (group+1)·OutC/G) of the OutC×(InC/G)×KH×KW bank.
+func ExtractGroupFilters(w *Tensor4, g GroupedConvShape, group int) *Tensor4 {
+	ocPerG := g.Conv.OutC / g.Groups
+	out := NewTensor4(ocPerG, w.C, w.H, w.W)
+	for oc := 0; oc < ocPerG; oc++ {
+		for c := 0; c < w.C; c++ {
+			for y := 0; y < w.H; y++ {
+				for x := 0; x < w.W; x++ {
+					out.Set(oc, c, y, x, w.At(group*ocPerG+oc, c, y, x))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MergeGroupOutput writes one group's output channels into the full output.
+func MergeGroupOutput(dst, groupOut *Tensor4, g GroupedConvShape, group int) {
+	ocPerG := g.Conv.OutC / g.Groups
+	for n := 0; n < groupOut.N; n++ {
+		for oc := 0; oc < ocPerG; oc++ {
+			for y := 0; y < groupOut.H; y++ {
+				for x := 0; x < groupOut.W; x++ {
+					dst.Set(n, group*ocPerG+oc, y, x, groupOut.At(n, oc, y, x))
+				}
+			}
+		}
+	}
+}

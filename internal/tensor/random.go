@@ -1,0 +1,47 @@
+package tensor
+
+// rng is a small deterministic PRNG (xorshift64*) so that tests and
+// benchmarks are reproducible without importing math/rand state handling.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// float32n returns a value in [-1, 1).
+func (r *rng) float32n() float32 {
+	return float32(int64(r.next()>>40)-1<<23) / float32(1<<23)
+}
+
+// RandomMatrix fills a rows×cols matrix with deterministic pseudo-random
+// values in [-1, 1) derived from seed.
+func RandomMatrix(rows, cols int, seed uint64) *Matrix {
+	m := NewMatrix(rows, cols)
+	r := newRNG(seed)
+	for i := range m.Data {
+		m.Data[i] = r.float32n()
+	}
+	return m
+}
+
+// RandomTensor4 fills an NCHW tensor with deterministic pseudo-random values.
+func RandomTensor4(n, c, h, w int, seed uint64) *Tensor4 {
+	t := NewTensor4(n, c, h, w)
+	r := newRNG(seed)
+	for i := range t.Data {
+		t.Data[i] = r.float32n()
+	}
+	return t
+}

@@ -1,0 +1,357 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || m.Stride != 4 {
+		t.Fatalf("unexpected dims %d %d %d", m.Rows, m.Cols, m.Stride)
+	}
+	for i := range m.Data {
+		if m.Data[i] != 0 {
+			t.Fatalf("element %d not zeroed", i)
+		}
+	}
+}
+
+func TestMatrixSetAtAdd(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if got := m.At(1, 2); got != 5 {
+		t.Fatalf("At = %v, want 5", got)
+	}
+	m.Add(1, 2, 2.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At after Add = %v, want 7.5", got)
+	}
+}
+
+func TestMatrixBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range access")
+		}
+	}()
+	m := NewMatrix(2, 2)
+	m.At(2, 0)
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows content wrong: %v", m)
+	}
+	if got := FromRows(nil); got.Rows != 0 || got.Cols != 0 {
+		t.Fatalf("FromRows(nil) = %dx%d", got.Rows, got.Cols)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged input")
+		}
+	}()
+	FromRows([][]float32{{1, 2}, {3}})
+}
+
+func TestViewSharesStorage(t *testing.T) {
+	m := RandomMatrix(6, 8, 1)
+	v := m.View(2, 3, 2, 4)
+	if v.Rows != 2 || v.Cols != 4 {
+		t.Fatalf("view dims %dx%d", v.Rows, v.Cols)
+	}
+	if v.At(0, 0) != m.At(2, 3) || v.At(1, 3) != m.At(3, 6) {
+		t.Fatal("view content mismatch")
+	}
+	v.Set(1, 1, 42)
+	if m.At(3, 4) != 42 {
+		t.Fatal("view mutation not visible in parent")
+	}
+}
+
+func TestViewOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(4, 4).View(2, 2, 3, 1)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := RandomMatrix(5, 7, 2)
+	c := m.Clone()
+	if MaxAbsDiff(m, c) != 0 {
+		t.Fatal("clone differs")
+	}
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("clone shares storage")
+	}
+	// Cloning a view must compact the stride.
+	v := m.View(1, 1, 3, 3)
+	cv := v.Clone()
+	if cv.Stride != 3 {
+		t.Fatalf("clone of view stride = %d, want 3", cv.Stride)
+	}
+	if MaxAbsDiff(v, cv) != 0 {
+		t.Fatal("view clone differs")
+	}
+}
+
+func TestZeroAndFill(t *testing.T) {
+	m := RandomMatrix(3, 3, 3)
+	m.Fill(2)
+	for i := range m.Data {
+		if m.Data[i] != 2 {
+			t.Fatal("Fill missed an element")
+		}
+	}
+	m.Zero()
+	for i := range m.Data {
+		if m.Data[i] != 0 {
+			t.Fatal("Zero missed an element")
+		}
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	p := m.PadTo(3, 4)
+	if p.Rows != 3 || p.Cols != 4 {
+		t.Fatalf("padded dims %dx%d", p.Rows, p.Cols)
+	}
+	if p.At(0, 0) != 1 || p.At(1, 1) != 4 {
+		t.Fatal("padded content moved")
+	}
+	if p.At(2, 0) != 0 || p.At(0, 3) != 0 || p.At(2, 3) != 0 {
+		t.Fatal("padding not zero")
+	}
+}
+
+func TestPadToSmallerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(4, 4).PadTo(3, 4)
+}
+
+func TestGemmSmallKnown(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}, {3, 4}})
+	b := FromRows([][]float32{{5, 6}, {7, 8}})
+	c := Gemm(a, b)
+	want := FromRows([][]float32{{19, 22}, {43, 50}})
+	if MaxAbsDiff(c, want) != 0 {
+		t.Fatalf("gemm = %v, want %v", c, want)
+	}
+}
+
+func TestGemmIdentity(t *testing.T) {
+	a := RandomMatrix(9, 9, 4)
+	id := NewMatrix(9, 9)
+	for i := 0; i < 9; i++ {
+		id.Set(i, i, 1)
+	}
+	if MaxAbsDiff(Gemm(a, id), a) != 0 {
+		t.Fatal("A·I != A")
+	}
+	if MaxAbsDiff(Gemm(id, a), a) != 0 {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestGemmMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gemm(NewMatrix(2, 3), NewMatrix(4, 2))
+}
+
+func TestGemmIntoAccumulates(t *testing.T) {
+	a := RandomMatrix(4, 5, 5)
+	b := RandomMatrix(5, 6, 6)
+	dst := NewMatrix(4, 6)
+	dst.Fill(1)
+	GemmInto(dst, a, b)
+	want := Gemm(a, b)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			if diff := dst.At(i, j) - (want.At(i, j) + 1); diff > 1e-5 || diff < -1e-5 {
+				t.Fatalf("accumulation wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// Property: GEMM distributes over horizontal splits of A — computing the top
+// and bottom row blocks separately must equal the fused product. This is the
+// algebraic fact that makes micro-kernel polymerization correct.
+func TestGemmSplitProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := int(seed%13) + 2
+		n := int(seed/13%11) + 1
+		k := int(seed/143%7) + 1
+		a := RandomMatrix(m, k, seed|1)
+		b := RandomMatrix(k, n, seed|2)
+		full := Gemm(a, b)
+		split := m / 2
+		top := Gemm(a.View(0, 0, split, k), b)
+		bot := Gemm(a.View(split, 0, m-split, k), b)
+		return AllClose(full.View(0, 0, split, n), top, 1e-4) &&
+			AllClose(full.View(split, 0, m-split, n), bot, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GEMM distributes over the reduction dimension — summing partial
+// products over K-slices equals the full product (the t3 pipelined instances
+// of a micro-kernel along the reduction loop).
+func TestGemmReductionSplitProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := int(seed%7) + 1
+		n := int(seed/7%9) + 1
+		k := int(seed/63%12) + 2
+		a := RandomMatrix(m, k, seed|1)
+		b := RandomMatrix(k, n, seed|2)
+		full := Gemm(a, b)
+		split := k / 2
+		partial := NewMatrix(m, n)
+		GemmInto(partial, a.View(0, 0, m, split), b.View(0, 0, split, n))
+		GemmInto(partial, a.View(0, split, m, k-split), b.View(split, 0, k-split, n))
+		return AllClose(full, partial, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: zero padding of A's rows and B's columns never changes the
+// valid region of the product (the local-padding technique of §3.4).
+func TestGemmPaddingProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := int(seed%9) + 1
+		n := int(seed/9%9) + 1
+		k := int(seed/81%9) + 1
+		a := RandomMatrix(m, k, seed|1)
+		b := RandomMatrix(k, n, seed|2)
+		want := Gemm(a, b)
+		ap := a.PadTo(m+3, k+2)
+		bp := b.PadTo(k+2, n+5)
+		got := Gemm(ap, bp).View(0, 0, m, n)
+		return AllClose(want, got, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGemmShape(t *testing.T) {
+	s := GemmShape{M: 4, N: 5, K: 6}
+	if !s.Valid() {
+		t.Fatal("shape should be valid")
+	}
+	if (GemmShape{M: 0, N: 5, K: 6}).Valid() {
+		t.Fatal("zero dim should be invalid")
+	}
+	if got := s.FLOPs(); got != 240 {
+		t.Fatalf("FLOPs = %v, want 240", got)
+	}
+	if s.String() != "(4,5,6)" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestRandomMatrixDeterministic(t *testing.T) {
+	a := RandomMatrix(8, 8, 7)
+	b := RandomMatrix(8, 8, 7)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Fatal("same seed produced different matrices")
+	}
+	c := RandomMatrix(8, 8, 8)
+	if MaxAbsDiff(a, c) == 0 {
+		t.Fatal("different seeds produced identical matrices")
+	}
+	for _, v := range a.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("value %v outside [-1,1)", v)
+		}
+	}
+}
+
+func TestAllCloseRelative(t *testing.T) {
+	a := FromRows([][]float32{{1000}})
+	b := FromRows([][]float32{{1000.0001}})
+	if !AllClose(a, b, 1e-5) {
+		t.Fatal("relative tolerance should accept")
+	}
+	c := FromRows([][]float32{{1001}})
+	if AllClose(a, c, 1e-5) {
+		t.Fatal("should reject 0.1% error at 1e-5 tol")
+	}
+	if AllClose(NewMatrix(1, 2), NewMatrix(2, 1), 1) {
+		t.Fatal("shape mismatch must not be close")
+	}
+}
+
+func TestViewInto(t *testing.T) {
+	m := RandomMatrix(6, 8, 9)
+	var v Matrix
+	m.ViewInto(&v, 2, 3, 2, 4)
+	want := m.View(2, 3, 2, 4)
+	if MaxAbsDiff(&v, want) != 0 {
+		t.Fatal("ViewInto content differs from View")
+	}
+	v.Set(0, 0, 42)
+	if m.At(2, 3) != 42 {
+		t.Fatal("ViewInto does not share storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range ViewInto")
+		}
+	}()
+	m.ViewInto(&v, 5, 5, 4, 4)
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float32{{1, 2, 3}, {4, 5, 6}})
+	mt := m.Transpose()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("transpose dims %dx%d", mt.Rows, mt.Cols)
+	}
+	if mt.At(0, 1) != 4 || mt.At(2, 0) != 3 {
+		t.Fatalf("transpose content wrong: %v", mt)
+	}
+	// (Aᵀ)ᵀ = A, including through views.
+	v := RandomMatrix(7, 9, 3).View(1, 2, 4, 5)
+	if MaxAbsDiff(v.Transpose().Transpose(), v.Clone()) != 0 {
+		t.Fatal("double transpose differs")
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ.
+func TestTransposeGemmProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := int(seed%9) + 1
+		n := int(seed/9%9) + 1
+		k := int(seed/81%9) + 1
+		a := RandomMatrix(m, k, seed|1)
+		b := RandomMatrix(k, n, seed|2)
+		left := Gemm(a, b).Transpose()
+		right := Gemm(b.Transpose(), a.Transpose())
+		return AllClose(left, right, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package tune
+
+import (
+	"fmt"
+	"math"
+
+	"mikpoly/internal/kernel"
+	"mikpoly/internal/perfmodel"
+)
+
+// EvolveOptions configure the mutation-based refinement search — the analog
+// of the evolutionary stage in TVM-style auto-schedulers, which escapes the
+// seed grid by perturbing promising candidates.
+type EvolveOptions struct {
+	// Rounds is the number of hill-climbing rounds per retained kernel.
+	Rounds int
+	// Seed drives the deterministic mutation choices.
+	Seed uint64
+}
+
+// DefaultEvolveOptions returns a budget that meaningfully improves small
+// seed grids without rivaling the full grid's cost.
+func DefaultEvolveOptions() EvolveOptions { return EvolveOptions{Rounds: 24, Seed: 1} }
+
+// RefineStats reports the refinement outcome.
+type RefineStats struct {
+	// Improved counts kernels replaced by a better mutant.
+	Improved int
+	// Evals counts candidate measurements performed.
+	Evals int
+}
+
+// mutRNG is a deterministic generator for mutation choices.
+type mutRNG struct{ s uint64 }
+
+func (r *mutRNG) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// mutate produces a neighbor of k: one tile dimension stepped by ±16 (or
+// doubled/halved for long-range moves), or one schedule knob changed.
+func mutate(k kernel.MicroKernel, r *mutRNG) kernel.MicroKernel {
+	m := k
+	switch r.next() % 8 {
+	case 0:
+		m.UM += 16
+	case 1:
+		m.UM = maxInt(16, m.UM-16)
+	case 2:
+		m.UN += 16
+	case 3:
+		m.UN = maxInt(16, m.UN-16)
+	case 4:
+		m.UK += 16
+	case 5:
+		m.UK = maxInt(16, m.UK-16)
+	case 6:
+		// Long-range move: double one dimension.
+		switch r.next() % 3 {
+		case 0:
+			m.UM *= 2
+		case 1:
+			m.UN *= 2
+		default:
+			m.UK *= 2
+		}
+	default:
+		m.Cfg.Stages = int(r.next()%4) + 1
+		m.Cfg.Vec = []int{1, 2, 4, 8}[r.next()%4]
+	}
+	return m
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Refine hill-climbs each retained kernel against the synthetic ranking
+// workload, accepting mutants with a better Pattern-I score, then re-ranks
+// the library and refits the performance models of changed kernels. With a
+// small seed grid (low n_gen) refinement recovers most of the quality of the
+// full grid at a fraction of the offline cost.
+func Refine(lib *Library, opt EvolveOptions) (*Library, RefineStats, error) {
+	if opt.Rounds < 1 {
+		return nil, RefineStats{}, fmt.Errorf("tune: Rounds must be >= 1, got %d", opt.Rounds)
+	}
+	shapes := SyntheticShapes(lib.Opts.NSyn)
+	rng := &mutRNG{s: opt.Seed | 1}
+	var stats RefineStats
+
+	// Each kernel is a specialist: it earns its library slot by winning
+	// some synthetic shapes. Hill-climbing on a global objective would
+	// drag every kernel toward the same generalist optimum; instead each
+	// kernel refines on the shape subset it currently wins, preserving
+	// the library's coverage while sharpening every specialist.
+	allCosts := make([][]float64, len(lib.Kernels))
+	for i, k := range lib.Kernels {
+		allCosts[i] = patternICosts(lib.HW, k, shapes)
+	}
+	wonBy := make([][]int, len(lib.Kernels))
+	for si := range shapes {
+		best, bestCost := 0, math.Inf(1)
+		for ki := range lib.Kernels {
+			if c := allCosts[ki][si]; c < bestCost {
+				bestCost = c
+				best = ki
+			}
+		}
+		wonBy[best] = append(wonBy[best], si)
+	}
+
+	scoreOn := func(k kernel.MicroKernel, subset []int) float64 {
+		stats.Evals++
+		costs := patternICosts(lib.HW, k, shapes)
+		var sum float64
+		for _, si := range subset {
+			sum += math.Log(costs[si])
+		}
+		return -sum // lower cost → higher score
+	}
+
+	allIdx := make([]int, len(shapes))
+	for i := range allIdx {
+		allIdx[i] = i
+	}
+
+	refined := make([]kernel.MicroKernel, len(lib.Kernels))
+	seen := make(map[kernel.MicroKernel]bool, len(lib.Kernels))
+	for _, k := range lib.Kernels {
+		seen[k] = true
+	}
+	for i, k := range lib.Kernels {
+		subset := wonBy[i]
+		if len(subset) == 0 {
+			subset = allIdx
+		}
+		best, bestScore := k, scoreOn(k, subset)
+		improved := false
+		for round := 0; round < opt.Rounds; round++ {
+			cand := mutate(best, rng)
+			if !cand.Feasible(lib.HW) || seen[cand] {
+				continue
+			}
+			if s := scoreOn(cand, subset); s > bestScore {
+				seen[cand] = true
+				best, bestScore = cand, s
+				improved = true
+			}
+		}
+		refined[i] = best
+		if improved {
+			stats.Improved++
+		}
+	}
+
+	// Re-rank by the same normalized criterion the generator uses.
+	costs := make([][]float64, len(refined))
+	for i, k := range refined {
+		costs[i] = patternICosts(lib.HW, k, shapes)
+	}
+	kept := rankAndPrune(refined, costs, shapes, len(refined))
+
+	out := &Library{
+		HW:      lib.HW,
+		Opts:    lib.Opts,
+		Kernels: kept,
+		models:  make(map[kernel.MicroKernel]*perfmodel.Model, len(kept)),
+	}
+	for _, k := range kept {
+		if m := lib.models[k]; m != nil {
+			out.models[k] = m
+			continue
+		}
+		k := k
+		out.models[k] = perfmodel.Fit(func(t int) float64 {
+			return MeasureTaskCost(lib.HW, k, t)
+		}, lib.Opts.NPred)
+	}
+	return out, stats, nil
+}

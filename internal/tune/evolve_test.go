@@ -1,0 +1,108 @@
+package tune
+
+import (
+	"testing"
+
+	"mikpoly/internal/hw"
+	"mikpoly/internal/kernel"
+)
+
+func TestRefineValidatesOptions(t *testing.T) {
+	lib, err := Generate(hw.A100(), Options{NGen: 2, NSyn: 3, NMik: 3, NPred: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Refine(lib, EvolveOptions{Rounds: 0}); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+}
+
+func TestRefineKeepsLibraryInvariants(t *testing.T) {
+	lib, err := Generate(hw.A100(), Options{NGen: 4, NSyn: 9, NMik: 8, NPred: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stats, err := Refine(lib, DefaultEvolveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Kernels) != len(lib.Kernels) {
+		t.Fatalf("library size changed: %d -> %d", len(lib.Kernels), len(out.Kernels))
+	}
+	seen := map[kernel.MicroKernel]bool{}
+	for _, k := range out.Kernels {
+		if !k.Feasible(out.HW) {
+			t.Fatalf("refined kernel %v infeasible", k)
+		}
+		if seen[k] {
+			t.Fatalf("duplicate kernel %v after refinement", k)
+		}
+		seen[k] = true
+		if out.Model(k) == nil {
+			t.Fatalf("refined kernel %v lacks a model", k)
+		}
+	}
+	if stats.Evals == 0 {
+		t.Fatal("no candidates evaluated")
+	}
+}
+
+func TestRefineDeterministic(t *testing.T) {
+	lib, err := Generate(hw.A100(), Options{NGen: 4, NSyn: 6, NMik: 6, NPred: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := Refine(lib, EvolveOptions{Rounds: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Refine(lib, EvolveOptions{Rounds: 16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Kernels {
+		if a.Kernels[i] != b.Kernels[i] {
+			t.Fatal("refinement is not deterministic")
+		}
+	}
+}
+
+// The motivating property: refining a small seed grid escapes its tile-size
+// bound (16·n_gen) — mutations reach tiles the grid could never generate.
+func TestRefineEscapesSeedGrid(t *testing.T) {
+	small := Options{NGen: 3, NSyn: 12, NMik: 10, NPred: 128} // grid caps tiles at 48
+	lib, err := Generate(hw.A100(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stats, err := Refine(lib, EvolveOptions{Rounds: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Improved == 0 {
+		t.Fatal("refinement improved nothing from a tiny seed grid")
+	}
+	escaped := false
+	for _, k := range out.Kernels {
+		if k.UM > 48 || k.UN > 48 || k.UK > 48 {
+			escaped = true
+		}
+	}
+	if !escaped {
+		t.Fatal("no refined kernel escaped the 48-wide seed grid")
+	}
+}
+
+func TestMutateStaysOnTileGrid(t *testing.T) {
+	r := &mutRNG{s: 99}
+	k := kernel.New(64, 64, 64, kernel.DefaultConfig())
+	for i := 0; i < 200; i++ {
+		m := mutate(k, r)
+		if m.UM%16 != 0 || m.UN%16 != 0 || m.UK%16 != 0 {
+			t.Fatalf("mutation left the 16-grid: %v", m)
+		}
+		if m.UM < 16 || m.UN < 16 || m.UK < 16 {
+			t.Fatalf("mutation produced degenerate tile: %v", m)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mikpoly/internal/hw"
+	"mikpoly/internal/kernel"
+	"mikpoly/internal/perfmodel"
+)
+
+// libraryJSON is the on-disk form of an offline-stage artifact: the device
+// description the kernels were tuned for, the hyperparameters, and the
+// kernels with their fitted models (aligned by index). The paper's
+// equivalent is the directory of compiled micro-kernel binaries plus their
+// performance-model coefficients, generated once per (operator, platform)
+// and reused forever (§4).
+type libraryJSON struct {
+	FormatVersion int                  `json:"format_version"`
+	HW            hw.Hardware          `json:"hardware"`
+	Opts          Options              `json:"options"`
+	Kernels       []kernel.MicroKernel `json:"kernels"`
+	Models        []*perfmodel.Model   `json:"models"`
+}
+
+// formatVersion guards against loading artifacts from incompatible builds.
+const formatVersion = 1
+
+// Save writes the library as JSON.
+func (l *Library) Save(w io.Writer) error {
+	out := libraryJSON{
+		FormatVersion: formatVersion,
+		HW:            l.HW,
+		Opts:          l.Opts,
+		Kernels:       l.Kernels,
+		Models:        make([]*perfmodel.Model, len(l.Kernels)),
+	}
+	for i, k := range l.Kernels {
+		m := l.models[k]
+		if m == nil {
+			return fmt.Errorf("tune: kernel %v has no fitted model", k)
+		}
+		out.Models[i] = m
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// Load restores a library saved with Save, validating device description and
+// per-kernel feasibility so a corrupted or cross-device artifact cannot be
+// used silently.
+func Load(r io.Reader) (*Library, error) {
+	var raw libraryJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("tune: decoding library: %w", err)
+	}
+	if raw.FormatVersion != formatVersion {
+		return nil, fmt.Errorf("tune: library format %d, want %d", raw.FormatVersion, formatVersion)
+	}
+	if err := raw.HW.Validate(); err != nil {
+		return nil, fmt.Errorf("tune: library hardware: %w", err)
+	}
+	if err := raw.Opts.Validate(); err != nil {
+		return nil, fmt.Errorf("tune: library options: %w", err)
+	}
+	if len(raw.Kernels) == 0 {
+		return nil, fmt.Errorf("tune: library has no kernels")
+	}
+	if len(raw.Kernels) != len(raw.Models) {
+		return nil, fmt.Errorf("tune: %d kernels but %d models", len(raw.Kernels), len(raw.Models))
+	}
+	lib := &Library{
+		HW:      raw.HW,
+		Opts:    raw.Opts,
+		Kernels: raw.Kernels,
+		models:  make(map[kernel.MicroKernel]*perfmodel.Model, len(raw.Kernels)),
+	}
+	for i, k := range raw.Kernels {
+		if !k.Feasible(raw.HW) {
+			return nil, fmt.Errorf("tune: kernel %v infeasible on %s", k, raw.HW.Name)
+		}
+		if raw.Models[i] == nil {
+			return nil, fmt.Errorf("tune: kernel %v has no model", k)
+		}
+		lib.models[k] = raw.Models[i]
+	}
+	return lib, nil
+}

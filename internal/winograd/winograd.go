@@ -1,0 +1,246 @@
+// Package winograd implements the Winograd F(2×2, 3×3) fast convolution
+// algorithm — the alternative convolution lowering the paper names as future
+// work (§7: "we recognize the potential benefits of investigating other
+// convolution implementations, such as Winograd"). For stride-1 3×3 filters
+// it computes each 2×2 output tile with 16 multiplies instead of 36 (a
+// 2.25× arithmetic reduction) at the cost of input/output transforms and a
+// larger memory footprint.
+//
+// The package provides both the numeric algorithm (validated against direct
+// convolution) and the lowering of the element-wise-multiply stage to the 16
+// batched GEMMs MikPoly plans, so the implicit-GEMM and Winograd paths can
+// be compared on the simulator substrate.
+package winograd
+
+import (
+	"fmt"
+
+	"mikpoly/internal/tensor"
+)
+
+// Applicable reports whether the Winograd F(2×2, 3×3) path supports the
+// convolution: 3×3 filter, stride 1.
+func Applicable(s tensor.ConvShape) bool {
+	return s.Valid() && s.KH == 3 && s.KW == 3 && s.Stride == 1
+}
+
+// Transform matrices for F(2×2, 3×3):
+//
+//	U = G·g·Gᵀ   (filter 3×3 → 4×4)
+//	V = Bᵀ·d·B   (input 4×4 → 4×4)
+//	Y = Aᵀ·M·A   (element product 4×4 → output 2×2)
+var (
+	gMat = [4][3]float32{
+		{1, 0, 0},
+		{0.5, 0.5, 0.5},
+		{0.5, -0.5, 0.5},
+		{0, 0, 1},
+	}
+	btMat = [4][4]float32{
+		{1, 0, -1, 0},
+		{0, 1, 1, 0},
+		{0, -1, 1, 0},
+		{0, 1, 0, -1},
+	}
+	atMat = [2][4]float32{
+		{1, 1, 1, 0},
+		{0, 1, -1, -1},
+	}
+)
+
+// transformFilter computes U = G·g·Gᵀ for one 3×3 filter.
+func transformFilter(g *[3][3]float32) [4][4]float32 {
+	var tmp [4][3]float32 // G·g
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			var acc float32
+			for k := 0; k < 3; k++ {
+				acc += gMat[i][k] * g[k][j]
+			}
+			tmp[i][j] = acc
+		}
+	}
+	var u [4][4]float32 // (G·g)·Gᵀ
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var acc float32
+			for k := 0; k < 3; k++ {
+				acc += tmp[i][k] * gMat[j][k]
+			}
+			u[i][j] = acc
+		}
+	}
+	return u
+}
+
+// transformInput computes V = Bᵀ·d·B for one 4×4 input patch.
+func transformInput(d *[4][4]float32) [4][4]float32 {
+	var tmp [4][4]float32 // Bᵀ·d
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var acc float32
+			for k := 0; k < 4; k++ {
+				acc += btMat[i][k] * d[k][j]
+			}
+			tmp[i][j] = acc
+		}
+	}
+	var v [4][4]float32 // (Bᵀ·d)·B, with B = (Bᵀ)ᵀ
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var acc float32
+			for k := 0; k < 4; k++ {
+				acc += tmp[i][k] * btMat[j][k]
+			}
+			v[i][j] = acc
+		}
+	}
+	return v
+}
+
+// transformOutput computes Y = Aᵀ·M·A for one 4×4 product tile.
+func transformOutput(m *[4][4]float32) [2][2]float32 {
+	var tmp [2][4]float32 // Aᵀ·M
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 4; j++ {
+			var acc float32
+			for k := 0; k < 4; k++ {
+				acc += atMat[i][k] * m[k][j]
+			}
+			tmp[i][j] = acc
+		}
+	}
+	var y [2][2]float32 // (Aᵀ·M)·A
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			var acc float32
+			for k := 0; k < 4; k++ {
+				acc += tmp[i][k] * atMat[j][k]
+			}
+			y[i][j] = acc
+		}
+	}
+	return y
+}
+
+// Conv computes the convolution with the F(2×2, 3×3) algorithm. The result
+// matches direct convolution up to transform rounding.
+func Conv(in, w *tensor.Tensor4, shape tensor.ConvShape) (*tensor.Tensor4, error) {
+	if !Applicable(shape) {
+		return nil, fmt.Errorf("winograd: %v is not a stride-1 3x3 convolution", shape)
+	}
+	if in.N != shape.Batch || in.C != shape.InC || in.H != shape.InH || in.W != shape.InW {
+		return nil, fmt.Errorf("winograd: input %dx%dx%dx%d does not match %v", in.N, in.C, in.H, in.W, shape)
+	}
+	if w.N != shape.OutC || w.C != shape.InC || w.H != 3 || w.W != 3 {
+		return nil, fmt.Errorf("winograd: filter %dx%dx%dx%d does not match %v", w.N, w.C, w.H, w.W, shape)
+	}
+	oh, ow := shape.OutDims()
+	out := tensor.NewTensor4(shape.Batch, shape.OutC, oh, ow)
+
+	// Pre-transform every filter: U[oc][ic].
+	u := make([][][4][4]float32, shape.OutC)
+	for oc := 0; oc < shape.OutC; oc++ {
+		u[oc] = make([][4][4]float32, shape.InC)
+		for ic := 0; ic < shape.InC; ic++ {
+			var g [3][3]float32
+			for i := 0; i < 3; i++ {
+				for j := 0; j < 3; j++ {
+					g[i][j] = w.At(oc, ic, i, j)
+				}
+			}
+			u[oc][ic] = transformFilter(&g)
+		}
+	}
+
+	tilesY := (oh + 1) / 2
+	tilesX := (ow + 1) / 2
+	v := make([][4][4]float32, shape.InC)
+	for n := 0; n < shape.Batch; n++ {
+		for ty := 0; ty < tilesY; ty++ {
+			for tx := 0; tx < tilesX; tx++ {
+				// Gather and transform the 4×4 input patch per channel.
+				for ic := 0; ic < shape.InC; ic++ {
+					var d [4][4]float32
+					for i := 0; i < 4; i++ {
+						iy := ty*2 + i - shape.Pad
+						if iy < 0 || iy >= shape.InH {
+							continue
+						}
+						for j := 0; j < 4; j++ {
+							ix := tx*2 + j - shape.Pad
+							if ix >= 0 && ix < shape.InW {
+								d[i][j] = in.At(n, ic, iy, ix)
+							}
+						}
+					}
+					v[ic] = transformInput(&d)
+				}
+				// Element-wise multiply-accumulate over channels, then
+				// inverse transform per output channel.
+				for oc := 0; oc < shape.OutC; oc++ {
+					var m [4][4]float32
+					for ic := 0; ic < shape.InC; ic++ {
+						uoc := &u[oc][ic]
+						vic := &v[ic]
+						for i := 0; i < 4; i++ {
+							for j := 0; j < 4; j++ {
+								m[i][j] += uoc[i][j] * vic[i][j]
+							}
+						}
+					}
+					y := transformOutput(&m)
+					for i := 0; i < 2; i++ {
+						oy := ty*2 + i
+						if oy >= oh {
+							continue
+						}
+						for j := 0; j < 2; j++ {
+							ox := tx*2 + j
+							if ox < ow {
+								out.Set(n, oc, oy, ox, y[i][j])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Lowering describes the compute structure of the Winograd path for the
+// planner: the element-wise stage is 16 independent GEMMs of shape
+// (tiles × OutC × InC), plus transform memory traffic.
+type Lowering struct {
+	// Gemm is the per-transform-point GEMM shape.
+	Gemm tensor.GemmShape
+	// Count is the number of such GEMMs (16 for F(2×2, 3×3)).
+	Count int
+	// TransformBytes is the extra input/filter/output transform traffic
+	// in bytes (streamed through global memory between stages).
+	TransformBytes float64
+}
+
+// Lower returns the Winograd lowering of a convolution, or an error if the
+// algorithm does not apply.
+func Lower(s tensor.ConvShape, inputBytes int) (Lowering, error) {
+	if !Applicable(s) {
+		return Lowering{}, fmt.Errorf("winograd: %v is not a stride-1 3x3 convolution", s)
+	}
+	oh, ow := s.OutDims()
+	tiles := s.Batch * ((oh + 1) / 2) * ((ow + 1) / 2)
+	// V tiles: 16 values per (tile, ic); U: 16 per (oc, ic); M: 16 per
+	// (tile, oc). Production implementations fuse the input transform
+	// into the batched GEMM's operand load and the inverse transform into
+	// its epilogue, so each intermediate costs one streaming pass rather
+	// than a DRAM round trip.
+	vBytes := float64(16*tiles*s.InC) * float64(inputBytes)
+	uBytes := float64(16*s.OutC*s.InC) * float64(inputBytes)
+	mBytes := float64(16*tiles*s.OutC) * float64(inputBytes)
+	return Lowering{
+		Gemm:           tensor.GemmShape{M: tiles, N: s.OutC, K: s.InC},
+		Count:          16,
+		TransformBytes: vBytes + uBytes + mBytes,
+	}, nil
+}

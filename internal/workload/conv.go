@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"fmt"
+
+	"mikpoly/internal/tensor"
+)
+
+// ConvCase is one convolution benchmark case.
+type ConvCase struct {
+	ID       string
+	Category string
+	Shape    tensor.ConvShape
+}
+
+// convLayerSpec describes one convolution layer family from Table 4: a
+// filter geometry plus the dynamic input-channel range sampled by the suite.
+type convLayerSpec struct {
+	model          string
+	kh, kw         int
+	stride         int
+	pad            int
+	inCLo, inCHi   int
+	outCLo, outCHi int
+	res            int // nominal input resolution at this layer depth
+	cases          int // test-case count from Table 4
+}
+
+// table4Specs mirrors the rows of Table 4; the per-row case counts sum to
+// 5485. Channel ranges follow the "[lo, hi]" dynamic channel sweeps of the
+// table, and the nominal resolutions follow each model's layer depths.
+var table4Specs = []convLayerSpec{
+	// AlexNet
+	{"alexnet", 11, 11, 4, 2, 3, 3, 64, 640, 224, 80},
+	{"alexnet", 3, 3, 1, 1, 3, 39, 64, 384, 27, 240},
+	// GoogLeNet
+	{"googlenet", 7, 7, 2, 3, 3, 3, 64, 640, 224, 80},
+	{"googlenet", 1, 1, 1, 0, 16, 160, 16, 160, 56, 160},
+	{"googlenet", 3, 3, 1, 1, 8, 80, 8, 80, 28, 880},
+	{"googlenet", 1, 1, 1, 0, 4, 40, 4, 40, 14, 1760},
+	{"googlenet", 3, 3, 1, 1, 2, 40, 2, 40, 14, 240},
+	{"googlenet", 1, 1, 1, 0, 2, 20, 2, 20, 7, 720},
+	// ResNet-18
+	{"resnet", 1, 1, 1, 0, 16, 160, 16, 160, 56, 240},
+	{"resnet", 3, 3, 1, 1, 8, 80, 8, 80, 28, 240},
+	{"resnet", 3, 3, 1, 1, 4, 40, 4, 40, 14, 240},
+	{"resnet", 3, 3, 1, 1, 2, 20, 2, 20, 7, 160},
+	// VGG-11
+	{"vgg", 3, 3, 1, 1, 64, 640, 64, 640, 224, 77},
+	{"vgg", 3, 3, 1, 1, 32, 320, 32, 320, 112, 80},
+	{"vgg", 3, 3, 1, 1, 16, 160, 16, 160, 56, 128},
+	{"vgg", 3, 3, 1, 1, 8, 80, 8, 80, 28, 80},
+	{"vgg", 3, 3, 1, 1, 4, 40, 4, 40, 14, 80},
+}
+
+// Table4Suite returns the full 5485-case convolution suite.
+func Table4Suite() []ConvCase {
+	r := newRNG(2001)
+	var out []ConvCase
+	for _, spec := range table4Specs {
+		for i := 0; i < spec.cases; i++ {
+			s := tensor.ConvShape{
+				Batch:  r.logIn(1, 16),
+				InC:    r.intIn(spec.inCLo, spec.inCHi),
+				InH:    spec.res,
+				InW:    spec.res,
+				OutC:   r.intIn(spec.outCLo, spec.outCHi),
+				KH:     spec.kh,
+				KW:     spec.kw,
+				Stride: spec.stride,
+				Pad:    spec.pad,
+			}
+			if !s.Valid() {
+				panic(fmt.Sprintf("workload: generated invalid conv case %v", s))
+			}
+			out = append(out, ConvCase{
+				ID:       fmt.Sprintf("conv/%s/%dx%d/%d", spec.model, spec.kh, spec.kw, i),
+				Category: spec.model,
+				Shape:    s,
+			})
+		}
+	}
+	return out
+}
+
+// SubsampleConv mirrors Subsample for convolution suites.
+func SubsampleConv(cases []ConvCase, target int) []ConvCase {
+	if target <= 0 || target >= len(cases) {
+		return cases
+	}
+	step := (len(cases) + target - 1) / target
+	out := make([]ConvCase, 0, target)
+	for i := 0; i < len(cases); i += step {
+		out = append(out, cases[i])
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"fmt"
+
+	"mikpoly/internal/tensor"
+)
+
+// LlamaOp identifies one of the four GEMM operators of Table 8 in the
+// Llama2-13b decoder layer under 4-way tensor parallelism (hidden 5120,
+// 40 heads, FFN 13824; per-GPU slices as reported by the paper).
+type LlamaOp struct {
+	// Layer is the operator name (qkv_proj, o_proj, ffn_up, ffn_down).
+	Layer string
+	// M and K are the static dimensions of the weight slice; N is the
+	// dynamic token dimension (batch × sequence tokens in flight).
+	M, K int
+}
+
+// LlamaOps returns the four operators of Table 8.
+func LlamaOps() []LlamaOp {
+	return []LlamaOp{
+		{Layer: "qkv_proj", M: 3840, K: 5120},
+		{Layer: "o_proj", M: 5120, K: 1280},
+		{Layer: "ffn_up", M: 3456, K: 5120},
+		{Layer: "ffn_down", M: 5120, K: 3456},
+	}
+}
+
+// LlamaTokenCounts returns the distinct dynamic-N values of §5.2.4: sequence
+// lengths 2^0..2^9 crossed with batch sizes 2^0..2^3 give the distinct
+// products 2^0..2^12.
+func LlamaTokenCounts() []int {
+	var out []int
+	for i := 0; i <= 12; i++ {
+		out = append(out, 1<<i)
+	}
+	return out
+}
+
+// Table8Suite returns the 52 unique GEMM test cases of Table 8: the four
+// operators crossed with the 13 distinct token counts.
+func Table8Suite() []Case {
+	var out []Case
+	for _, op := range LlamaOps() {
+		for _, n := range LlamaTokenCounts() {
+			out = append(out, Case{
+				ID:       fmt.Sprintf("llama2-13b/%s/n%d", op.Layer, n),
+				Category: op.Layer,
+				Shape:    tensor.GemmShape{M: op.M, N: n, K: op.K},
+			})
+		}
+	}
+	return out
+}
