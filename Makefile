@@ -1,0 +1,32 @@
+# Verification gate for the MikPoly reproduction. `make verify` is the
+# one-command CI check: static analysis, full build, and the complete test
+# suite under the race detector.
+
+GO ?= go
+
+.PHONY: verify vet build test race fuzz bench clean
+
+verify: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing burst against the serving layer's input handling.
+fuzz:
+	$(GO) test ./internal/serve/ -run '^$$' -fuzz FuzzPlanRequest -fuzztime 10s
+	$(GO) test ./internal/serve/ -run '^$$' -fuzz FuzzGemmShape -fuzztime 10s
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,108 @@
+// Command mikserve runs the MikPoly compilation service: an HTTP server that
+// polymerizes micro-kernel programs for the GEMM shapes clients POST to it.
+//
+//	mikserve -addr :8097
+//	curl -s localhost:8097/plan -d '{"m":4096,"n":1024,"k":4096}'
+//	curl -s localhost:8097/execute -d '{"m":128,"n":96,"k":64}'
+//	curl -s localhost:8097/healthz
+//	curl -s localhost:8097/stats
+//
+// The serving layer (internal/serve) provides admission control, request
+// timeouts and size limits, panic recovery, planner deadlines with graceful
+// degradation to an always-legal fallback program, and — when fault injection
+// is enabled — re-planning with exponential backoff.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mikpoly/internal/core"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/serve"
+	"mikpoly/internal/sim"
+	"mikpoly/internal/tune"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8097", "listen address")
+		hwName      = flag.String("hw", "a100", "hardware model: a100, a100cuda, ascend910")
+		cacheCap    = flag.Int("cache", core.DefaultCacheCapacity, "program cache capacity (LRU entries)")
+		inFlight    = flag.Int("inflight", 0, "max in-flight requests (0 = default)")
+		planTimeout = flag.Duration("plan-timeout", 0, "planner deadline; exceeded plans degrade to the fallback program (0 = default, negative = always degrade)")
+		reqTimeout  = flag.Duration("timeout", 0, "per-request timeout (0 = default)")
+		faultRate   = flag.Float64("fault-rate", 0, "injected transient task-fault probability [0,1]")
+		faultSeed   = flag.Uint64("fault-seed", 1, "fault injection seed")
+		dropPEs     = flag.Int("drop-pes", 0, "number of simulated dead PEs")
+	)
+	flag.Parse()
+
+	var h hw.Hardware
+	switch *hwName {
+	case "a100":
+		h = hw.A100()
+	case "a100cuda":
+		h = hw.A100CUDACores()
+	case "ascend910":
+		h = hw.Ascend910()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown hardware %q\n", *hwName)
+		os.Exit(2)
+	}
+
+	log.Printf("mikserve: generating micro-kernel library for %s ...", h.Name)
+	compiler, err := core.NewCompiler(h, tune.DefaultOptions(), core.WithCacheCapacity(*cacheCap))
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("mikserve: library ready (%d kernels)", len(compiler.Library().Kernels))
+
+	cfg := serve.Config{
+		MaxInFlight:    *inFlight,
+		RequestTimeout: *reqTimeout,
+		PlanTimeout:    *planTimeout,
+	}
+	if *faultRate > 0 || *dropPEs > 0 {
+		f := &sim.Faults{Seed: *faultSeed, TaskFaultRate: *faultRate}
+		for pe := 0; pe < *dropPEs && pe < h.NumPEs; pe++ {
+			f.DropPEs = append(f.DropPEs, pe)
+		}
+		cfg.Faults = f
+		log.Printf("mikserve: fault injection enabled (rate=%g, dead PEs=%v, seed=%d)",
+			*faultRate, f.DropPEs, *faultSeed)
+	}
+
+	hs := &http.Server{
+		Addr:         *addr,
+		Handler:      serve.New(compiler, cfg).Handler(),
+		ReadTimeout:  15 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			log.Printf("mikserve: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("mikserve: serving on http://%s (plan, execute, healthz, stats)", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("mikserve: drained and stopped")
+}

@@ -1,27 +1,33 @@
 // A dynamic-shape compilation service: the deployment shape of MikPoly in a
 // serving stack. Worker processes POST the GEMM shapes they encounter at
-// runtime; the service polymerizes a program for each (caching per shape)
-// and returns the selected strategy and its predicted/simulated performance
-// as JSON.
+// runtime; the hardened serving layer (internal/serve) polymerizes a program
+// for each — caching per shape, degrading gracefully under planner deadlines,
+// and retrying with backoff when fault injection reports a bad run.
 //
-//	go run ./examples/server            # serves on :8097
+//	go run ./examples/server            # serves on 127.0.0.1:8097
 //	curl -s localhost:8097/plan -d '{"m":4096,"n":1024,"k":4096}'
 //
-// The example also exercises itself: it starts the server, issues a few
-// requests, prints the responses, and shuts down.
+// The example also exercises itself: it starts the server, issues plan and
+// execute requests (including one against a fault-injected device), prints
+// the responses and server stats, and shuts down cleanly.
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"time"
 
-	"mikpoly"
+	"mikpoly/internal/core"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/serve"
+	"mikpoly/internal/sim"
+	"mikpoly/internal/tune"
 )
 
 // planRequest is the wire format of a compilation request.
@@ -31,121 +37,137 @@ type planRequest struct {
 	K int `json:"k"`
 }
 
-// regionInfo describes one region of the returned program.
-type regionInfo struct {
-	RowOffset int    `json:"row_offset"`
-	Rows      int    `json:"rows"`
-	ColOffset int    `json:"col_offset"`
-	Cols      int    `json:"cols"`
-	Kernel    string `json:"kernel"`
-}
-
-// planResponse is the wire format of a compilation result.
+// planResponse mirrors the fields of serve's /plan answer we print.
 type planResponse struct {
-	Shape      string       `json:"shape"`
-	Pattern    string       `json:"pattern"`
-	Regions    []regionInfo `json:"regions"`
-	Tasks      int          `json:"tasks"`
-	SimCycles  float64      `json:"sim_cycles"`
-	SimTFLOPS  float64      `json:"sim_tflops"`
-	Efficiency float64      `json:"pe_efficiency"`
+	Shape      string `json:"shape"`
+	Pattern    string `json:"pattern"`
+	Regions    []json.RawMessage
+	Degraded   bool    `json:"degraded"`
+	SimTFLOPS  float64 `json:"sim_tflops"`
+	Efficiency float64 `json:"pe_efficiency"`
 }
 
-// server wraps a compiler behind HTTP.
-type server struct {
-	compiler *mikpoly.Compiler
+// execResponse mirrors the fields of serve's /execute answer we print.
+type execResponse struct {
+	Shape        string  `json:"shape"`
+	Degraded     bool    `json:"degraded"`
+	Attempts     int     `json:"attempts"`
+	FaultedTasks int     `json:"faulted_tasks"`
+	Checksum     float64 `json:"checksum"`
 }
 
-func (s *server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST a JSON body like {\"m\":4096,\"n\":1024,\"k\":4096}", http.StatusMethodNotAllowed)
-		return
-	}
-	var req planRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	shape := mikpoly.GemmShape{M: req.M, N: req.N, K: req.K}
-	if !shape.Valid() {
-		http.Error(w, fmt.Sprintf("invalid shape %v", shape), http.StatusBadRequest)
-		return
-	}
-	prog, err := s.compiler.Plan(shape)
+func post(client *http.Client, url string, req any, resp any) error {
+	body, err := json.Marshal(req)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+		return err
 	}
-	res := prog.Simulate(s.compiler.Hardware())
-	h := s.compiler.Hardware()
-	resp := planResponse{
-		Shape:      shape.String(),
-		Pattern:    prog.Pattern.String(),
-		Tasks:      res.NumTasks,
-		SimCycles:  res.Cycles,
-		SimTFLOPS:  shape.FLOPs() / h.CyclesToSeconds(res.Cycles) / 1e12,
-		Efficiency: res.Efficiency(),
+	r, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
 	}
-	for _, reg := range prog.Regions {
-		resp.Regions = append(resp.Regions, regionInfo{
-			RowOffset: reg.M0, Rows: reg.M,
-			ColOffset: reg.N0, Cols: reg.N,
-			Kernel: reg.Kern.String(),
-		})
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&e)
+		return fmt.Errorf("%s: %s", r.Status, e.Error)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("encode: %v", err)
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// startServer builds a hardened server for the compiler and serves it on a
+// loopback listener until shutdown.
+func startServer(compiler *core.Compiler, cfg serve.Config) (*http.Server, net.Listener, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
 	}
+	hs := &http.Server{
+		Handler: serve.New(compiler, cfg).Handler(),
+		// The serve layer already bounds bodies (http.MaxBytesReader) and
+		// per-request work; these bound the connection itself.
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 20 * time.Second,
+		IdleTimeout:  time.Minute,
+	}
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+	return hs, ln, nil
 }
 
 func main() {
 	fmt.Println("== MikPoly compilation service ==")
-	compiler, err := mikpoly.NewCompiler(mikpoly.A100(), mikpoly.DefaultOptions())
+	compiler, err := core.NewCompiler(hw.A100(), tune.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &server{compiler: compiler}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/plan", srv.handlePlan)
 
-	ln, err := net.Listen("tcp", "127.0.0.1:8097")
+	// A mildly hostile device: 5% of simulated tasks report transient
+	// faults, so some /execute calls re-plan with backoff.
+	hs, ln, err := startServer(compiler, serve.Config{
+		MaxInFlight: 8,
+		RetryBase:   2 * time.Millisecond,
+		RetryMax:    20 * time.Millisecond,
+		Faults:      &sim.Faults{Seed: 11, TaskFaultRate: 0.05},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs := &http.Server{Handler: mux}
-	go func() {
-		if err := hs.Serve(ln); err != http.ErrServerClosed {
-			log.Fatal(err)
-		}
-	}()
-	fmt.Printf("serving on http://%s/plan\n\n", ln.Addr())
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	fmt.Printf("serving on %s/plan\n\n", base)
 
-	// Exercise the service as a client would.
 	client := &http.Client{Timeout: 10 * time.Second}
 	for _, req := range []planRequest{
 		{M: 4096, N: 1024, K: 4096},
 		{M: 105, N: 1024, K: 12544},
 		{M: 37, N: 768, K: 768},
 	} {
-		body, _ := json.Marshal(req)
-		resp, err := client.Post(fmt.Sprintf("http://%s/plan", ln.Addr()),
-			"application/json", bytes.NewReader(body))
-		if err != nil {
-			log.Fatal(err)
-		}
 		var pr planResponse
-		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		if err := post(client, base+"/plan", req, &pr); err != nil {
 			log.Fatal(err)
 		}
-		resp.Body.Close()
 		fmt.Printf("%s -> pattern %s, %d region(s), %.1f TFLOPS, %.0f%% PE efficiency\n",
 			pr.Shape, pr.Pattern, len(pr.Regions), pr.SimTFLOPS, 100*pr.Efficiency)
-		for _, reg := range pr.Regions {
-			fmt.Printf("    rows %d+%d cols %d+%d %s\n",
-				reg.RowOffset, reg.Rows, reg.ColOffset, reg.Cols, reg.Kernel)
-		}
 	}
+
+	fmt.Println("\nexecuting on the fault-injected device:")
+	var er execResponse
+	if err := post(client, base+"/execute", planRequest{M: 96, N: 80, K: 64}, &er); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s -> %d attempt(s), %d faulted task(s) in final run, checksum %.1f\n",
+		er.Shape, er.Attempts, er.FaultedTasks, er.Checksum)
+
+	// Malformed and oversized requests are rejected, not crashed on.
+	for _, bad := range []planRequest{{M: -3, N: 8, K: 8}, {M: 1 << 30, N: 1 << 30, K: 1 << 30}} {
+		var pr planResponse
+		err := post(client, base+"/plan", bad, &pr)
+		fmt.Printf("rejected %v: %v\n", bad, err)
+	}
+
+	var stats struct {
+		Requests int64 `json:"requests"`
+		Degraded int64 `json:"degraded"`
+		Retries  int64 `json:"retries"`
+		Cache    struct {
+			Size int `json:"size"`
+			Hits int `json:"hits"`
+		} `json:"cache"`
+	}
+	r, err := client.Get(base + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	r.Body.Close()
+	fmt.Printf("\nstats: %d requests, %d degraded, %d retries, %d cached program(s)\n",
+		stats.Requests, stats.Degraded, stats.Retries, stats.Cache.Size)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()

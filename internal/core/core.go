@@ -1,12 +1,21 @@
 // Package core assembles MikPoly's two stages into the compiler described in
 // §3.5 / Fig. 4: an offline micro-kernel library (S1) plus the on-the-fly
-// polymerization planner (S2), fronted by a program cache so that a shape
-// seen twice pays the (already microsecond-scale) online cost once — the
-// deployment shape of the paper's end-to-end experiments, where the same
+// polymerization planner (S2), fronted by a bounded program cache so that a
+// shape seen twice pays the (already microsecond-scale) online cost once —
+// the deployment shape of the paper's end-to-end experiments, where the same
 // operator shapes recur across model layers.
+//
+// The compiler is hardened for serving: the per-shape cache is a bounded LRU
+// (memory stays flat under unbounded shape streams), concurrent requests for
+// the same uncached shape are deduplicated into one planner invocation
+// (singleflight), planning accepts a context for deadlines/cancellation,
+// planner panics are isolated into errors, and PlanOrFallback degrades to
+// the always-legal single-kernel program instead of failing a request.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -23,34 +32,66 @@ type Compiler struct {
 	lib     *tune.Library
 	planner *poly.Planner
 
-	mu    sync.Mutex
-	cache map[tensor.GemmShape]*poly.Program
+	// planFn is the planner invocation; a seam tests use to inject slow or
+	// panicking planners.
+	planFn func(ctx context.Context, shape tensor.GemmShape) (*poly.Program, poly.PlanStats, error)
+
+	mu       sync.Mutex
+	cache    *lruCache
+	inflight map[tensor.GemmShape]*planCall
 
 	// aggregate online-stage statistics (Fig. 12a accounting)
 	planCount int
 	planStats poly.PlanStats
+
+	// robustness counters
+	fallbacks     int64
+	plannerPanics int64
+}
+
+// planCall is one in-flight singleflight planning operation: the first
+// caller for an uncached shape plans; later callers wait on done.
+type planCall struct {
+	done chan struct{}
+	prog *poly.Program
+	err  error
+}
+
+// Option configures a Compiler at construction.
+type Option func(*Compiler)
+
+// WithCacheCapacity bounds the program cache to n entries (default
+// DefaultCacheCapacity). Values < 1 select the default.
+func WithCacheCapacity(n int) Option {
+	return func(c *Compiler) { c.cache = newLRU(n) }
 }
 
 // NewCompiler runs the offline stage for hardware h and returns a ready
 // compiler. Offline generation is the expensive step ("approximately 6 hours
 // for GEMM on GPUs" in the paper; ~100 ms on the simulator substrate) and is
 // reused for every shape thereafter.
-func NewCompiler(h hw.Hardware, opt tune.Options) (*Compiler, error) {
+func NewCompiler(h hw.Hardware, opt tune.Options, opts ...Option) (*Compiler, error) {
 	lib, err := tune.Generate(h, opt)
 	if err != nil {
 		return nil, err
 	}
-	return NewCompilerFromLibrary(lib), nil
+	return NewCompilerFromLibrary(lib, opts...), nil
 }
 
 // NewCompilerFromLibrary wraps an existing offline library (for sharing one
 // library across compiler variants).
-func NewCompilerFromLibrary(lib *tune.Library) *Compiler {
-	return &Compiler{
-		lib:     lib,
-		planner: poly.NewPlanner(lib),
-		cache:   make(map[tensor.GemmShape]*poly.Program),
+func NewCompilerFromLibrary(lib *tune.Library, opts ...Option) *Compiler {
+	c := &Compiler{
+		lib:      lib,
+		planner:  poly.NewPlanner(lib),
+		cache:    newLRU(DefaultCacheCapacity),
+		inflight: make(map[tensor.GemmShape]*planCall),
 	}
+	c.planFn = c.planner.PlanContext
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // Name implements the baseline.Planner interface for head-to-head reports.
@@ -67,43 +108,158 @@ func (c *Compiler) Library() *tune.Library { return c.lib }
 // cached does not invalidate the cache; call ClearCache as needed.
 func (c *Compiler) Planner() *poly.Planner { return c.planner }
 
-// ClearCache drops all cached programs.
+// ClearCache drops all cached programs (cumulative cache counters persist).
 func (c *Compiler) ClearCache() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.cache = make(map[tensor.GemmShape]*poly.Program)
+	c.cache.clear()
+}
+
+// Invalidate drops the cached program for one shape — e.g. after an
+// execution fault report — so the next request re-plans it.
+func (c *Compiler) Invalidate(shape tensor.GemmShape) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache.remove(shape)
+}
+
+// CacheStats reports the program cache bound and cumulative hit/miss/eviction
+// counts.
+func (c *Compiler) CacheStats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cache.stats()
+}
+
+// HealthStats reports the robustness counters.
+type HealthStats struct {
+	// Fallbacks counts requests answered with the single-kernel
+	// graceful-degradation program.
+	Fallbacks int64
+	// PlannerPanics counts planner panics converted into errors.
+	PlannerPanics int64
+}
+
+// Health returns the cumulative robustness counters.
+func (c *Compiler) Health() HealthStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return HealthStats{Fallbacks: c.fallbacks, PlannerPanics: c.plannerPanics}
 }
 
 // Plan returns the optimized program S* for a runtime shape, caching per
 // shape. It never fails on a valid shape — MikPoly's arbitrary-shape
 // guarantee.
 func (c *Compiler) Plan(shape tensor.GemmShape) (*poly.Program, error) {
-	c.mu.Lock()
-	if prog, ok := c.cache[shape]; ok {
+	return c.PlanContext(context.Background(), shape)
+}
+
+// PlanContext is Plan under a caller-supplied context: the online search is
+// cancelled when ctx expires. Concurrent calls for the same uncached shape
+// coalesce into a single planner invocation (singleflight); waiters whose
+// own context outlives a leader that died of its context retry as the new
+// leader.
+func (c *Compiler) PlanContext(ctx context.Context, shape tensor.GemmShape) (*poly.Program, error) {
+	if !shape.Valid() {
+		return nil, fmt.Errorf("core: invalid shape %v", shape)
+	}
+	for {
+		c.mu.Lock()
+		if prog, ok := c.cache.get(shape); ok {
+			c.mu.Unlock()
+			return prog, nil
+		}
+		if call, ok := c.inflight[shape]; ok {
+			c.mu.Unlock()
+			select {
+			case <-call.done:
+				if call.err == nil {
+					return call.prog, nil
+				}
+				if isCtxErr(call.err) && ctx.Err() == nil {
+					continue // leader's deadline, not ours: retry as leader
+				}
+				return nil, call.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		call := &planCall{done: make(chan struct{})}
+		c.inflight[shape] = call
 		c.mu.Unlock()
-		return prog, nil
-	}
-	c.mu.Unlock()
 
-	prog, stats, err := c.planner.Plan(shape)
-	if err != nil {
-		return nil, err
-	}
+		prog, stats, err := c.planIsolated(ctx, shape)
 
+		c.mu.Lock()
+		delete(c.inflight, shape)
+		if err == nil {
+			c.cache.add(shape, prog)
+			c.planCount++
+			c.planStats.Candidates += stats.Candidates
+			c.planStats.PrunedAnchors += stats.PrunedAnchors
+			c.planStats.Elapsed += stats.Elapsed
+		}
+		c.mu.Unlock()
+
+		call.prog, call.err = prog, err
+		close(call.done)
+		return prog, err
+	}
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// planIsolated runs the planner with panic isolation: a panicking planner
+// (corrupted library, cost-model bug) becomes an error the serving layer can
+// degrade on, instead of killing the process.
+func (c *Compiler) planIsolated(ctx context.Context, shape tensor.GemmShape) (prog *poly.Program, stats poly.PlanStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.mu.Lock()
+			c.plannerPanics++
+			c.mu.Unlock()
+			prog, err = nil, fmt.Errorf("core: planner panic for %v: %v", shape, r)
+		}
+	}()
+	return c.planFn(ctx, shape)
+}
+
+// PlanOrFallback returns the optimized program for shape, degrading to the
+// always-legal single-kernel program (local padding makes it valid for every
+// positive shape, §3.4) when planning fails, panics, or exceeds ctx's
+// deadline. degraded reports whether the fallback path was taken. Fallback
+// programs are not cached, so a later request retries full polymerization.
+// Only an invalid shape or an unusable library yields an error.
+func (c *Compiler) PlanOrFallback(ctx context.Context, shape tensor.GemmShape) (prog *poly.Program, degraded bool, err error) {
+	prog, err = c.PlanContext(ctx, shape)
+	if err == nil {
+		return prog, false, nil
+	}
+	if !shape.Valid() {
+		return nil, false, err
+	}
+	fb, ferr := poly.FallbackProgram(c.lib, shape)
+	if ferr != nil {
+		return nil, false, errors.Join(err, ferr)
+	}
 	c.mu.Lock()
-	c.cache[shape] = prog
-	c.planCount++
-	c.planStats.Candidates += stats.Candidates
-	c.planStats.PrunedAnchors += stats.PrunedAnchors
-	c.planStats.Elapsed += stats.Elapsed
+	c.fallbacks++
 	c.mu.Unlock()
-	return prog, nil
+	return fb, true, nil
 }
 
 // PlanUncached runs the online stage without consulting or filling the
 // cache, returning its statistics — used to measure polymerization overhead.
 func (c *Compiler) PlanUncached(shape tensor.GemmShape) (*poly.Program, poly.PlanStats, error) {
-	return c.planner.Plan(shape)
+	return c.PlanUncachedContext(context.Background(), shape)
+}
+
+// PlanUncachedContext is PlanUncached under a caller-supplied context, with
+// the same panic isolation as the cached path.
+func (c *Compiler) PlanUncachedContext(ctx context.Context, shape tensor.GemmShape) (*poly.Program, poly.PlanStats, error) {
+	return c.planIsolated(ctx, shape)
 }
 
 // PlanStats returns the number of online plans performed and their summed
@@ -117,10 +273,16 @@ func (c *Compiler) PlanStats() (int, poly.PlanStats) {
 // GEMM plans (or reuses) a program for the operand shapes and executes it
 // numerically: C = A × B.
 func (c *Compiler) GEMM(a, b *tensor.Matrix) (*tensor.Matrix, error) {
+	return c.GEMMContext(context.Background(), a, b)
+}
+
+// GEMMContext is GEMM under a caller-supplied context bounding the planning
+// stage.
+func (c *Compiler) GEMMContext(ctx context.Context, a, b *tensor.Matrix) (*tensor.Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("core: GEMM dim mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	prog, err := c.Plan(tensor.GemmShape{M: a.Rows, N: b.Cols, K: a.Cols})
+	prog, err := c.PlanContext(ctx, tensor.GemmShape{M: a.Rows, N: b.Cols, K: a.Cols})
 	if err != nil {
 		return nil, err
 	}
@@ -143,10 +305,16 @@ func (c *Compiler) GEMMFused(a, b *tensor.Matrix, ep engine.Epilogue) (*tensor.M
 
 // Conv plans and executes a convolution through the implicit-GEMM path.
 func (c *Compiler) Conv(in, filters *tensor.Tensor4, shape tensor.ConvShape) (*tensor.Tensor4, error) {
+	return c.ConvContext(context.Background(), in, filters, shape)
+}
+
+// ConvContext is Conv under a caller-supplied context bounding the planning
+// stage.
+func (c *Compiler) ConvContext(ctx context.Context, in, filters *tensor.Tensor4, shape tensor.ConvShape) (*tensor.Tensor4, error) {
 	if !shape.Valid() {
 		return nil, fmt.Errorf("core: invalid conv shape %v", shape)
 	}
-	prog, err := c.Plan(shape.GemmShape())
+	prog, err := c.PlanContext(ctx, shape.GemmShape())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"container/list"
+
+	"mikpoly/internal/poly"
+	"mikpoly/internal/tensor"
+)
+
+// DefaultCacheCapacity bounds the program cache when no explicit capacity is
+// configured. Cached programs are small (a handful of regions), but a
+// serving process sees an unbounded stream of distinct runtime shapes, so
+// the cache must be bounded to hold memory steady under adversarial or
+// long-tailed traffic.
+const DefaultCacheCapacity = 1024
+
+// CacheStats reports the program cache's bound and cumulative behaviour.
+// JSON tags match the snake_case wire format of the serving layer's /stats.
+type CacheStats struct {
+	// Capacity is the configured bound; Size is the current entry count
+	// (Size <= Capacity always holds).
+	Capacity int `json:"capacity"`
+	Size     int `json:"size"`
+	// Hits, Misses and Evictions are cumulative since compiler creation;
+	// ClearCache resets Size but not the counters.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// lruEntry is one cached program keyed by its shape.
+type lruEntry struct {
+	shape tensor.GemmShape
+	prog  *poly.Program
+}
+
+// lruCache is a bounded least-recently-used program cache. It is not
+// goroutine-safe; the Compiler serializes access under its mutex.
+type lruCache struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[tensor.GemmShape]*list.Element
+
+	hits, misses, evictions int64
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = DefaultCacheCapacity
+	}
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[tensor.GemmShape]*list.Element, capacity),
+	}
+}
+
+// get returns the cached program for shape and refreshes its recency.
+func (c *lruCache) get(shape tensor.GemmShape) (*poly.Program, bool) {
+	el, ok := c.items[shape]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).prog, true
+}
+
+// add inserts (or refreshes) a program, evicting the least recently used
+// entry when the bound is exceeded.
+func (c *lruCache) add(shape tensor.GemmShape, prog *poly.Program) {
+	if el, ok := c.items[shape]; ok {
+		el.Value.(*lruEntry).prog = prog
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[shape] = c.ll.PushFront(&lruEntry{shape: shape, prog: prog})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).shape)
+		c.evictions++
+	}
+}
+
+// remove drops one shape if present.
+func (c *lruCache) remove(shape tensor.GemmShape) {
+	if el, ok := c.items[shape]; ok {
+		c.ll.Remove(el)
+		delete(c.items, shape)
+	}
+}
+
+// clear drops every entry, keeping the cumulative counters.
+func (c *lruCache) clear() {
+	c.ll.Init()
+	c.items = make(map[tensor.GemmShape]*list.Element, c.capacity)
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }
+
+func (c *lruCache) stats() CacheStats {
+	return CacheStats{
+		Capacity:  c.capacity,
+		Size:      c.ll.Len(),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mikpoly/internal/engine"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/poly"
+	"mikpoly/internal/tensor"
+)
+
+func testHW() hw.Hardware { return hw.A100() }
+
+func TestLRUCacheNeverExceedsCapacity(t *testing.T) {
+	lib, err := SharedLibrary(testHW(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCompilerFromLibrary(lib, WithCacheCapacity(4))
+	for i := 0; i < 10; i++ {
+		if _, err := c.Plan(tensor.GemmShape{M: 16 + i, N: 16, K: 16}); err != nil {
+			t.Fatal(err)
+		}
+		if st := c.CacheStats(); st.Size > st.Capacity {
+			t.Fatalf("cache size %d exceeds capacity %d", st.Size, st.Capacity)
+		}
+	}
+	st := c.CacheStats()
+	if st.Capacity != 4 || st.Size != 4 {
+		t.Fatalf("stats = %+v, want capacity 4, size 4", st)
+	}
+	if st.Evictions != 6 {
+		t.Fatalf("evictions = %d, want 6", st.Evictions)
+	}
+
+	// The first shape was evicted: re-planning it must invoke the planner
+	// again.
+	before, _ := c.PlanStats()
+	if _, err := c.Plan(tensor.GemmShape{M: 16, N: 16, K: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := c.PlanStats(); after != before+1 {
+		t.Fatalf("evicted shape did not re-plan: planCount %d -> %d", before, after)
+	}
+
+	// The most recent shape is still cached: no new plan.
+	before, _ = c.PlanStats()
+	if _, err := c.Plan(tensor.GemmShape{M: 25, N: 16, K: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := c.PlanStats(); after != before {
+		t.Fatal("cached shape re-planned")
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	l := newLRU(2)
+	pa, pb, pc := &poly.Program{}, &poly.Program{}, &poly.Program{}
+	sa := tensor.GemmShape{M: 1, N: 1, K: 1}
+	sb := tensor.GemmShape{M: 2, N: 2, K: 2}
+	sc := tensor.GemmShape{M: 3, N: 3, K: 3}
+	l.add(sa, pa)
+	l.add(sb, pb)
+	if _, ok := l.get(sa); !ok { // refresh a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	l.add(sc, pc) // evicts b
+	if _, ok := l.get(sb); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := l.get(sa); !ok {
+		t.Fatal("a should have survived")
+	}
+	if got := l.stats(); got.Evictions != 1 || got.Size != 2 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+func TestSingleflightDedupsConcurrentPlans(t *testing.T) {
+	lib, err := SharedLibrary(testHW(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCompilerFromLibrary(lib)
+
+	var invocations atomic.Int32
+	gate := make(chan struct{})
+	real := c.planFn
+	c.planFn = func(ctx context.Context, s tensor.GemmShape) (*poly.Program, poly.PlanStats, error) {
+		invocations.Add(1)
+		<-gate
+		return real(ctx, s)
+	}
+
+	shape := tensor.GemmShape{M: 123, N: 45, K: 67}
+	const n = 16
+	var wg sync.WaitGroup
+	progs := make([]*poly.Program, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.Plan(shape)
+			if err != nil {
+				t.Error(err)
+			}
+			progs[i] = p
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let every goroutine reach the flight
+	close(gate)
+	wg.Wait()
+
+	if got := invocations.Load(); got != 1 {
+		t.Fatalf("planner invoked %d times for one shape, want 1", got)
+	}
+	if n, _ := c.PlanStats(); n != 1 {
+		t.Fatalf("planCount = %d, want 1", n)
+	}
+	for i := 1; i < n; i++ {
+		if progs[i] != progs[0] {
+			t.Fatal("concurrent callers received different programs")
+		}
+	}
+}
+
+func TestPlanContextDeadlineAndWaiterRetry(t *testing.T) {
+	c := newTestCompiler(t)
+
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.PlanContext(expired, tensor.GemmShape{M: 64, N: 64, K: 64}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired ctx: got %v", err)
+	}
+
+	// A waiter whose own context is alive must retry as leader when the
+	// first leader dies of its deadline.
+	var invocations atomic.Int32
+	leaderIn := make(chan struct{})
+	real := c.planFn
+	c.planFn = func(ctx context.Context, s tensor.GemmShape) (*poly.Program, poly.PlanStats, error) {
+		if invocations.Add(1) == 1 {
+			close(leaderIn)
+			<-ctx.Done() // simulate a search outliving the leader's deadline
+			return nil, poly.PlanStats{}, ctx.Err()
+		}
+		return real(ctx, s)
+	}
+	shape := tensor.GemmShape{M: 99, N: 88, K: 77}
+	leaderCtx, leaderCancel := context.WithCancel(context.Background())
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.PlanContext(leaderCtx, shape)
+		done <- err
+	}()
+	<-leaderIn
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := c.PlanContext(context.Background(), shape)
+		waiterDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // waiter parks on the in-flight call
+	leaderCancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader: got %v", err)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter should have retried and planned: %v", err)
+	}
+	if got := invocations.Load(); got != 2 {
+		t.Fatalf("planner invoked %d times, want 2 (failed leader + retrying waiter)", got)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	c := newTestCompiler(t)
+	c.planFn = func(ctx context.Context, s tensor.GemmShape) (*poly.Program, poly.PlanStats, error) {
+		panic("cost model exploded")
+	}
+	_, err := c.Plan(tensor.GemmShape{M: 10, N: 10, K: 10})
+	if err == nil || !strings.Contains(err.Error(), "planner panic") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+	if h := c.Health(); h.PlannerPanics != 1 {
+		t.Fatalf("PlannerPanics = %d, want 1", h.PlannerPanics)
+	}
+}
+
+func TestPlanOrFallbackDegradesGracefully(t *testing.T) {
+	c := newTestCompiler(t)
+
+	// Healthy path: no degradation.
+	prog, degraded, err := c.PlanOrFallback(context.Background(), tensor.GemmShape{M: 100, N: 100, K: 100})
+	if err != nil || degraded || prog == nil {
+		t.Fatalf("healthy path: prog=%v degraded=%v err=%v", prog, degraded, err)
+	}
+
+	// Expired deadline: fallback program, still numerically correct.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	shape := tensor.GemmShape{M: 33, N: 21, K: 17}
+	fb, degraded, err := c.PlanOrFallback(expired, shape)
+	if err != nil || !degraded {
+		t.Fatalf("deadline path: degraded=%v err=%v", degraded, err)
+	}
+	if err := fb.Validate(); err != nil {
+		t.Fatalf("fallback invalid: %v", err)
+	}
+	a := tensor.RandomMatrix(shape.M, shape.K, 5)
+	b := tensor.RandomMatrix(shape.K, shape.N, 6)
+	got, err := engine.Execute(fb, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(got, tensor.Gemm(a, b), 1e-3) {
+		t.Fatal("fallback program numerically wrong")
+	}
+	if h := c.Health(); h.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", h.Fallbacks)
+	}
+
+	// Panicking planner: fallback too.
+	c.planFn = func(ctx context.Context, s tensor.GemmShape) (*poly.Program, poly.PlanStats, error) {
+		panic("boom")
+	}
+	if _, degraded, err := c.PlanOrFallback(context.Background(), tensor.GemmShape{M: 5, N: 5, K: 5}); err != nil || !degraded {
+		t.Fatalf("panic path: degraded=%v err=%v", degraded, err)
+	}
+
+	// Invalid shapes still error — degradation never hides bad input.
+	if _, _, err := c.PlanOrFallback(context.Background(), tensor.GemmShape{M: -1, N: 1, K: 1}); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+}
+
+func TestInvalidateForcesReplan(t *testing.T) {
+	c := newTestCompiler(t)
+	shape := tensor.GemmShape{M: 40, N: 40, K: 40}
+	if _, err := c.Plan(shape); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := c.PlanStats()
+	c.Invalidate(shape)
+	if _, err := c.Plan(shape); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := c.PlanStats(); after != before+1 {
+		t.Fatalf("Invalidate did not force a re-plan: %d -> %d", before, after)
+	}
+}
+
+// TestConcurrencyHammer exercises Plan, PlanOrFallback, ClearCache,
+// Invalidate, PlanStats, CacheStats and Health from many goroutines over a
+// deliberately tiny cache, so the LRU and singleflight paths race against
+// cache mutation. Run with -race (the CI gate does).
+func TestConcurrencyHammer(t *testing.T) {
+	lib, err := SharedLibrary(testHW(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCompilerFromLibrary(lib, WithCacheCapacity(3))
+
+	const (
+		workers = 12
+		iters   = 40
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				shape := tensor.GemmShape{M: 16 + (w+i)%6, N: 24, K: 32}
+				switch (w + i) % 5 {
+				case 0:
+					if _, err := c.Plan(shape); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, _, err := c.PlanOrFallback(context.Background(), shape); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					c.ClearCache()
+					c.Invalidate(shape)
+				case 3:
+					c.PlanStats()
+					c.Health()
+				default:
+					if st := c.CacheStats(); st.Size > st.Capacity {
+						t.Errorf("cache size %d exceeds capacity %d", st.Size, st.Capacity)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.CacheStats(); st.Size > st.Capacity {
+		t.Fatalf("final cache size %d exceeds capacity %d", st.Size, st.Capacity)
+	}
+}

@@ -1,0 +1,52 @@
+package poly
+
+import (
+	"fmt"
+	"math"
+
+	"mikpoly/internal/tensor"
+	"mikpoly/internal/tune"
+)
+
+// FallbackProgram builds the always-legal single-kernel program for a shape:
+// one Pattern-I region covering the whole output, computed with whichever
+// library kernel wastes the least local padding. Because local padding (§3.4)
+// rounds the iteration space up to the kernel tile grid, this program is
+// valid for every positive shape — it is the graceful-degradation path the
+// serving layer emits when full polymerization fails, panics, or exceeds its
+// deadline. It runs no search and consults no cost model, so it is O(|lib|)
+// and cannot itself time out.
+func FallbackProgram(lib *tune.Library, shape tensor.GemmShape) (*Program, error) {
+	if !shape.Valid() {
+		return nil, fmt.Errorf("poly: invalid shape %v", shape)
+	}
+	if lib == nil || len(lib.Kernels) == 0 {
+		return nil, fmt.Errorf("poly: empty micro-kernel library")
+	}
+	best := lib.Kernels[0]
+	bestVol := paddedVolume(shape, best.UM, best.UN, best.UK)
+	for _, k := range lib.Kernels[1:] {
+		if v := paddedVolume(shape, k.UM, k.UN, k.UK); v < bestVol {
+			bestVol, best = v, k
+		}
+	}
+	prog := &Program{
+		Shape:   shape,
+		Pattern: PatternI,
+		Regions: []Region{{M0: 0, N0: 0, M: shape.M, N: shape.N, K: shape.K, Kern: best}},
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("poly: fallback program invalid: %w", err)
+	}
+	return prog, nil
+}
+
+// paddedVolume is the iteration-space volume after rounding each dimension up
+// to the kernel tile, in float64 so huge shapes cannot overflow.
+func paddedVolume(s tensor.GemmShape, um, un, uk int) float64 {
+	if um <= 0 || un <= 0 || uk <= 0 {
+		return math.Inf(1)
+	}
+	ceil := func(x, u int) float64 { return float64((x + u - 1) / u * u) }
+	return ceil(s.M, um) * ceil(s.N, un) * ceil(s.K, uk)
+}

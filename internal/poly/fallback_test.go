@@ -1,0 +1,71 @@
+package poly
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"mikpoly/internal/hw"
+	"mikpoly/internal/tensor"
+	"mikpoly/internal/tune"
+)
+
+func fallbackTestLib(t *testing.T) *tune.Library {
+	t.Helper()
+	lib, err := tune.Generate(hw.A100(), tune.Options{NGen: 4, NSyn: 6, NMik: 6, NPred: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func TestFallbackProgramAlwaysLegal(t *testing.T) {
+	lib := fallbackTestLib(t)
+	for _, s := range []tensor.GemmShape{
+		{M: 1, N: 1, K: 1},
+		{M: 7, N: 13, K: 3},
+		{M: 4096, N: 1024, K: 4096},
+		{M: 37, N: 768, K: 768},
+	} {
+		prog, err := FallbackProgram(lib, s)
+		if err != nil {
+			t.Fatalf("fallback for %v: %v", s, err)
+		}
+		if prog.Pattern != PatternI || len(prog.Regions) != 1 {
+			t.Fatalf("fallback for %v is not a single-kernel Pattern-I program: %v", s, prog)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("fallback for %v invalid: %v", s, err)
+		}
+	}
+}
+
+func TestFallbackProgramErrors(t *testing.T) {
+	lib := fallbackTestLib(t)
+	if _, err := FallbackProgram(lib, tensor.GemmShape{M: -1, N: 2, K: 3}); err == nil {
+		t.Fatal("invalid shape accepted")
+	}
+	if _, err := FallbackProgram(nil, tensor.GemmShape{M: 1, N: 1, K: 1}); err == nil {
+		t.Fatal("nil library accepted")
+	}
+	empty := &tune.Library{HW: lib.HW}
+	if _, err := FallbackProgram(empty, tensor.GemmShape{M: 1, N: 1, K: 1}); err == nil {
+		t.Fatal("empty library accepted")
+	}
+}
+
+func TestPlanContextHonorsDeadline(t *testing.T) {
+	lib := fallbackTestLib(t)
+	p := NewPlanner(lib)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := p.PlanContext(ctx, tensor.GemmShape{M: 512, N: 512, K: 512})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	// A live context still plans.
+	prog, _, err := p.PlanContext(context.Background(), tensor.GemmShape{M: 512, N: 512, K: 512})
+	if err != nil || prog == nil {
+		t.Fatalf("live context failed: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package poly
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -139,6 +140,14 @@ func (p *Planner) bestKernelFor(geom rect, K int) (Region, float64) {
 // Plan produces the optimized tensor program S* for the runtime shape
 // (Algorithm 1, On-the-Fly Polymerization).
 func (p *Planner) Plan(shape tensor.GemmShape) (*Program, PlanStats, error) {
+	return p.PlanContext(context.Background(), shape)
+}
+
+// PlanContext is Plan with cooperative cancellation: the search checks ctx
+// between anchor kernels and aborts with ctx's error once it is done, so a
+// serving layer can impose a planning deadline and fall back to the
+// always-legal single-kernel program (FallbackProgram) instead of blocking.
+func (p *Planner) PlanContext(ctx context.Context, shape tensor.GemmShape) (*Program, PlanStats, error) {
 	start := time.Now()
 	var stats PlanStats
 	if !shape.Valid() {
@@ -146,6 +155,9 @@ func (p *Planner) Plan(shape tensor.GemmShape) (*Program, PlanStats, error) {
 	}
 	if p.Lib == nil || len(p.Lib.Kernels) == 0 {
 		return nil, stats, fmt.Errorf("poly: empty micro-kernel library")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("poly: planning aborted: %w", err)
 	}
 
 	var best *Program
@@ -159,7 +171,13 @@ func (p *Planner) Plan(shape tensor.GemmShape) (*Program, PlanStats, error) {
 	}
 
 	for _, pat := range p.patterns() {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, fmt.Errorf("poly: planning aborted: %w", err)
+		}
 		for _, anchor := range p.Lib.Kernels {
+			if err := ctx.Err(); err != nil {
+				return nil, stats, fmt.Errorf("poly: planning aborted: %w", err)
+			}
 			// Branch-and-bound: if the anchor's best possible main
 			// region alone already exceeds the current best program,
 			// every strategy built on this anchor loses too (§3.5).

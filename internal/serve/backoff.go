@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// backoff computes capped exponential retry delays with "equal jitter": half
+// the exponential delay is fixed, half is drawn from a seeded stream, so
+// concurrent retries decorrelate without ever collapsing to zero wait. A
+// fixed seed makes the whole delay sequence reproducible in tests.
+type backoff struct {
+	base, max time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newBackoff(base, max time.Duration, seed uint64) *backoff {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &backoff{base: base, max: max, rng: rand.New(rand.NewSource(int64(seed)))}
+}
+
+// delay returns the wait before retry attempt (0-based).
+func (b *backoff) delay(attempt int) time.Duration {
+	d := b.base
+	for i := 0; i < attempt && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	half := d / 2
+	b.mu.Lock()
+	jitter := time.Duration(b.rng.Int63n(int64(half) + 1))
+	b.mu.Unlock()
+	return half + jitter
+}
+
+// sleep waits for the attempt's delay or until ctx expires, reporting ctx's
+// error in the latter case.
+func (b *backoff) sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(b.delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mikpoly/internal/core"
+	"mikpoly/internal/engine"
+	"mikpoly/internal/poly"
+	"mikpoly/internal/sim"
+	"mikpoly/internal/tensor"
+)
+
+// planRequest is the wire format of a compilation request.
+type planRequest struct {
+	M int `json:"m"`
+	N int `json:"n"`
+	K int `json:"k"`
+}
+
+// regionInfo describes one region of a returned program.
+type regionInfo struct {
+	RowOffset int    `json:"row_offset"`
+	Rows      int    `json:"rows"`
+	ColOffset int    `json:"col_offset"`
+	Cols      int    `json:"cols"`
+	KOffset   int    `json:"k_offset,omitempty"`
+	KDepth    int    `json:"k_depth"`
+	Kernel    string `json:"kernel"`
+}
+
+// planResponse is the wire format of a compilation result.
+type planResponse struct {
+	Shape      string       `json:"shape"`
+	Pattern    string       `json:"pattern"`
+	Regions    []regionInfo `json:"regions"`
+	Tasks      int          `json:"tasks"`
+	Degraded   bool         `json:"degraded"`
+	SimSkipped bool         `json:"sim_skipped,omitempty"`
+	SimCycles  float64      `json:"sim_cycles,omitempty"`
+	SimTFLOPS  float64      `json:"sim_tflops,omitempty"`
+	Efficiency float64      `json:"pe_efficiency,omitempty"`
+}
+
+// execRequest asks the service to numerically execute C = A × B for
+// deterministic pseudo-random operands, proving the planned program correct
+// end to end.
+type execRequest struct {
+	M     int    `json:"m"`
+	N     int    `json:"n"`
+	K     int    `json:"k"`
+	SeedA uint64 `json:"seed_a,omitempty"`
+	SeedB uint64 `json:"seed_b,omitempty"`
+}
+
+// execResponse reports the numeric digest and the (possibly fault-injected)
+// simulated execution.
+type execResponse struct {
+	Shape        string    `json:"shape"`
+	Degraded     bool      `json:"degraded"`
+	Attempts     int       `json:"attempts"`
+	FaultedTasks int       `json:"faulted_tasks"`
+	SimCycles    float64   `json:"sim_cycles"`
+	Checksum     float64   `json:"checksum"`
+	Sample       []float32 `json:"sample"`
+}
+
+// errorResponse is the wire format of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// decodeBody decodes a JSON request, classifying failures: oversized bodies
+// are 413, malformed JSON 400.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body too large")
+		} else {
+			httpError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		}
+		return false
+	}
+	return true
+}
+
+// checkShape validates a shape against the service limits. It returns a
+// non-nil error plus the HTTP status to answer with.
+func (s *Server) checkShape(shape tensor.GemmShape) (int, error) {
+	if !shape.Valid() {
+		return http.StatusBadRequest, fmt.Errorf("invalid shape %v: dimensions must be positive", shape)
+	}
+	if shape.M > s.cfg.MaxDim || shape.N > s.cfg.MaxDim || shape.K > s.cfg.MaxDim {
+		return http.StatusRequestEntityTooLarge,
+			fmt.Errorf("shape %v exceeds per-dimension limit %d", shape, s.cfg.MaxDim)
+	}
+	if vol := int64(shape.M) * int64(shape.N) * int64(shape.K); vol > s.cfg.MaxPlanElems {
+		return http.StatusRequestEntityTooLarge,
+			fmt.Errorf("shape %v volume %d exceeds limit %d", shape, vol, s.cfg.MaxPlanElems)
+	}
+	return 0, nil
+}
+
+// planShape runs the deadline-bounded, fallback-protected planning stage.
+func (s *Server) planShape(ctx context.Context, shape tensor.GemmShape) (*poly.Program, bool, error) {
+	pctx := ctx
+	var cancel context.CancelFunc = func() {}
+	if s.cfg.PlanTimeout != 0 {
+		pctx, cancel = context.WithTimeout(ctx, s.cfg.PlanTimeout)
+	}
+	defer cancel()
+	prog, degraded, err := s.compiler.PlanOrFallback(pctx, shape)
+	if degraded {
+		s.nDegraded.Add(1)
+	}
+	return prog, degraded, err
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	shape := tensor.GemmShape{M: req.M, N: req.N, K: req.K}
+	if status, err := s.checkShape(shape); err != nil {
+		httpError(w, status, err.Error())
+		return
+	}
+	prog, degraded, err := s.planShape(r.Context(), shape)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	h := s.compiler.Hardware()
+	resp := planResponse{
+		Shape:    shape.String(),
+		Pattern:  prog.Pattern.String(),
+		Tasks:    prog.NumTasks(),
+		Degraded: degraded,
+	}
+	for _, reg := range prog.Regions {
+		resp.Regions = append(resp.Regions, regionInfo{
+			RowOffset: reg.M0, Rows: reg.M,
+			ColOffset: reg.N0, Cols: reg.N,
+			KOffset: reg.KOff, KDepth: reg.K,
+			Kernel: reg.Kern.String(),
+		})
+	}
+	if resp.Tasks > s.cfg.MaxSimTasks {
+		resp.SimSkipped = true
+	} else {
+		res := s.simulate(prog, 0)
+		resp.SimCycles = res.Cycles
+		resp.SimTFLOPS = shape.FLOPs() / h.CyclesToSeconds(res.Cycles) / 1e12
+		resp.Efficiency = res.Efficiency()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var req execRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	shape := tensor.GemmShape{M: req.M, N: req.N, K: req.K}
+	if status, err := s.checkShape(shape); err != nil {
+		httpError(w, status, err.Error())
+		return
+	}
+	for _, operand := range [][2]int{{shape.M, shape.K}, {shape.K, shape.N}, {shape.M, shape.N}} {
+		if elems := int64(operand[0]) * int64(operand[1]); elems > s.cfg.MaxExecElems {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("operand %dx%d exceeds execute limit %d elements", operand[0], operand[1], s.cfg.MaxExecElems))
+			return
+		}
+	}
+	if req.SeedA == 0 {
+		req.SeedA = 1
+	}
+	if req.SeedB == 0 {
+		req.SeedB = 2
+	}
+
+	ctx := r.Context()
+	prog, degraded, err := s.planShape(ctx, shape)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	// Simulated execution with fault-triggered re-planning: on a reported
+	// fault, drop the cached program, back off (exponential + jitter) and
+	// try again with a fresh plan and a distinct fault salt.
+	attempts := 0
+	var res sim.Result
+	for {
+		res = s.simulate(prog, uint64(attempts))
+		attempts++
+		if res.FaultedTasks == 0 || attempts > s.cfg.MaxRetries {
+			break
+		}
+		s.nFaults.Add(1)
+		s.nRetries.Add(1)
+		if err := s.bo.sleep(ctx, attempts-1); err != nil {
+			httpError(w, http.StatusServiceUnavailable, "retry budget interrupted: "+err.Error())
+			return
+		}
+		s.compiler.Invalidate(shape)
+		var d bool
+		prog, d, err = s.planShape(ctx, shape)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		degraded = degraded || d
+	}
+	if res.FaultedTasks > 0 {
+		s.nFaults.Add(1)
+	}
+
+	// Numeric execution on deterministic operands: the returned digest lets
+	// the client verify the program against its own reference GEMM.
+	a := tensor.RandomMatrix(shape.M, shape.K, req.SeedA)
+	b := tensor.RandomMatrix(shape.K, shape.N, req.SeedB)
+	out, err := engine.Execute(prog, a, b)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "execution failed: "+err.Error())
+		return
+	}
+	var sum float64
+	for _, v := range out.Data {
+		sum += float64(v)
+	}
+	sample := []float32{
+		out.At(0, 0),
+		out.At(0, out.Cols-1),
+		out.At(out.Rows-1, 0),
+		out.At(out.Rows-1, out.Cols-1),
+	}
+	writeJSON(w, http.StatusOK, execResponse{
+		Shape:        shape.String(),
+		Degraded:     degraded,
+		Attempts:     attempts,
+		FaultedTasks: res.FaultedTasks,
+		SimCycles:    res.Cycles,
+		Checksum:     sum,
+		Sample:       sample,
+	})
+}
+
+// simulate runs the program on the (possibly degraded) simulated device.
+// salt distinguishes retry attempts so transient injected faults can clear.
+func (s *Server) simulate(prog *poly.Program, salt uint64) sim.Result {
+	h := s.compiler.Hardware()
+	if s.cfg.Faults == nil {
+		return prog.Simulate(h)
+	}
+	f := *s.cfg.Faults
+	f.Salt += salt
+	res, err := sim.RunWithFaults(h, prog.Tasks(h), f)
+	if err != nil {
+		// An unusable fault config degrades to the healthy simulation
+		// rather than failing requests.
+		return prog.Simulate(h)
+	}
+	return res
+}
+
+// healthResponse is the /healthz wire format.
+type healthResponse struct {
+	Status string `json:"status"`
+	Uptime string `json:"uptime"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.compiler == nil || len(s.compiler.Library().Kernels) == 0 {
+		httpError(w, http.StatusServiceUnavailable, "compiler not ready")
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status: "ok",
+		Uptime: time.Since(s.started).Round(time.Millisecond).String(),
+	})
+}
+
+// statsResponse is the /stats wire format.
+type statsResponse struct {
+	Uptime          string          `json:"uptime"`
+	Requests        int64           `json:"requests"`
+	Rejected        int64           `json:"rejected"`
+	Degraded        int64           `json:"degraded"`
+	Retries         int64           `json:"retries"`
+	FaultedRuns     int64           `json:"faulted_runs"`
+	PanicsRecovered int64           `json:"panics_recovered"`
+	InFlight        int             `json:"in_flight"`
+	MaxInFlight     int             `json:"max_in_flight"`
+	Plans           int             `json:"plans"`
+	PlanCandidates  int             `json:"plan_candidates"`
+	Cache           core.CacheStats `json:"cache"`
+	Fallbacks       int64           `json:"fallbacks"`
+	PlannerPanics   int64           `json:"planner_panics"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	plans, pstats := s.compiler.PlanStats()
+	health := s.compiler.Health()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Uptime:          time.Since(s.started).Round(time.Millisecond).String(),
+		Requests:        s.nRequests.Load(),
+		Rejected:        s.nRejected.Load(),
+		Degraded:        s.nDegraded.Load(),
+		Retries:         s.nRetries.Load(),
+		FaultedRuns:     s.nFaults.Load(),
+		PanicsRecovered: s.nPanics.Load(),
+		InFlight:        len(s.sem),
+		MaxInFlight:     cap(s.sem),
+		Plans:           plans,
+		PlanCandidates:  pstats.Candidates,
+		Cache:           s.compiler.CacheStats(),
+		Fallbacks:       health.Fallbacks,
+		PlannerPanics:   health.PlannerPanics,
+	})
+}

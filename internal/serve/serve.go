@@ -1,0 +1,178 @@
+// Package serve is MikPoly's production serving layer: the compilation
+// service of the paper's deployment story (§3.5) hardened for heavy traffic.
+// It fronts a core.Compiler with HTTP handlers (/plan, /execute), admission
+// control (bounded in-flight requests with 429 + Retry-After on overload),
+// per-request timeouts, request-size limits, panic-recovery middleware, and
+// /healthz + /stats endpoints.
+//
+// Robustness semantics: planning runs under a deadline and degrades to the
+// always-legal single-kernel program (poly.FallbackProgram) rather than
+// failing a request — the serving analogue of the paper's "zero invalid
+// runs" guarantee. When a simulated execution reports an injected fault
+// (sim.Faults), the shape is invalidated and re-planned with exponential
+// backoff plus deterministic jitter.
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"mikpoly/internal/core"
+	"mikpoly/internal/sim"
+)
+
+// Config tunes the serving layer. The zero value of any field selects the
+// DefaultConfig value, except PlanTimeout < 0, which means "already expired"
+// and forces every plan down the fallback path (a test/chaos knob).
+type Config struct {
+	// MaxInFlight bounds concurrently admitted /plan and /execute
+	// requests; excess requests receive 429 with a Retry-After header.
+	// /healthz and /stats bypass admission so probes succeed under load.
+	MaxInFlight int
+
+	// RequestTimeout bounds one request end to end.
+	RequestTimeout time.Duration
+
+	// PlanTimeout bounds the online planning stage within a request;
+	// exceeding it degrades to the single-kernel fallback program.
+	PlanTimeout time.Duration
+
+	// MaxBodyBytes bounds the request body (http.MaxBytesReader).
+	MaxBodyBytes int64
+
+	// MaxDim bounds each of M, N, K; MaxPlanElems bounds M·N·K. Shapes
+	// beyond either limit are rejected with 413 before any planning.
+	MaxDim       int
+	MaxPlanElems int64
+
+	// MaxSimTasks bounds the task count a /plan request will simulate;
+	// larger programs are still planned and returned, with simulation
+	// skipped (sim fields zero, "sim_skipped": true).
+	MaxSimTasks int
+
+	// MaxExecElems bounds each operand's element count (M·K, K·N, M·N)
+	// for /execute, which materializes matrices and runs real arithmetic.
+	MaxExecElems int64
+
+	// MaxRetries is the number of re-plan + re-run attempts after a
+	// simulated execution reports a fault. Negative disables retries.
+	MaxRetries int
+
+	// RetryBase and RetryMax shape the exponential backoff between
+	// attempts: delay(n) ≈ RetryBase·2ⁿ with jitter, capped at RetryMax.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+
+	// Seed drives the backoff jitter stream (deterministic tests).
+	Seed uint64
+
+	// Faults, when non-nil, injects deterministic hardware degradation
+	// into every simulated execution; each retry attempt re-runs with a
+	// distinct salt so transient faults can clear.
+	Faults *sim.Faults
+}
+
+// DefaultConfig returns production-leaning defaults.
+func DefaultConfig() Config {
+	return Config{
+		MaxInFlight:    64,
+		RequestTimeout: 10 * time.Second,
+		PlanTimeout:    2 * time.Second,
+		MaxBodyBytes:   1 << 16,
+		MaxDim:         1 << 20,
+		MaxPlanElems:   1 << 40,
+		MaxSimTasks:    1 << 18,
+		MaxExecElems:   1 << 22,
+		MaxRetries:     3,
+		RetryBase:      10 * time.Millisecond,
+		RetryMax:       500 * time.Millisecond,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig. PlanTimeout < 0 is
+// preserved (forced-fallback knob).
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = d.MaxInFlight
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = d.RequestTimeout
+	}
+	if c.PlanTimeout == 0 {
+		c.PlanTimeout = d.PlanTimeout
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = d.MaxBodyBytes
+	}
+	if c.MaxDim <= 0 {
+		c.MaxDim = d.MaxDim
+	}
+	if c.MaxPlanElems <= 0 {
+		c.MaxPlanElems = d.MaxPlanElems
+	}
+	if c.MaxSimTasks <= 0 {
+		c.MaxSimTasks = d.MaxSimTasks
+	}
+	if c.MaxExecElems <= 0 {
+		c.MaxExecElems = d.MaxExecElems
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = d.MaxRetries
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = d.RetryBase
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = d.RetryMax
+	}
+	return c
+}
+
+// Server serves compilation and execution requests over HTTP.
+type Server struct {
+	compiler *core.Compiler
+	cfg      Config
+	sem      chan struct{}
+	bo       *backoff
+	started  time.Time
+
+	// cumulative counters, exported by /stats
+	nRequests atomic.Int64 // admitted plan/execute requests
+	nRejected atomic.Int64 // 429s from admission control
+	nDegraded atomic.Int64 // responses served via the fallback program
+	nRetries  atomic.Int64 // fault-triggered re-plan attempts
+	nFaults   atomic.Int64 // simulated runs that reported >= 1 faulted task
+	nPanics   atomic.Int64 // handler panics recovered
+}
+
+// New wraps a compiler in a serving layer. Zero Config fields take defaults.
+func New(c *core.Compiler, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		compiler: c,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		bo:       newBackoff(cfg.RetryBase, cfg.RetryMax, cfg.Seed),
+		started:  time.Now(),
+	}
+}
+
+// Handler returns the service's HTTP handler: panic recovery wraps
+// everything; admission, timeout and body limits guard the work endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /plan", s.guard(http.HandlerFunc(s.handlePlan)))
+	mux.Handle("POST /execute", s.guard(http.HandlerFunc(s.handleExecute)))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return s.recoverMW(mux)
+}
+
+// guard stacks the per-request protections for work endpoints.
+func (s *Server) guard(next http.Handler) http.Handler {
+	return s.admitMW(s.timeoutMW(s.limitBodyMW(next)))
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"mikpoly/internal/hw"
+)
+
+// Faults configures the deterministic fault-injection layer: a seeded model
+// of degraded hardware that the scheduler and the serving layer above can be
+// tested against. All effects are pure functions of (Seed, Salt) and the task
+// list, so every injected run is exactly reproducible.
+type Faults struct {
+	// Seed drives the transient-fault pseudo-random stream.
+	Seed uint64
+
+	// Salt varies the fault pattern between otherwise identical runs —
+	// the serving layer increments it per retry attempt so a transient
+	// fault can clear on re-execution while staying deterministic.
+	Salt uint64
+
+	// DropPEs lists PEs that are offline: they accept no tasks. At least
+	// one PE must remain live.
+	DropPEs []int
+
+	// SlowPE multiplies the compute time of tasks placed on a PE
+	// (e.g. {3: 2.0} makes PE 3 compute half as fast). Factors must be
+	// >= 1; unlisted PEs run at full speed.
+	SlowPE map[int]float64
+
+	// Bandwidth scales global memory bandwidth, in (0, 1]; 0 means
+	// unchanged. 0.5 halves the device's bytes/cycle.
+	Bandwidth float64
+
+	// TaskFaultRate is the per-task probability in [0, 1] that a task
+	// reports a transient execution fault (seeded, deterministic). Faulted
+	// tasks still occupy their PE for the full duration — the fault is
+	// detected at completion — and are counted in Result.FaultedTasks.
+	TaskFaultRate float64
+}
+
+// Validate checks the configuration against a device.
+func (f Faults) Validate(h hw.Hardware) error {
+	dead := 0
+	seen := make(map[int]bool)
+	for _, pe := range f.DropPEs {
+		if pe < 0 || pe >= h.NumPEs {
+			return fmt.Errorf("sim: dropped PE %d out of range [0,%d)", pe, h.NumPEs)
+		}
+		if !seen[pe] {
+			seen[pe] = true
+			dead++
+		}
+	}
+	if dead >= h.NumPEs {
+		return fmt.Errorf("sim: all %d PEs dropped", h.NumPEs)
+	}
+	for pe, s := range f.SlowPE {
+		if pe < 0 || pe >= h.NumPEs {
+			return fmt.Errorf("sim: slowed PE %d out of range [0,%d)", pe, h.NumPEs)
+		}
+		if s < 1 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("sim: slowdown factor for PE %d must be >= 1 and finite, got %g", pe, s)
+		}
+	}
+	if f.Bandwidth < 0 || f.Bandwidth > 1 {
+		return fmt.Errorf("sim: bandwidth factor must be in (0,1] or 0 for unchanged, got %g", f.Bandwidth)
+	}
+	if f.TaskFaultRate < 0 || f.TaskFaultRate > 1 {
+		return fmt.Errorf("sim: task fault rate must be in [0,1], got %g", f.TaskFaultRate)
+	}
+	return nil
+}
+
+// faultState is the per-run realization of a Faults config.
+type faultState struct {
+	dead []bool
+	slow []float64
+	rate float64
+	base uint64 // mixed Seed+Salt stream origin
+}
+
+func newFaultState(h hw.Hardware, f Faults) *faultState {
+	fs := &faultState{
+		dead: make([]bool, h.NumPEs),
+		slow: make([]float64, h.NumPEs),
+		rate: f.TaskFaultRate,
+		base: splitmix64(f.Seed ^ splitmix64(f.Salt+0x5bf0_3635)),
+	}
+	for i := range fs.slow {
+		fs.slow[i] = 1
+	}
+	for _, pe := range f.DropPEs {
+		fs.dead[pe] = true
+	}
+	for pe, s := range f.SlowPE {
+		fs.slow[pe] = s
+	}
+	return fs
+}
+
+// taskFault decides deterministically whether the i-th started task reports a
+// transient fault.
+func (fs *faultState) taskFault(i int) bool {
+	if fs.rate <= 0 {
+		return false
+	}
+	if fs.rate >= 1 {
+		return true
+	}
+	u := splitmix64(fs.base + uint64(i)*0x9e37_79b9_7f4a_7c15)
+	return float64(u>>11)/(1<<53) < fs.rate
+}
+
+// splitmix64 is the SplitMix64 mixing function — a tiny, well-distributed
+// seeded hash so fault decisions need no shared RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// RunWithFaults executes the task list on hardware h degraded by f: dropped
+// PEs accept no work, slowed PEs stretch compute, global bandwidth is scaled,
+// and tasks may report seeded transient faults (Result.FaultedTasks). The
+// analytic fast path is never taken — degraded hardware breaks its
+// wave-lockstep assumption — so results stay exact. Placement respects the
+// device scheduler: the NPU's max-min static allocator only assigns to live
+// PEs (a real deployment re-plans around a dead core), while the GPU's
+// dynamic queue naturally routes around them.
+func RunWithFaults(h hw.Hardware, tasks []Task, f Faults) (Result, error) {
+	if err := h.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := f.Validate(h); err != nil {
+		return Result{}, err
+	}
+	if len(tasks) == 0 {
+		return Result{PEBusy: make([]float64, h.NumPEs)}, nil
+	}
+	if f.Bandwidth > 0 {
+		h.GlobalBytesPerCycle *= f.Bandwidth
+	}
+	fs := newFaultState(h, f)
+	var res Result
+	switch h.Scheduler {
+	case hw.ScheduleStaticMaxMin:
+		res = runEventLoopInner(h, staticAssign(h, tasks, fs.dead), nil, fs)
+	default:
+		res = runEventLoopInner(h, dynamicQueue(tasks), nil, fs)
+	}
+	return res, nil
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"testing"
+
+	"mikpoly/internal/hw"
+)
+
+// faultTestHW is a small 4-PE device so dropout effects are easy to reason
+// about.
+func faultTestHW(sched hw.Scheduler) hw.Hardware {
+	h := hw.A100()
+	h.NumPEs = 4
+	h.Scheduler = sched
+	return h
+}
+
+func computeTask() Task {
+	return Task{ComputeCycles: 1000, MemBytes: 1, StartupCycles: 10}
+}
+
+func memTask(h hw.Hardware) Task {
+	// Streams enough bytes that even a full per-task bandwidth share keeps
+	// the task memory-bound.
+	return Task{ComputeCycles: 1, MemBytes: 1000 * perTaskBandwidthCap(h), StartupCycles: 0}
+}
+
+func repeat(t Task, n int) []Task {
+	out := make([]Task, n)
+	for i := range out {
+		out[i] = t
+	}
+	return out
+}
+
+func TestFaultsValidate(t *testing.T) {
+	h := faultTestHW(hw.ScheduleDynamic)
+	cases := []struct {
+		name string
+		f    Faults
+		ok   bool
+	}{
+		{"zero value", Faults{}, true},
+		{"drop one", Faults{DropPEs: []int{1}}, true},
+		{"drop all", Faults{DropPEs: []int{0, 1, 2, 3}}, false},
+		{"drop dup not all", Faults{DropPEs: []int{1, 1, 2}}, true},
+		{"drop out of range", Faults{DropPEs: []int{4}}, false},
+		{"slow ok", Faults{SlowPE: map[int]float64{0: 2}}, true},
+		{"slow below 1", Faults{SlowPE: map[int]float64{0: 0.5}}, false},
+		{"slow out of range", Faults{SlowPE: map[int]float64{9: 2}}, false},
+		{"bandwidth ok", Faults{Bandwidth: 0.5}, true},
+		{"bandwidth above 1", Faults{Bandwidth: 1.5}, false},
+		{"rate ok", Faults{TaskFaultRate: 0.3}, true},
+		{"rate above 1", Faults{TaskFaultRate: 1.1}, false},
+	}
+	for _, c := range cases {
+		err := c.f.Validate(h)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid config accepted", c.name)
+		}
+	}
+}
+
+func TestPEDropoutStretchesMakespan(t *testing.T) {
+	for _, sched := range []hw.Scheduler{hw.ScheduleDynamic, hw.ScheduleStaticMaxMin} {
+		h := faultTestHW(sched)
+		tasks := repeat(computeTask(), 4)
+		healthy := Run(h, tasks)
+		degraded, err := RunWithFaults(h, tasks, Faults{DropPEs: []int{2, 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 4 tasks on 4 PEs take one wave; on 2 live PEs, two waves.
+		if degraded.Cycles < 1.8*healthy.Cycles {
+			t.Fatalf("sched %v: dropout makespan %g, healthy %g — expected ~2x", sched, degraded.Cycles, healthy.Cycles)
+		}
+		if degraded.PEBusy[2] != 0 || degraded.PEBusy[3] != 0 {
+			t.Fatalf("sched %v: dropped PEs ran work: %v", sched, degraded.PEBusy)
+		}
+	}
+}
+
+func TestPESlowdownStretchesCompute(t *testing.T) {
+	h := faultTestHW(hw.ScheduleDynamic)
+	tasks := repeat(computeTask(), 1)
+	healthy := Run(h, tasks)
+	slow, err := RunWithFaults(h, tasks, Faults{SlowPE: map[int]float64{0: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lone task lands on PE 0: startup + 3x compute.
+	want := computeTask().StartupCycles + 3*computeTask().ComputeCycles
+	if slow.Cycles < 0.99*want || slow.Cycles <= healthy.Cycles {
+		t.Fatalf("slowdown makespan %g, healthy %g, want ~%g", slow.Cycles, healthy.Cycles, want)
+	}
+}
+
+func TestBandwidthDegradationStretchesStreaming(t *testing.T) {
+	h := faultTestHW(hw.ScheduleDynamic)
+	tasks := repeat(memTask(h), 1)
+	healthy := Run(h, tasks)
+	degraded, err := RunWithFaults(h, tasks, Faults{Bandwidth: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Cycles < 1.9*healthy.Cycles {
+		t.Fatalf("half bandwidth makespan %g vs healthy %g — expected ~2x", degraded.Cycles, healthy.Cycles)
+	}
+}
+
+func TestTransientTaskFaultsDeterministic(t *testing.T) {
+	h := faultTestHW(hw.ScheduleDynamic)
+	tasks := repeat(computeTask(), 64)
+
+	none, err := RunWithFaults(h, tasks, Faults{Seed: 1, TaskFaultRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.FaultedTasks != 0 {
+		t.Fatalf("rate 0 produced %d faults", none.FaultedTasks)
+	}
+
+	all, err := RunWithFaults(h, tasks, Faults{Seed: 1, TaskFaultRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.FaultedTasks != len(tasks) {
+		t.Fatalf("rate 1 faulted %d/%d tasks", all.FaultedTasks, len(tasks))
+	}
+
+	f := Faults{Seed: 42, TaskFaultRate: 0.25}
+	r1, err := RunWithFaults(h, tasks, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunWithFaults(h, tasks, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.FaultedTasks != r2.FaultedTasks || r1.Cycles != r2.Cycles {
+		t.Fatalf("same seed diverged: %+v vs %+v", r1, r2)
+	}
+	if r1.FaultedTasks == 0 || r1.FaultedTasks == len(tasks) {
+		t.Fatalf("rate 0.25 faulted %d/%d tasks — implausible stream", r1.FaultedTasks, len(tasks))
+	}
+
+	// A different salt (retry attempt) realizes a different fault pattern
+	// over many tasks, while staying reproducible.
+	f2 := f
+	f2.Salt = 1
+	r3, err := RunWithFaults(h, tasks, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunWithFaults(h, tasks, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.FaultedTasks != r4.FaultedTasks {
+		t.Fatalf("salted run not reproducible: %d vs %d", r3.FaultedTasks, r4.FaultedTasks)
+	}
+}
+
+func TestRunWithFaultsMatchesRunWhenHealthy(t *testing.T) {
+	for _, sched := range []hw.Scheduler{hw.ScheduleDynamic, hw.ScheduleStaticMaxMin} {
+		h := faultTestHW(sched)
+		tasks := repeat(computeTask(), 11)
+		want := Run(h, tasks)
+		got, err := RunWithFaults(h, tasks, Faults{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cycles != want.Cycles || got.NumTasks != want.NumTasks || got.FaultedTasks != 0 {
+			t.Fatalf("sched %v: healthy injection diverged: %+v vs %+v", sched, got, want)
+		}
+	}
+}
+
+func TestRunWithFaultsEmptyAndInvalid(t *testing.T) {
+	h := faultTestHW(hw.ScheduleDynamic)
+	res, err := RunWithFaults(h, nil, Faults{})
+	if err != nil || res.Cycles != 0 {
+		t.Fatalf("empty task list: %+v, %v", res, err)
+	}
+	if _, err := RunWithFaults(h, repeat(computeTask(), 1), Faults{DropPEs: []int{0, 1, 2, 3}}); err == nil {
+		t.Fatal("all-dropped config accepted")
+	}
+}

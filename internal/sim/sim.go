@@ -57,7 +57,7 @@ func Run(h hw.Hardware, tasks []Task) Result {
 	}
 	switch h.Scheduler {
 	case hw.ScheduleStaticMaxMin:
-		return runEventLoop(h, staticAssign(h, tasks))
+		return runEventLoop(h, staticAssign(h, tasks, nil))
 	default:
 		return runEventLoop(h, dynamicQueue(tasks))
 	}
@@ -172,8 +172,9 @@ func (f *staticFeeder) remaining() int { return f.left }
 // staticAssign implements the max-min static allocation used on the NPU
 // platform (§4): tasks are ordered by decreasing estimated duration (with the
 // fair-share bandwidth) and each is placed on the currently least-loaded
-// core, maximizing the minimum slack — classic LPT scheduling.
-func staticAssign(h hw.Hardware, tasks []Task) *staticFeeder {
+// core, maximizing the minimum slack — classic LPT scheduling. dead marks PEs
+// excluded from placement (fault injection); nil means all PEs are live.
+func staticAssign(h hw.Hardware, tasks []Task, dead []bool) *staticFeeder {
 	type est struct {
 		idx  int
 		cost float64
@@ -185,11 +186,20 @@ func staticAssign(h hw.Hardware, tasks []Task) *staticFeeder {
 	}
 	sort.SliceStable(ests, func(a, b int) bool { return ests[a].cost > ests[b].cost })
 
+	live := make([]int, 0, h.NumPEs)
+	for pe := 0; pe < h.NumPEs; pe++ {
+		if dead == nil || !dead[pe] {
+			live = append(live, pe)
+		}
+	}
+	if len(live) == 0 {
+		panic("sim: static assignment with no live PEs")
+	}
 	load := make([]float64, h.NumPEs)
 	perPE := make([][]Task, h.NumPEs)
 	for _, e := range ests {
-		best := 0
-		for pe := 1; pe < h.NumPEs; pe++ {
+		best := live[0]
+		for _, pe := range live[1:] {
 			if load[pe] < load[best]-eps {
 				best = pe
 			}
@@ -202,34 +212,45 @@ func staticAssign(h hw.Hardware, tasks []Task) *staticFeeder {
 
 // runEventLoop is the event-driven core without tracing.
 func runEventLoop(h hw.Hardware, f feeder) Result {
-	return runEventLoopInner(h, f, nil)
+	return runEventLoopInner(h, f, nil, nil)
 }
 
 // runEventLoopInner is the event-driven core. At every event boundary it
 // recomputes the equal bandwidth share among streaming tasks (capped per
 // task), advances streaming progress, retires finished tasks (reporting them
-// to collect when tracing), and starts new ones on idle PEs.
-func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent)) Result {
+// to collect when tracing), and starts new ones on idle PEs. fs, when
+// non-nil, injects deterministic hardware faults (dead PEs, per-PE compute
+// slowdown, transient task faults); bandwidth degradation is applied by the
+// caller through h.
+func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent), fs *faultState) Result {
 	bwCap := perTaskBandwidthCap(h)
 	var (
-		now    float64
-		active []*running
-		peBusy = make([]float64, h.NumPEs)
-		peFree = make([]bool, h.NumPEs)
-		nTasks int
+		now     float64
+		active  []*running
+		peBusy  = make([]float64, h.NumPEs)
+		peFree  = make([]bool, h.NumPEs)
+		nTasks  int
+		faulted int
 	)
 	for i := range peFree {
-		peFree[i] = true
+		peFree[i] = fs == nil || !fs.dead[i]
 	}
 
 	start := func(pe int, t Task) {
+		compute := t.ComputeCycles
+		if fs != nil {
+			compute *= fs.slow[pe]
+			if fs.taskFault(nTasks) {
+				faulted++
+			}
+		}
 		nTasks++
 		active = append(active, &running{
 			task:          t,
 			pe:            pe,
 			start:         now,
 			memStartAt:    now + t.StartupCycles,
-			computeDoneAt: now + t.StartupCycles + t.ComputeCycles,
+			computeDoneAt: now + t.StartupCycles + compute,
 			memLeft:       t.MemBytes,
 		})
 		peFree[pe] = false
@@ -324,5 +345,5 @@ func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent)) Result
 	for _, b := range peBusy {
 		busy += b
 	}
-	return Result{Cycles: now, BusyPECycles: busy, NumTasks: nTasks, PEBusy: peBusy}
+	return Result{Cycles: now, BusyPECycles: busy, NumTasks: nTasks, FaultedTasks: faulted, PEBusy: peBusy}
 }

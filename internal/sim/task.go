@@ -54,6 +54,12 @@ type Result struct {
 	// NumTasks is the number of pipelined tasks executed.
 	NumTasks int
 
+	// FaultedTasks counts tasks that reported a transient execution fault
+	// (only non-zero under fault injection, RunWithFaults). A faulted
+	// task's output must be discarded and the work re-planned/re-run by
+	// the layer above.
+	FaultedTasks int
+
 	// PEBusy is the per-PE busy time; its spread reveals load imbalance.
 	PEBusy []float64
 }

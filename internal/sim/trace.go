@@ -35,7 +35,7 @@ func RunTrace(h hw.Hardware, tasks []Task) (Result, []TraceEvent) {
 	var res Result
 	switch h.Scheduler {
 	case hw.ScheduleStaticMaxMin:
-		res = runEventLoopTraced(h, staticAssign(h, tasks), collect)
+		res = runEventLoopTraced(h, staticAssign(h, tasks, nil), collect)
 	default:
 		res = runEventLoopTraced(h, dynamicQueue(tasks), collect)
 	}
@@ -109,5 +109,5 @@ func Timeline(events []TraceEvent, numPEs, width, maxPEs int) string {
 
 // runEventLoopTraced wraps the event loop with a completion callback.
 func runEventLoopTraced(h hw.Hardware, f feeder, collect func(TraceEvent)) Result {
-	return runEventLoopInner(h, f, collect)
+	return runEventLoopInner(h, f, collect, nil)
 }
