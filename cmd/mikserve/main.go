@@ -1,16 +1,23 @@
 // Command mikserve runs the MikPoly compilation service: an HTTP server that
-// polymerizes micro-kernel programs for the GEMM shapes clients POST to it.
+// polymerizes micro-kernel programs for the GEMM shapes clients POST to it
+// and executes whole model graphs through the graph runtime.
 //
 //	mikserve -addr :8097
 //	curl -s localhost:8097/plan -d '{"m":4096,"n":1024,"k":4096}'
 //	curl -s localhost:8097/execute -d '{"m":128,"n":96,"k":64}'
+//	curl -s localhost:8097/model -d '{"model":"bert-base","seq":384}'
 //	curl -s localhost:8097/healthz
 //	curl -s localhost:8097/stats
 //
 // The serving layer (internal/serve) provides admission control, request
 // timeouts and size limits, panic recovery, planner deadlines with graceful
 // degradation to an always-legal fallback program, and — when fault injection
-// is enabled — re-planning with exponential backoff.
+// is enabled — re-planning with exponential backoff. Model graphs run with
+// asynchronous plan-ahead (-plan-ahead) and, for llama2-decode, continuous
+// batching (-decode-batch).
+//
+// The socket binds immediately; the micro-kernel library loads (-library)
+// or tunes in the background, and /healthz answers 503 until it is ready.
 package main
 
 import (
@@ -43,6 +50,10 @@ func main() {
 		faultRate   = flag.Float64("fault-rate", 0, "injected transient task-fault probability [0,1]")
 		faultSeed   = flag.Uint64("fault-seed", 1, "fault injection seed")
 		dropPEs     = flag.Int("drop-pes", 0, "number of simulated dead PEs")
+		library     = flag.String("library", "", "load the micro-kernel library from this file instead of tuning (falls back to tuning if unreadable)")
+		saveLibrary = flag.String("save-library", "", "after tuning, save the micro-kernel library to this file")
+		planAhead   = flag.Int("plan-ahead", 2, "graph-runtime plan-ahead depth for /model (<= 0 = sequential inline planning)")
+		decodeBatch = flag.Bool("decode-batch", true, "continuously batch concurrent llama2-decode /model requests")
 	)
 	flag.Parse()
 
@@ -59,17 +70,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	log.Printf("mikserve: generating micro-kernel library for %s ...", h.Name)
-	compiler, err := core.NewCompiler(h, tune.DefaultOptions(), core.WithCacheCapacity(*cacheCap))
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("mikserve: library ready (%d kernels)", len(compiler.Library().Kernels))
-
 	cfg := serve.Config{
 		MaxInFlight:    *inFlight,
 		RequestTimeout: *reqTimeout,
 		PlanTimeout:    *planTimeout,
+		DecodeBatch:    *decodeBatch,
+	}
+	if *planAhead <= 0 {
+		cfg.PlanAhead = -1 // sequential
+	} else {
+		cfg.PlanAhead = *planAhead
 	}
 	if *faultRate > 0 || *dropPEs > 0 {
 		f := &sim.Faults{Seed: *faultSeed, TaskFaultRate: *faultRate}
@@ -81,13 +91,23 @@ func main() {
 			*faultRate, f.DropPEs, *faultSeed)
 	}
 
+	// Bind the socket and start serving immediately; work endpoints and
+	// /healthz answer 503 until the library below is ready.
+	srv := serve.New(nil, cfg)
+	defer srv.Close()
 	hs := &http.Server{
 		Addr:         *addr,
-		Handler:      serve.New(compiler, cfg).Handler(),
+		Handler:      srv.Handler(),
 		ReadTimeout:  15 * time.Second,
 		WriteTimeout: 30 * time.Second,
 		IdleTimeout:  2 * time.Minute,
 	}
+
+	go func() {
+		lib := loadOrTune(h, *library, *saveLibrary, *cacheCap)
+		srv.SetCompiler(core.NewCompilerFromLibrary(lib, core.WithCacheCapacity(*cacheCap)))
+		log.Printf("mikserve: ready (%d kernels for %s)", len(lib.Kernels), lib.HW.Name)
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -100,9 +120,64 @@ func main() {
 		}
 	}()
 
-	log.Printf("mikserve: serving on http://%s (plan, execute, healthz, stats)", *addr)
+	log.Printf("mikserve: serving on http://%s (plan, execute, model, healthz, stats)", *addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	log.Print("mikserve: drained and stopped")
+}
+
+// loadOrTune produces the micro-kernel library: from libPath when given and
+// readable (and targeting the requested hardware), otherwise by tuning,
+// optionally persisting the result to savePath.
+func loadOrTune(h hw.Hardware, libPath, savePath string, cacheCap int) *tune.Library {
+	if libPath != "" {
+		if lib, err := loadLibrary(h, libPath); err != nil {
+			log.Printf("mikserve: -library %s: %v; tuning instead", libPath, err)
+		} else {
+			log.Printf("mikserve: loaded library from %s (%d kernels)", libPath, len(lib.Kernels))
+			return lib
+		}
+	}
+	log.Printf("mikserve: generating micro-kernel library for %s ...", h.Name)
+	lib, err := tune.Generate(h, tune.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if savePath != "" {
+		if err := saveLibraryFile(lib, savePath); err != nil {
+			log.Printf("mikserve: -save-library %s: %v", savePath, err)
+		} else {
+			log.Printf("mikserve: saved library to %s", savePath)
+		}
+	}
+	return lib
+}
+
+func loadLibrary(h hw.Hardware, path string) (*tune.Library, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	lib, err := tune.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	if lib.HW.Name != h.Name {
+		return nil, fmt.Errorf("library targets %s, server runs %s", lib.HW.Name, h.Name)
+	}
+	return lib, nil
+}
+
+func saveLibraryFile(lib *tune.Library, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := lib.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

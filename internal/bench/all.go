@@ -32,6 +32,7 @@ func Experiments() []Experiment {
 		{"ablation-splitk", AblationSplitK},
 		{"ablation-evolve", AblationEvolve},
 		{"ext-detection", ExtDetection},
+		{"ext-graphrt", ExtGraphRT},
 	}
 }
 

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"context"
+	"time"
+
+	"mikpoly/internal/core"
+	"mikpoly/internal/graphrt"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/nn"
+	"mikpoly/internal/tune"
+)
+
+// ExtGraphRT measures the graph runtime's plan-ahead pipeline on Llama2
+// decode graphs: with a cold plan cache, how much of the online
+// polymerization wall time does running planning concurrently with
+// execution hide? Each mode gets a fresh compiler so both plan every shape
+// from scratch; device cycles must be identical across modes (planning
+// never changes the chosen programs, only when they are produced).
+func ExtGraphRT(cfg Config) (*Table, error) {
+	lib, err := core.SharedLibrary(hw.A100(), tune.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "ext-graphrt",
+		Title: "Graph runtime: plan-ahead vs sequential planning (Llama2 decode, cold cache)",
+		Header: []string{"graph", "cycles", "cycles-match", "plan-ms-seq", "stall-ms-seq",
+			"plan-ms-ahead", "stall-ms-ahead", "hidden-frac"},
+	}
+
+	run := func(g nn.Graph, ahead int) (graphrt.Report, error) {
+		// A fresh compiler per run keeps the plan cache cold: the pipeline
+		// must hide real polymerization work, not cache hits.
+		rt := graphrt.New(core.NewCompilerFromLibrary(lib), graphrt.Config{PlanAhead: ahead})
+		return rt.Execute(context.Background(), g)
+	}
+	msOf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+	kvs := []int{128, 512, 2048}
+	if cfg.Quick {
+		kvs = kvs[:2]
+	}
+	for _, kv := range kvs {
+		g := nn.Llama2Decode(4, kv)
+		seq, err := run(g, 0)
+		if err != nil {
+			return nil, err
+		}
+		pa, err := run(g, 4)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(g.Name, pa.Cycles, boolCell(seq.Cycles == pa.Cycles),
+			msOf(seq.PlanWall), msOf(seq.StallWall),
+			msOf(pa.PlanWall), msOf(pa.StallWall), pa.HiddenFraction())
+	}
+	t.Note("cycles-match: plan-ahead and sequential execution cost identical device cycles")
+	t.Note("hidden-frac: share of plan-ahead planning wall time overlapped with execution")
+	return t, nil
+}
+
+func boolCell(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,18 @@
+package bench
+
+import "testing"
+
+func TestExtGraphRT(t *testing.T) {
+	tb, err := ExtGraphRT(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 in quick mode", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if r[2] != "yes" {
+			t.Fatalf("plan-ahead and sequential cycles diverged: %v", r)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package graphopt
+
+import (
+	"strings"
+	"testing"
+
+	"mikpoly/internal/nn"
+	"mikpoly/internal/tensor"
+)
+
+func gemmOp(name string) nn.Op {
+	return nn.Op{Name: name, Kind: nn.OpGemm, Gemm: tensor.GemmShape{M: 8, N: 8, K: 8}, Count: 1}
+}
+
+func otherOp(name string, bytes float64) nn.Op {
+	return nn.Op{Name: name, Kind: nn.OpOther, OtherBytes: bytes, Count: 1}
+}
+
+func TestFuseEmptyGraph(t *testing.T) {
+	out, st := Fuse(nn.Graph{Name: "empty"})
+	if len(out.Ops) != 0 || st.FusedOps != 0 || st.BytesSaved != 0 {
+		t.Fatalf("empty graph fused into %d ops, stats %+v", len(out.Ops), st)
+	}
+	if err := Validate(nn.Graph{}, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuseZeroByteOther: a zero-traffic elementwise op has nothing to fold;
+// it must pass through untouched — no rename, no fusion credit.
+func TestFuseZeroByteOther(t *testing.T) {
+	g := nn.Graph{Name: "g", Ops: []nn.Op{gemmOp("mm"), otherOp("noop", 0)}}
+	out, st := Fuse(g)
+	if st.FusedOps != 0 || st.BytesSaved != 0 {
+		t.Fatalf("zero-byte op fused: %+v", st)
+	}
+	if out.Ops[1].Name != "noop" || out.Ops[1].OtherBytes != 0 {
+		t.Fatalf("zero-byte op altered: %+v", out.Ops[1])
+	}
+	if err := Validate(g, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuseFollowsExplicitEdges: fusibility depends on the producing edge,
+// not list adjacency — an elementwise op whose explicit producer is a GEMM
+// fuses even when another op sits between them, and one whose sole producer
+// is another elementwise op does not.
+func TestFuseFollowsExplicitEdges(t *testing.T) {
+	g := nn.Graph{Name: "g", Ops: []nn.Op{
+		gemmOp("mm"),            // 0
+		otherOp("softmax", 100), // 1: chain default -> 0, fusible
+		otherOp("scale", 100),   // 2: explicit -> 0 (non-adjacent GEMM), fusible
+		otherOp("norm", 100),    // 3: explicit -> 1 (an Other), not fusible
+		otherOp("add", 100),     // 4: two producers, not fusible
+	}}
+	g.Ops[2].Inputs = []int{0}
+	g.Ops[3].Inputs = []int{1}
+	g.Ops[4].Inputs = []int{0, 3}
+
+	out, st := Fuse(g)
+	if st.FusedOps != 2 {
+		t.Fatalf("fused %d ops, want 2", st.FusedOps)
+	}
+	for i, wantFused := range []bool{false, true, true, false, false} {
+		fused := strings.HasSuffix(out.Ops[i].Name, "(fused)")
+		if fused != wantFused {
+			t.Errorf("op %d (%s): fused=%v, want %v", i, g.Ops[i].Name, fused, wantFused)
+		}
+	}
+	if err := Validate(g, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuseRepeatedProducerNotFused: a Count>1 producer has no single
+// epilogue to host the chain.
+func TestFuseRepeatedProducerNotFused(t *testing.T) {
+	heads := gemmOp("attn")
+	heads.Count = 12
+	g := nn.Graph{Name: "g", Ops: []nn.Op{heads, otherOp("softmax", 100)}}
+	if _, st := Fuse(g); st.FusedOps != 0 {
+		t.Fatalf("fused across a repeated producer: %+v", st)
+	}
+}
+
+// TestValidateCatchesDependencyChange: an optimization that rewires edges is
+// not traffic-preserving bookkeeping and must be rejected.
+func TestValidateCatchesDependencyChange(t *testing.T) {
+	before := nn.Graph{Name: "g", Ops: []nn.Op{gemmOp("a"), gemmOp("b"), gemmOp("c")}}
+	after := nn.Graph{Name: "g", Ops: []nn.Op{gemmOp("a"), gemmOp("b"), gemmOp("c")}}
+	after.Ops[2].Inputs = []int{0}
+	if err := Validate(before, after); err == nil {
+		t.Fatal("rewired dependencies accepted")
+	}
+}

@@ -13,6 +13,7 @@ package graphopt
 
 import (
 	"fmt"
+	"slices"
 
 	"mikpoly/internal/nn"
 )
@@ -36,14 +37,17 @@ type Stats struct {
 
 // Fuse returns a copy of the graph with every fusible elementwise operator
 // folded into its producing GEMM/convolution. An elementwise op is fusible
-// when it directly follows a GEMM or convolution operator with Count 1 (a
-// repeated producer has no single epilogue to host the chain).
+// when its sole producer (its effective dependency — the preceding op for
+// chain graphs, the explicit edge otherwise) is a GEMM or convolution
+// operator with Count 1: a repeated producer has no single epilogue to host
+// the chain, and an op joining several producers has no unique one.
 func Fuse(g nn.Graph) (nn.Graph, Stats) {
 	out := nn.Graph{Name: g.Name + "+fused", Ops: make([]nn.Op, 0, len(g.Ops))}
 	var st Stats
 	for i, op := range g.Ops {
-		if op.Kind == nn.OpOther && i > 0 {
-			prev := g.Ops[i-1]
+		deps := g.Deps(i)
+		if op.Kind == nn.OpOther && len(deps) == 1 && deps[0] >= 0 && deps[0] < len(g.Ops) {
+			prev := g.Ops[deps[0]]
 			if (prev.Kind == nn.OpGemm || prev.Kind == nn.OpConv) && prev.Count == 1 && op.OtherBytes > 0 {
 				saved := op.OtherBytes * float64(op.Count) * (1 - FusedTrafficFraction)
 				fused := op
@@ -76,6 +80,9 @@ func Validate(before, after nn.Graph) error {
 		}
 		if a.OtherBytes > b.OtherBytes {
 			return fmt.Errorf("graphopt: op %d traffic increased", i)
+		}
+		if !slices.Equal(before.Deps(i), after.Deps(i)) {
+			return fmt.Errorf("graphopt: op %d dependencies changed", i)
 		}
 	}
 	return nil

@@ -1,0 +1,316 @@
+package graphrt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mikpoly/internal/nn"
+)
+
+// BatchConfig tunes the continuous decode batcher. Zero fields take the
+// defaults below.
+type BatchConfig struct {
+	// MaxBatch bounds the requests aggregated into one step graph
+	// (default 8).
+	MaxBatch int
+	// KVQuantum is the KV-length bucket granularity: a request's context
+	// length is padded up to the next multiple, so requests with nearby
+	// KV lengths share one step graph — legal because local padding
+	// (§3.4) makes any padded shape executable (default 64).
+	KVQuantum int
+}
+
+const (
+	defaultMaxBatch  = 8
+	defaultKVQuantum = 64
+)
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = defaultMaxBatch
+	}
+	if c.KVQuantum <= 0 {
+		c.KVQuantum = defaultKVQuantum
+	}
+	return c
+}
+
+// DecodeRequest asks for Tokens autoregressive decode steps of a Llama2
+// sequence whose KV cache currently holds KVLen tokens.
+type DecodeRequest struct {
+	KVLen  int
+	Tokens int
+}
+
+// DecodeResult reports one request's generation.
+type DecodeResult struct {
+	// Tokens is the number of decode steps executed.
+	Tokens int
+	// SharedSteps counts steps co-batched with at least one other
+	// request (the continuous-batching win).
+	SharedSteps int
+	// Cycles is the summed device latency of every step graph the
+	// request rode in — the latency this request observed.
+	Cycles float64
+	// Stalls and Degraded aggregate the underlying executions' planning
+	// stalls and fallback plans.
+	Stalls   int
+	Degraded int
+	// FaultedTasks aggregates simulator-reported faults across steps.
+	FaultedTasks int
+}
+
+// BatchStats are the batcher's cumulative counters.
+type BatchStats struct {
+	// Submitted and Completed count requests.
+	Submitted, Completed int64
+	// StepGraphs counts executed step graphs; SharedStepGraphs the
+	// subset carrying more than one request.
+	StepGraphs, SharedStepGraphs int64
+	// PaddedKVTokens sums the per-request KV padding introduced by
+	// bucketing (wasted attention work, the cost of sharing).
+	PaddedKVTokens int64
+}
+
+// errStopped answers submissions to a stopped batcher.
+var errStopped = errors.New("graphrt: decode batcher stopped")
+
+// DecodeBatcher aggregates concurrent Llama decode requests into
+// shape-bucketed step graphs with join/leave between steps: a request
+// joins the batch at the next step boundary, decodes one token per step
+// alongside everyone in its KV bucket, and leaves when done.
+type DecodeBatcher struct {
+	rt  *Runtime
+	cfg BatchConfig
+
+	mu      sync.Mutex
+	waiting []*decodeCall
+	stats   BatchStats
+	stopped bool
+
+	wake chan struct{}
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// decodeCall is one in-flight request.
+type decodeCall struct {
+	ctx  context.Context
+	kv   int // current KV length
+	left int // tokens still to decode
+	res  DecodeResult
+	err  error
+	done chan struct{}
+}
+
+// NewDecodeBatcher builds a batcher over rt. Call Start to launch the
+// serving loop; tests may instead drive RunStep directly.
+func NewDecodeBatcher(rt *Runtime, cfg BatchConfig) *DecodeBatcher {
+	return &DecodeBatcher{
+		rt:   rt,
+		cfg:  cfg.withDefaults(),
+		wake: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+	}
+}
+
+// Start launches the continuous batching loop.
+func (b *DecodeBatcher) Start() {
+	b.wg.Add(1)
+	go b.loop()
+}
+
+// Stop terminates the loop and fails queued requests. In-flight steps
+// complete first.
+func (b *DecodeBatcher) Stop() {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return
+	}
+	b.stopped = true
+	b.mu.Unlock()
+	close(b.quit)
+	b.wg.Wait()
+	b.mu.Lock()
+	for _, c := range b.waiting {
+		c.err = errStopped
+		close(c.done)
+	}
+	b.waiting = nil
+	b.mu.Unlock()
+}
+
+// Stats returns the cumulative batching counters.
+func (b *DecodeBatcher) Stats() BatchStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Submit enqueues a request and blocks until it completes, its context
+// expires, or the batcher stops.
+func (b *DecodeBatcher) Submit(ctx context.Context, req DecodeRequest) (DecodeResult, error) {
+	if req.KVLen < 1 || req.Tokens < 1 {
+		return DecodeResult{}, fmt.Errorf("graphrt: invalid decode request kv=%d tokens=%d", req.KVLen, req.Tokens)
+	}
+	c, err := b.enqueue(ctx, req)
+	if err != nil {
+		return DecodeResult{}, err
+	}
+	select {
+	case <-c.done:
+		return c.res, c.err
+	case <-ctx.Done():
+		// The loop observes the dead context at the next step boundary
+		// and completes the call with its error; waiting here keeps the
+		// result delivery single-writer.
+		<-c.done
+		return c.res, c.err
+	}
+}
+
+// enqueue adds a request to the waiting queue (non-blocking half of
+// Submit, used directly by deterministic tests).
+func (b *DecodeBatcher) enqueue(ctx context.Context, req DecodeRequest) (*decodeCall, error) {
+	c := &decodeCall{ctx: ctx, kv: req.KVLen, left: req.Tokens, done: make(chan struct{})}
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return nil, errStopped
+	}
+	b.waiting = append(b.waiting, c)
+	b.stats.Submitted++
+	b.mu.Unlock()
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+	return c, nil
+}
+
+// loop drains steps while work exists, sleeping until woken otherwise.
+func (b *DecodeBatcher) loop() {
+	defer b.wg.Done()
+	var active []*decodeCall
+	for {
+		active = b.RunStep(context.Background(), active)
+		if len(active) > 0 {
+			continue
+		}
+		b.mu.Lock()
+		idle := len(b.waiting) == 0
+		b.mu.Unlock()
+		if !idle {
+			continue
+		}
+		select {
+		case <-b.wake:
+		case <-b.quit:
+			return
+		}
+	}
+}
+
+// RunStep executes one decode step: it admits waiting requests (join),
+// buckets the active set by padded KV length, runs one step graph per
+// bucket, advances every member one token, and retires finished requests
+// (leave). It returns the requests still active. Exposed so tests can
+// drive batching deterministically; the serving path uses Start/Submit.
+func (b *DecodeBatcher) RunStep(ctx context.Context, active []*decodeCall) []*decodeCall {
+	// Join: pick up everything waiting at this step boundary.
+	b.mu.Lock()
+	active = append(active, b.waiting...)
+	b.waiting = nil
+	b.mu.Unlock()
+
+	// Evict requests whose caller has gone away.
+	keep := active[:0]
+	for _, c := range active {
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			close(c.done)
+			continue
+		}
+		keep = append(keep, c)
+	}
+	active = keep
+	if len(active) == 0 {
+		return nil
+	}
+
+	// Bucket by padded KV length, deterministically.
+	q := b.cfg.KVQuantum
+	buckets := make(map[int][]*decodeCall)
+	for _, c := range active {
+		padded := (c.kv + q - 1) / q * q
+		buckets[padded] = append(buckets[padded], c)
+	}
+	kvs := make([]int, 0, len(buckets))
+	for kv := range buckets {
+		kvs = append(kvs, kv)
+	}
+	sort.Ints(kvs)
+
+	for _, kv := range kvs {
+		group := buckets[kv]
+		for len(group) > 0 {
+			n := len(group)
+			if n > b.cfg.MaxBatch {
+				n = b.cfg.MaxBatch
+			}
+			b.step(ctx, group[:n], kv)
+			group = group[n:]
+		}
+	}
+
+	// Leave: retire completed requests.
+	keep = active[:0]
+	for _, c := range active {
+		if c.left == 0 || c.err != nil {
+			if c.err == nil {
+				b.mu.Lock()
+				b.stats.Completed++
+				b.mu.Unlock()
+			}
+			close(c.done)
+			continue
+		}
+		keep = append(keep, c)
+	}
+	return keep
+}
+
+// step runs one shape-bucketed step graph for a group of requests.
+func (b *DecodeBatcher) step(ctx context.Context, group []*decodeCall, paddedKV int) {
+	g := nn.Llama2Decode(len(group), paddedKV)
+	rep, err := b.rt.Execute(ctx, g)
+	b.mu.Lock()
+	b.stats.StepGraphs++
+	if len(group) > 1 {
+		b.stats.SharedStepGraphs++
+	}
+	for _, c := range group {
+		b.stats.PaddedKVTokens += int64(paddedKV - c.kv)
+	}
+	b.mu.Unlock()
+	for _, c := range group {
+		if err != nil {
+			c.err = err
+			continue
+		}
+		c.res.Tokens++
+		c.res.Cycles += rep.Cycles
+		c.res.Stalls += rep.Stalls
+		c.res.Degraded += rep.Degraded
+		c.res.FaultedTasks += rep.FaultedTasks
+		if len(group) > 1 {
+			c.res.SharedSteps++
+		}
+		c.kv++
+		c.left--
+	}
+}

@@ -1,0 +1,186 @@
+package graphrt
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestBucketSharing is the batching acceptance scenario: two decode requests
+// with different KV lengths (100 and 120) land in the same 64-quantum bucket
+// (both pad to 128) and share a single step graph, each receiving its own
+// per-request result.
+func TestBucketSharing(t *testing.T) {
+	rt := fastRuntime(t, Config{PlanAhead: 2})
+	b := NewDecodeBatcher(rt, BatchConfig{}) // not started: driven directly
+	ctx := context.Background()
+
+	c1, err := b.enqueue(ctx, DecodeRequest{KVLen: 100, Tokens: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := b.enqueue(ctx, DecodeRequest{KVLen: 120, Tokens: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	active := b.RunStep(ctx, nil)
+	if len(active) != 0 {
+		t.Fatalf("%d requests still active after their single step", len(active))
+	}
+	for _, c := range []*decodeCall{c1, c2} {
+		select {
+		case <-c.done:
+		default:
+			t.Fatal("completed request's done channel not closed")
+		}
+		if c.err != nil {
+			t.Fatal(c.err)
+		}
+		if c.res.Tokens != 1 || c.res.SharedSteps != 1 {
+			t.Fatalf("per-request result %+v, want 1 token in 1 shared step", c.res)
+		}
+		if c.res.Cycles <= 0 {
+			t.Fatal("request observed no device time")
+		}
+	}
+	// Both rode the same graph, so they observed identical step latency.
+	if c1.res.Cycles != c2.res.Cycles {
+		t.Fatalf("co-batched requests observed different cycles: %g vs %g", c1.res.Cycles, c2.res.Cycles)
+	}
+
+	st := b.Stats()
+	if st.StepGraphs != 1 || st.SharedStepGraphs != 1 {
+		t.Fatalf("stats %+v, want exactly one shared step graph", st)
+	}
+	if st.PaddedKVTokens != (128-100)+(128-120) {
+		t.Fatalf("padded KV tokens %d, want 36", st.PaddedKVTokens)
+	}
+	if st.Submitted != 2 || st.Completed != 2 {
+		t.Fatalf("stats %+v, want 2 submitted and completed", st)
+	}
+}
+
+// TestJoinLeave verifies continuous batching across step boundaries: a
+// request joins an in-progress stream at the next step, shares steps while
+// both run, and each leaves exactly when its token budget is spent.
+func TestJoinLeave(t *testing.T) {
+	rt := fastRuntime(t, Config{PlanAhead: 2})
+	b := NewDecodeBatcher(rt, BatchConfig{})
+	ctx := context.Background()
+
+	a, err := b.enqueue(ctx, DecodeRequest{KVLen: 10, Tokens: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := b.RunStep(ctx, nil) // step 1: a alone
+	if len(active) != 1 {
+		t.Fatalf("after step 1: %d active, want 1", len(active))
+	}
+
+	c, err := b.enqueue(ctx, DecodeRequest{KVLen: 30, Tokens: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	active = b.RunStep(ctx, active) // step 2: c joins, both pad to 64
+	if len(active) != 1 {
+		t.Fatalf("after step 2: %d active, want 1 (c left)", len(active))
+	}
+	if c.err != nil || c.res.Tokens != 1 || c.res.SharedSteps != 1 {
+		t.Fatalf("joiner result %+v err=%v", c.res, c.err)
+	}
+
+	active = b.RunStep(ctx, active) // step 3: a alone again, then leaves
+	if len(active) != 0 {
+		t.Fatalf("after step 3: %d active, want 0", len(active))
+	}
+	if a.err != nil || a.res.Tokens != 3 || a.res.SharedSteps != 1 {
+		t.Fatalf("long request result %+v err=%v", a.res, a.err)
+	}
+
+	st := b.Stats()
+	if st.StepGraphs != 3 || st.SharedStepGraphs != 1 {
+		t.Fatalf("stats %+v, want 3 step graphs of which 1 shared", st)
+	}
+}
+
+func TestMaxBatchSplitsBuckets(t *testing.T) {
+	rt := fastRuntime(t, Config{PlanAhead: 2})
+	b := NewDecodeBatcher(rt, BatchConfig{MaxBatch: 2})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := b.enqueue(ctx, DecodeRequest{KVLen: 50, Tokens: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.RunStep(ctx, nil)
+	st := b.Stats()
+	// One bucket of three, capped at 2 per graph: a shared pair + a single.
+	if st.StepGraphs != 2 || st.SharedStepGraphs != 1 {
+		t.Fatalf("stats %+v, want 2 step graphs of which 1 shared", st)
+	}
+}
+
+func TestRunStepEvictsDeadContexts(t *testing.T) {
+	rt := fastRuntime(t, Config{PlanAhead: 2})
+	b := NewDecodeBatcher(rt, BatchConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	c, err := b.enqueue(ctx, DecodeRequest{KVLen: 10, Tokens: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if active := b.RunStep(context.Background(), nil); len(active) != 0 {
+		t.Fatalf("%d active, want eviction", len(active))
+	}
+	if !errors.Is(c.err, context.Canceled) {
+		t.Fatalf("evicted request error %v, want context.Canceled", c.err)
+	}
+	if st := b.Stats(); st.Completed != 0 || st.StepGraphs != 0 {
+		t.Fatalf("evicted request counted as work: %+v", st)
+	}
+}
+
+func TestSubmitValidationAndStop(t *testing.T) {
+	rt := fastRuntime(t, Config{PlanAhead: 2})
+	b := NewDecodeBatcher(rt, BatchConfig{})
+	ctx := context.Background()
+
+	if _, err := b.Submit(ctx, DecodeRequest{KVLen: 0, Tokens: 1}); err == nil {
+		t.Fatal("kv=0 accepted")
+	}
+	if _, err := b.Submit(ctx, DecodeRequest{KVLen: 1, Tokens: 0}); err == nil {
+		t.Fatal("tokens=0 accepted")
+	}
+
+	// A queued request fails with errStopped when the batcher stops.
+	c, err := b.enqueue(ctx, DecodeRequest{KVLen: 10, Tokens: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Stop()
+	<-c.done
+	if !errors.Is(c.err, errStopped) {
+		t.Fatalf("queued request error %v, want errStopped", c.err)
+	}
+	if _, err := b.Submit(ctx, DecodeRequest{KVLen: 10, Tokens: 1}); !errors.Is(err, errStopped) {
+		t.Fatalf("submit after stop: %v, want errStopped", err)
+	}
+	b.Stop() // idempotent
+}
+
+// TestStartSubmitEndToEnd drives the background loop the way the serving
+// layer does.
+func TestStartSubmitEndToEnd(t *testing.T) {
+	rt := fastRuntime(t, Config{PlanAhead: 2})
+	b := NewDecodeBatcher(rt, BatchConfig{})
+	b.Start()
+	defer b.Stop()
+	res, err := b.Submit(context.Background(), DecodeRequest{KVLen: 90, Tokens: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tokens != 2 || res.Cycles <= 0 {
+		t.Fatalf("result %+v, want 2 tokens with device time", res)
+	}
+}

@@ -1,0 +1,278 @@
+// Package graphrt is the graph runtime: it executes whole model graphs
+// (nn.Graph) end to end on the simulator substrate, the missing layer
+// between per-operator planning (core.Compiler) and the end-to-end results
+// of §5.2.2–§5.2.4. It contributes four things the per-operator path lacks:
+//
+//   - a dependency-aware schedule: ops run in topological stages derived
+//     from the graph's edges; ops sharing a stage (and the Count instances
+//     of per-head GEMMs) co-schedule on the device in one simulator launch;
+//
+//   - an asynchronous plan-ahead pipeline: a bounded worker pool plans
+//     upcoming ops through the compiler's LRU/singleflight cache while the
+//     executor runs the current stage, hiding the online polymerization
+//     cost behind execution — the "on-the-fly" story at model granularity.
+//     Per-graph stats separate hidden planning time from planning stalls
+//     (wall time the executor waited on an unfinished plan);
+//
+//   - a global-memory planner: liveness-based first-fit assignment of
+//     inter-op tensors against H.M_global, reusing freed regions and
+//     charging spill traffic as bandwidth-bound cycles when the working
+//     set exceeds device memory (see mem.go);
+//
+//   - continuous decode batching: concurrent Llama decode requests with
+//     differing KV lengths aggregate into shape-bucketed step graphs, with
+//     join/leave between steps (see batch.go).
+package graphrt
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mikpoly/internal/core"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/nn"
+	"mikpoly/internal/poly"
+	"mikpoly/internal/sim"
+	"mikpoly/internal/tensor"
+)
+
+// Config tunes a Runtime. The zero value is the sequential executor: plans
+// are produced inline, on the critical path, exactly when needed.
+type Config struct {
+	// PlanAhead is the number of ops the planning pipeline may run ahead
+	// of the executor; 0 disables the pipeline (inline planning).
+	PlanAhead int
+
+	// Workers bounds the concurrent planner goroutines of the pipeline
+	// (default min(PlanAhead, 4)).
+	Workers int
+
+	// PlanTimeout bounds one op's online planning; exceeding it degrades
+	// to the always-legal fallback program (0 = no deadline, negative =
+	// already expired, the forced-degradation knob of the serve layer).
+	PlanTimeout time.Duration
+}
+
+// Runtime executes model graphs against one compiler and its hardware.
+// It is safe for concurrent use; cumulative stats aggregate across calls.
+type Runtime struct {
+	comp *core.Compiler
+	h    hw.Hardware
+	cfg  Config
+
+	// planFn is the per-op planning entry; a seam tests use to inject
+	// slow planners. Defaults to PlanOrFallback under cfg.PlanTimeout.
+	planFn func(ctx context.Context, shape tensor.GemmShape) (*poly.Program, bool, error)
+
+	// simFn executes one stage's task batch; a seam the serve layer uses
+	// for fault injection and tests use for slow devices. Defaults to
+	// sim.Run (salt ignored).
+	simFn func(h hw.Hardware, tasks []sim.Task, salt uint64) sim.Result
+
+	mu       sync.Mutex
+	agg      Stats
+	simCache map[string]simEntry
+}
+
+// simEntry caches one stage's simulated execution within a salt generation.
+type simEntry struct {
+	salt    uint64
+	cycles  float64
+	faulted int
+}
+
+// Stats are the runtime's cumulative counters, aggregated across Execute
+// calls (exported via /stats in the serving layer).
+type Stats struct {
+	// Graphs and Stages count completed executions and executed stages.
+	Graphs, Stages int64
+	// Plans counts planning-pipeline results consumed (including cache
+	// hits inside the compiler); Stalls counts the subset the executor
+	// had to wait for.
+	Plans, Stalls int64
+	// PlanWall is total planning wall time; StallWall the part the
+	// executor spent blocked on unfinished plans; HiddenWall the part
+	// overlapped with execution (per-op max(0, wall−stall), so
+	// PlanWall ≤ StallWall + HiddenWall always holds).
+	PlanWall, StallWall, HiddenWall time.Duration
+	// Degraded counts ops answered with the fallback program.
+	Degraded int64
+	// FaultedTasks accumulates simulator-reported faulted tasks.
+	FaultedTasks int64
+	// Cycles and SpillBytes accumulate end-to-end device cycles and
+	// memory-planner spill traffic.
+	Cycles     float64
+	SpillBytes float64
+}
+
+// Report describes one graph execution.
+type Report struct {
+	Graph  string
+	Ops    int
+	Stages int
+
+	// Cycles is the end-to-end device time: co-scheduled GEMM/conv stage
+	// makespans + bandwidth-bound OpOther work + spill traffic.
+	Cycles      float64
+	GemmCycles  float64
+	OtherCycles float64
+	SpillCycles float64
+
+	// Plan-ahead accounting (wall clock, this process).
+	Plans      int
+	Stalls     int
+	PlanWall   time.Duration
+	StallWall  time.Duration
+	HiddenWall time.Duration
+
+	Degraded     int
+	FaultedTasks int
+
+	Mem MemReport
+}
+
+// HiddenFraction is the share of online planning time hidden behind
+// execution — the plan-ahead pipeline's figure of merit.
+func (r Report) HiddenFraction() float64 {
+	if r.PlanWall <= 0 {
+		return 0
+	}
+	return float64(r.HiddenWall) / float64(r.PlanWall)
+}
+
+// New builds a runtime over a ready compiler.
+func New(comp *core.Compiler, cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = cfg.PlanAhead
+		if cfg.Workers > 4 {
+			cfg.Workers = 4
+		}
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	r := &Runtime{
+		comp:     comp,
+		h:        comp.Hardware(),
+		cfg:      cfg,
+		simCache: make(map[string]simEntry),
+	}
+	r.planFn = func(ctx context.Context, shape tensor.GemmShape) (*poly.Program, bool, error) {
+		pctx := ctx
+		var cancel context.CancelFunc
+		if cfg.PlanTimeout != 0 {
+			pctx, cancel = context.WithTimeout(ctx, cfg.PlanTimeout)
+			defer cancel()
+		}
+		return comp.PlanOrFallback(pctx, shape)
+	}
+	r.simFn = func(h hw.Hardware, tasks []sim.Task, salt uint64) sim.Result {
+		return sim.Run(h, tasks)
+	}
+	return r
+}
+
+// Compiler returns the compiler the runtime plans through.
+func (r *Runtime) Compiler() *core.Compiler { return r.comp }
+
+// Hardware returns the target device.
+func (r *Runtime) Hardware() hw.Hardware { return r.h }
+
+// SetSimulator overrides stage execution (fault injection in the serving
+// layer). fn must be deterministic for a given (tasks, salt).
+func (r *Runtime) SetSimulator(fn func(h hw.Hardware, tasks []sim.Task, salt uint64) sim.Result) {
+	r.simFn = fn
+}
+
+// Stats returns the cumulative counters.
+func (r *Runtime) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.agg
+}
+
+// ticket is one op's plan, produced by the pipeline or inline.
+type ticket struct {
+	done     chan struct{}
+	prog     *poly.Program
+	degraded bool
+	err      error
+	wall     time.Duration
+}
+
+// Execute runs the graph end to end and returns its report.
+func (r *Runtime) Execute(ctx context.Context, g nn.Graph) (Report, error) {
+	return r.ExecuteSalted(ctx, g, 0)
+}
+
+// ExecuteSalted is Execute with a fault-injection salt distinguishing retry
+// attempts (forwarded to the simulator seam).
+func (r *Runtime) ExecuteSalted(ctx context.Context, g nn.Graph, salt uint64) (Report, error) {
+	if err := g.Validate(); err != nil {
+		return Report{}, err
+	}
+	stages, err := g.Stages()
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Graph: g.Name, Ops: len(g.Ops), Stages: len(stages)}
+	rep.Mem = planMemory(g, stages, r.h)
+	rep.SpillCycles = rep.Mem.SpillBytes / r.h.GlobalBytesPerCycle
+
+	// Flatten the stage schedule into the planning order and start the
+	// plan-ahead pipeline (nil tickets = inline planning).
+	order := make([]int, 0, len(g.Ops))
+	for _, stage := range stages {
+		order = append(order, stage...)
+	}
+	pctx, stop := context.WithCancel(ctx)
+	defer stop()
+	pipe := r.startPipeline(pctx, g, order)
+
+	for _, stage := range stages {
+		var tasks []sim.Task
+		stageKey := ""
+		for _, i := range stage {
+			op := g.Ops[i]
+			if op.Kind == nn.OpOther {
+				rep.OtherCycles += op.OtherCycles(r.h) * float64(op.Count)
+				continue
+			}
+			t, err := r.consumePlan(ctx, pipe, i, op.Gemm, &rep)
+			if err != nil {
+				return Report{}, fmt.Errorf("graphrt: graph %s op %s: %w", g.Name, op.Name, err)
+			}
+			single := t.prog.Tasks(r.h)
+			for c := 0; c < op.Count; c++ {
+				tasks = append(tasks, single...)
+			}
+			stageKey += progKey(t.prog, op.Count)
+		}
+		if len(tasks) > 0 {
+			cycles, faulted := r.runStageCached(stageKey, tasks, salt)
+			rep.GemmCycles += cycles
+			rep.FaultedTasks += faulted
+		}
+		if err := ctx.Err(); err != nil {
+			return Report{}, err
+		}
+	}
+	rep.Cycles = rep.GemmCycles + rep.OtherCycles + rep.SpillCycles
+
+	r.mu.Lock()
+	r.agg.Graphs++
+	r.agg.Stages += int64(rep.Stages)
+	r.agg.Plans += int64(rep.Plans)
+	r.agg.Stalls += int64(rep.Stalls)
+	r.agg.PlanWall += rep.PlanWall
+	r.agg.StallWall += rep.StallWall
+	r.agg.HiddenWall += rep.HiddenWall
+	r.agg.Degraded += int64(rep.Degraded)
+	r.agg.FaultedTasks += int64(rep.FaultedTasks)
+	r.agg.Cycles += rep.Cycles
+	r.agg.SpillBytes += rep.Mem.SpillBytes
+	r.mu.Unlock()
+	return rep, nil
+}

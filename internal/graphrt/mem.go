@@ -1,0 +1,204 @@
+package graphrt
+
+import (
+	"sort"
+
+	"mikpoly/internal/hw"
+	"mikpoly/internal/nn"
+)
+
+// MemReport summarizes the global-memory plan of one graph execution.
+type MemReport struct {
+	// CapacityBytes is H.M_global (0 = unspecified, treated as unbounded).
+	CapacityBytes int64
+	// Buffers is the number of inter-op tensors planned.
+	Buffers int
+	// PeakBytes is the allocator's high-water mark among buffers that fit.
+	PeakBytes int64
+	// WorkingSetBytes is the peak sum of simultaneously-live buffer sizes
+	// — what the graph would need with no capacity bound.
+	WorkingSetBytes int64
+	// SpilledBuffers and SpillBytes describe tensors that did not fit:
+	// each spill pays its size once to store plus once per consuming
+	// stage to reload, charged as bandwidth-bound traffic.
+	SpilledBuffers int
+	SpillBytes     float64
+}
+
+// buffer is one inter-op tensor: the output of a GEMM/conv op, live from
+// its producing stage through the stage of its last consumer. OpOther ops
+// are bandwidth passes that forward their input in place, so demand on
+// their output is demand on their producers' buffers.
+type buffer struct {
+	op          int
+	size        int64
+	birth, last int   // stage interval [birth, last]
+	reads       int   // consuming stages (reload count if spilled)
+	off         int64 // assigned offset when fitted
+	spilled     bool
+}
+
+// planMemory performs liveness-based first-fit assignment of inter-op
+// tensors against the device's global memory, reusing freed regions; a
+// tensor that cannot fit is spilled and its round-trip traffic charged to
+// the execution. The schedule's stage order defines liveness.
+func planMemory(g nn.Graph, stages [][]int, h hw.Hardware) MemReport {
+	rep := MemReport{CapacityBytes: h.GlobalMemBytes}
+
+	pos := make([]int, len(g.Ops)) // op -> stage index
+	for s, stage := range stages {
+		for _, i := range stage {
+			pos[i] = s
+		}
+	}
+	consumers := g.Consumers()
+
+	// lastUse resolves demand through OpOther forwarding: a consumer that
+	// is itself an OpOther extends the buffer's life to that op's own
+	// consumers, transitively.
+	var lastUse func(i int, seen []bool) (last, reads int)
+	lastUse = func(i int, seen []bool) (int, int) {
+		last, reads := pos[i], 0
+		for _, c := range consumers[i] {
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			if g.Ops[c].Kind == nn.OpOther {
+				l, n := lastUse(c, seen)
+				if l > last {
+					last = l
+				}
+				reads += n
+				continue
+			}
+			if pos[c] > last {
+				last = pos[c]
+			}
+			reads++
+		}
+		return last, reads
+	}
+
+	var bufs []*buffer
+	for i, op := range g.Ops {
+		if op.Kind == nn.OpOther {
+			continue
+		}
+		size := int64(op.Gemm.M) * int64(op.Gemm.N) * int64(h.OutputBytes) * int64(op.Count)
+		b := &buffer{op: i, size: size, birth: pos[i]}
+		b.last, b.reads = lastUse(i, make([]bool, len(g.Ops)))
+		if b.reads == 0 {
+			// A graph output: stays resident until the run completes.
+			b.last = len(stages) - 1
+		}
+		bufs = append(bufs, b)
+	}
+	rep.Buffers = len(bufs)
+
+	// Birth events per stage, in op order (deterministic).
+	byBirth := make([][]*buffer, len(stages))
+	for _, b := range bufs {
+		byBirth[b.birth] = append(byBirth[b.birth], b)
+	}
+
+	alloc := newArena(h.GlobalMemBytes)
+	var live []*buffer
+	var liveBytes, workingPeak int64
+	for s := range stages {
+		// Free buffers whose last consumer ran in an earlier stage.
+		keep := live[:0]
+		for _, b := range live {
+			if b.last < s {
+				if !b.spilled {
+					alloc.release(b.off, b.size)
+				}
+				liveBytes -= b.size
+			} else {
+				keep = append(keep, b)
+			}
+		}
+		live = keep
+
+		for _, b := range byBirth[s] {
+			liveBytes += b.size
+			off, ok := alloc.alloc(b.size)
+			if ok {
+				b.off = off
+			} else {
+				b.spilled = true
+				rep.SpilledBuffers++
+				rep.SpillBytes += float64(b.size) * float64(1+b.reads)
+			}
+			live = append(live, b)
+		}
+		if liveBytes > workingPeak {
+			workingPeak = liveBytes
+		}
+	}
+	rep.PeakBytes = alloc.peak
+	rep.WorkingSetBytes = workingPeak
+	return rep
+}
+
+// arena is an offset-based first-fit allocator over [0, cap) with a sorted
+// free list and neighbor merging on free.
+type arena struct {
+	cap  int64 // 0 = unbounded
+	free []span
+	peak int64
+}
+
+type span struct{ off, len int64 }
+
+func newArena(capacity int64) *arena {
+	a := &arena{cap: capacity}
+	limit := capacity
+	if limit <= 0 {
+		limit = int64(1) << 62 // unbounded
+	}
+	a.free = []span{{off: 0, len: limit}}
+	return a
+}
+
+// alloc carves the lowest-offset free span that fits.
+func (a *arena) alloc(size int64) (int64, bool) {
+	if size <= 0 {
+		return 0, true
+	}
+	for i := range a.free {
+		if a.free[i].len >= size {
+			off := a.free[i].off
+			a.free[i].off += size
+			a.free[i].len -= size
+			if a.free[i].len == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			if end := off + size; end > a.peak {
+				a.peak = end
+			}
+			return off, true
+		}
+	}
+	return 0, false
+}
+
+// release returns a span to the list, merging with adjacent neighbors.
+func (a *arena) release(off, size int64) {
+	if size <= 0 {
+		return
+	}
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].off >= off })
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = span{off: off, len: size}
+	// Merge with successor, then predecessor.
+	if i+1 < len(a.free) && a.free[i].off+a.free[i].len == a.free[i+1].off {
+		a.free[i].len += a.free[i+1].len
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].off+a.free[i-1].len == a.free[i].off {
+		a.free[i-1].len += a.free[i].len
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}

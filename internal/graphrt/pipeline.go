@@ -1,0 +1,159 @@
+package graphrt
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mikpoly/internal/nn"
+	"mikpoly/internal/poly"
+	"mikpoly/internal/sim"
+	"mikpoly/internal/tensor"
+)
+
+// pipeline is one execution's asynchronous plan-ahead state: a ticket per
+// op (nil for OpOther), filled by a bounded worker pool that runs at most
+// PlanAhead ops past the executor's consumption point.
+type pipeline struct {
+	tickets []*ticket
+	// ahead holds one token per dispatched-but-unconsumed plan; the
+	// dispatcher acquires before handing a job to the pool, the executor
+	// releases on consumption, bounding the lookahead to cap(ahead).
+	ahead chan struct{}
+}
+
+// startPipeline launches the plan-ahead pipeline for the ops in `order`
+// (the flattened stage schedule). Returns nil when PlanAhead is 0: the
+// executor then plans inline, on its critical path — the sequential mode.
+// All goroutines exit when ctx is cancelled (the executor cancels it on
+// return), so an aborted execution leaks nothing.
+func (r *Runtime) startPipeline(ctx context.Context, g nn.Graph, order []int) *pipeline {
+	if r.cfg.PlanAhead <= 0 {
+		return nil
+	}
+	p := &pipeline{
+		tickets: make([]*ticket, len(g.Ops)),
+		ahead:   make(chan struct{}, r.cfg.PlanAhead),
+	}
+	var planned []int
+	for _, i := range order {
+		if g.Ops[i].Kind != nn.OpOther {
+			p.tickets[i] = &ticket{done: make(chan struct{})}
+			planned = append(planned, i)
+		}
+	}
+
+	jobs := make(chan int)
+	go func() { // dispatcher: feeds jobs in schedule order, k-bounded
+		defer close(jobs)
+		for _, i := range planned {
+			select {
+			case p.ahead <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < r.cfg.Workers; w++ {
+		go func() {
+			for i := range jobs {
+				t := p.tickets[i]
+				start := time.Now()
+				t.prog, t.degraded, t.err = r.planFn(ctx, g.Ops[i].Gemm)
+				t.wall = time.Since(start)
+				close(t.done)
+			}
+		}()
+	}
+	return p
+}
+
+// consumePlan hands the executor op i's program: from the pipeline when one
+// is running (accounting stall vs hidden wall time), inline otherwise.
+func (r *Runtime) consumePlan(ctx context.Context, pipe *pipeline, i int, shape tensor.GemmShape, rep *Report) (*ticket, error) {
+	if pipe == nil {
+		// Sequential mode: the whole planning wall is executor stall.
+		t := &ticket{}
+		start := time.Now()
+		t.prog, t.degraded, t.err = r.planFn(ctx, shape)
+		t.wall = time.Since(start)
+		rep.Plans++
+		rep.Stalls++
+		rep.PlanWall += t.wall
+		rep.StallWall += t.wall
+		if t.degraded {
+			rep.Degraded++
+		}
+		return t, t.err
+	}
+
+	t := pipe.tickets[i]
+	var stall time.Duration
+	select {
+	case <-t.done:
+	default:
+		// Plan not ready: the executor stalls until the pipeline
+		// delivers — the planning time the pipeline failed to hide.
+		waitStart := time.Now()
+		select {
+		case <-t.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		stall = time.Since(waitStart)
+		rep.Stalls++
+	}
+	<-pipe.ahead // release the lookahead token
+	rep.Plans++
+	rep.PlanWall += t.wall
+	rep.StallWall += stall
+	if hidden := t.wall - stall; hidden > 0 {
+		rep.HiddenWall += hidden
+	}
+	if t.degraded {
+		rep.Degraded++
+	}
+	return t, t.err
+}
+
+// progKey fingerprints a program for the stage-simulation memo. Identity by
+// content, not pointer, so a recycled allocation can never alias a stale
+// entry: shape + pattern + region count + task count separates an optimized
+// program from the single-kernel fallback for the same shape.
+func progKey(p *poly.Program, count int) string {
+	return fmt.Sprintf("%v|%s|%d|%d*%d;", p.Shape, p.Pattern, len(p.Regions), p.NumTasks(), count)
+}
+
+// runStageCached executes one stage's co-scheduled task batch, memoizing by
+// (program identity, count) signature within a salt generation: model
+// graphs repeat the same operator stack across layers, and the simulator is
+// deterministic, so identical stages cost identical cycles.
+func (r *Runtime) runStageCached(key string, tasks []sim.Task, salt uint64) (float64, int) {
+	key = fmt.Sprintf("%s#%d", key, salt)
+	r.mu.Lock()
+	if e, ok := r.simCache[key]; ok && e.salt == salt {
+		r.mu.Unlock()
+		return e.cycles, e.faulted
+	}
+	r.mu.Unlock()
+
+	res := r.simFn(r.h, tasks, salt)
+
+	r.mu.Lock()
+	if len(r.simCache) >= simCacheCap {
+		// The cache is per-process scratch, not a correctness structure:
+		// dropping it wholesale keeps memory flat under shape churn.
+		r.simCache = make(map[string]simEntry)
+	}
+	r.simCache[key] = simEntry{salt: salt, cycles: res.Cycles, faulted: res.FaultedTasks}
+	r.mu.Unlock()
+	return res.Cycles, res.FaultedTasks
+}
+
+// simCacheCap bounds the stage-simulation memo.
+const simCacheCap = 4096

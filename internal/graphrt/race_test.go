@@ -1,0 +1,98 @@
+package graphrt
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"mikpoly/internal/nn"
+)
+
+// TestRaceConcurrentDecodeAndExecute exercises the plan-ahead pipeline under
+// concurrent decode traffic (run with -race): direct graph executions and
+// batched decode submissions share one runtime, and every plan-ahead
+// execution must remain cycle-for-cycle deterministic against a sequential
+// baseline while the stall accounting invariants hold.
+func TestRaceConcurrentDecodeAndExecute(t *testing.T) {
+	g := nn.Llama2Decode(1, 100)
+
+	// Sequential baseline on its own cold compiler.
+	want, err := fastRuntime(t, Config{}).Execute(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt := fastRuntime(t, Config{PlanAhead: 3})
+	b := NewDecodeBatcher(rt, BatchConfig{MaxBatch: 4})
+	b.Start()
+	defer b.Stop()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+
+	// Concurrent decode requests with differing KV lengths.
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(kv int) {
+			defer wg.Done()
+			res, err := b.Submit(context.Background(), DecodeRequest{KVLen: kv, Tokens: 2})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.Tokens != 2 {
+				errs <- errTokens(res.Tokens)
+			}
+		}(90 + 7*i)
+	}
+	// Concurrent plan-ahead executions of the same graph: all must cost
+	// exactly the sequential baseline's cycles.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep, err := rt.Execute(context.Background(), g)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if rep.Cycles != want.Cycles {
+				errs <- errCycles{rep.Cycles, want.Cycles}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := rt.Stats()
+	if st.Stalls > st.Plans {
+		t.Errorf("stalls %d > plans %d", st.Stalls, st.Plans)
+	}
+	if st.HiddenWall > st.PlanWall {
+		t.Errorf("hidden wall %v > plan wall %v", st.HiddenWall, st.PlanWall)
+	}
+	if st.PlanWall > st.StallWall+st.HiddenWall {
+		t.Errorf("plan wall %v > stall %v + hidden %v", st.PlanWall, st.StallWall, st.HiddenWall)
+	}
+	if st.Graphs < 3 {
+		t.Errorf("aggregated %d graphs, want >= 3 direct executions", st.Graphs)
+	}
+
+	bs := b.Stats()
+	if bs.Submitted != 6 || bs.Completed != 6 {
+		t.Errorf("batch stats %+v, want 6 submitted and completed", bs)
+	}
+}
+
+type errCycles struct{ got, want float64 }
+
+func (e errCycles) Error() string {
+	return "plan-ahead cycles diverged from sequential baseline"
+}
+
+type errTokens int
+
+func (e errTokens) Error() string { return "wrong token count from batched decode" }

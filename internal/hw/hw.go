@@ -61,6 +61,12 @@ type Hardware struct {
 	// cycle; it is shared equally among PEs with in-flight transfers.
 	GlobalBytesPerCycle float64
 
+	// GlobalMemBytes is the capacity of M_global (device HBM), the budget
+	// graph-level memory planning allocates inter-op tensors against.
+	// 0 means unspecified: capacity planning treats the device as
+	// unbounded (the per-operator experiments never spill).
+	GlobalMemBytes int64
+
 	// L2ReuseFactor is the effective traffic amplification the last-level
 	// cache provides: concurrent tasks in the same output row/column band
 	// share operand tiles, so DRAM sees only 1/L2ReuseFactor of the
@@ -103,6 +109,8 @@ func (h Hardware) Validate() error {
 		return fmt.Errorf("hw %q: FlopsPerCyclePE must be positive, got %g", h.Name, h.FlopsPerCyclePE)
 	case h.GlobalBytesPerCycle <= 0:
 		return fmt.Errorf("hw %q: GlobalBytesPerCycle must be positive, got %g", h.Name, h.GlobalBytesPerCycle)
+	case h.GlobalMemBytes < 0:
+		return fmt.Errorf("hw %q: GlobalMemBytes must be non-negative, got %d", h.Name, h.GlobalMemBytes)
 	case h.L2ReuseFactor < 1:
 		return fmt.Errorf("hw %q: L2ReuseFactor must be >= 1, got %g", h.Name, h.L2ReuseFactor)
 	case h.ClockHz <= 0:
@@ -149,6 +157,7 @@ func A100() Hardware {
 		AccumBytes:          256 * 1024,           // 64K 32-bit registers per SM
 		FlopsPerCyclePE:     312e12 / 108 / clock, // ≈2048 FLOP/cycle/SM
 		GlobalBytesPerCycle: 1555e9 / clock,       // ≈1103 B/cycle
+		GlobalMemBytes:      40 << 30,             // 40 GiB HBM2e
 		L2ReuseFactor:       4,
 		ClockHz:             clock,
 		InputBytes:          2, // fp16 operands
@@ -183,6 +192,7 @@ func Ascend910() Hardware {
 		AccumBytes:          256 * 1024,          // L0C output buffer
 		FlopsPerCyclePE:     256e12 / 32 / clock, // 8192 FLOP/cycle/core
 		GlobalBytesPerCycle: 1200e9 / clock,      // 1200 B/cycle
+		GlobalMemBytes:      32 << 30,            // 32 GiB HBM
 		L2ReuseFactor:       4,
 		ClockHz:             clock,
 		InputBytes:          2,

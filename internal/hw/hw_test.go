@@ -11,6 +11,9 @@ func TestPresetsValidate(t *testing.T) {
 		if err := h.Validate(); err != nil {
 			t.Errorf("%s: %v", h.Name, err)
 		}
+		if h.GlobalMemBytes <= 0 {
+			t.Errorf("%s: preset must declare M_global capacity", h.Name)
+		}
 	}
 }
 
@@ -25,6 +28,7 @@ func TestValidateCatchesEveryField(t *testing.T) {
 		{"AccumBytes", func(h *Hardware) { h.AccumBytes = 0 }},
 		{"FlopsPerCyclePE", func(h *Hardware) { h.FlopsPerCyclePE = 0 }},
 		{"GlobalBytesPerCycle", func(h *Hardware) { h.GlobalBytesPerCycle = 0 }},
+		{"GlobalMemBytes", func(h *Hardware) { h.GlobalMemBytes = -1 }},
 		{"L2ReuseFactor", func(h *Hardware) { h.L2ReuseFactor = 0.5 }},
 		{"ClockHz", func(h *Hardware) { h.ClockHz = 0 }},
 		{"InputBytes", func(h *Hardware) { h.InputBytes = 0 }},

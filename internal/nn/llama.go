@@ -34,11 +34,16 @@ func Llama2Decode(batch, kvLen int) Graph {
 }
 
 // llamaStep lays down one full pass with `tokens` tokens in flight and an
-// attention context of kvLen per sequence.
+// attention context of kvLen per sequence. Explicit dependency edges give
+// the true per-layer dataflow (qkv → attention → o_proj → ffn_up →
+// ffn_down → elementwise → next layer), which the op emission order —
+// GEMMs first, bandwidth-bound work after, the Table 8 convention — does
+// not reflect; graph-level schedulers and the memory planner rely on them.
 func llamaStep(name string, tokens, batch, kvLen int) Graph {
 	g := Graph{Name: name}
 	ops := workload.LlamaOps()
 	for l := 0; l < llamaLayers; l++ {
+		base := len(g.Ops)
 		for _, op := range ops {
 			// Table 8 convention: M and K are the weight-slice dims,
 			// N is the dynamic token dimension.
@@ -51,6 +56,19 @@ func llamaStep(name string, tokens, batch, kvLen int) Graph {
 		elemBytes := 8 * float64(tokens) * float64(llamaHidden) * 2
 		g.other(fmt.Sprintf("layer%d/attention", l), attnBytes, 1)
 		g.other(fmt.Sprintf("layer%d/elementwise", l), elemBytes, 1)
+
+		// Layer indices: base+0 qkv_proj, +1 o_proj, +2 ffn_up,
+		// +3 ffn_down, +4 attention, +5 elementwise.
+		if base > 0 {
+			g.Ops[base+0].Inputs = []int{base - 1} // qkv ← previous layer's elementwise
+		} else {
+			g.Ops[base+0].Inputs = []int{} // graph source
+		}
+		g.Ops[base+4].Inputs = []int{base + 0} // attention ← qkv_proj
+		g.Ops[base+1].Inputs = []int{base + 4} // o_proj ← attention
+		g.Ops[base+2].Inputs = []int{base + 1} // ffn_up ← o_proj
+		g.Ops[base+3].Inputs = []int{base + 2} // ffn_down ← ffn_up
+		g.Ops[base+5].Inputs = []int{base + 3} // elementwise ← ffn_down
 	}
 	return g
 }

@@ -9,6 +9,7 @@ package nn
 
 import (
 	"fmt"
+	"math"
 
 	"mikpoly/internal/hw"
 	"mikpoly/internal/tensor"
@@ -49,10 +50,17 @@ type Op struct {
 	Gemm tensor.GemmShape
 	// Conv is the original convolution geometry for OpConv.
 	Conv tensor.ConvShape
-	// Count repeats the operator (e.g., per-head attention GEMMs).
+	// Count repeats the operator (e.g., per-head attention GEMMs). The
+	// Count instances are mutually independent and may co-schedule.
 	Count int
 	// OtherBytes is the memory traffic of an OpOther operator.
 	OtherBytes float64
+	// Inputs lists the indices of the ops whose outputs this op consumes.
+	// nil keeps the default chain dependency (the preceding op, if any);
+	// a non-nil empty slice marks an explicit source op. Edges may point
+	// forward or backward in the op list — Graph.Stages topologically
+	// orders them and rejects cycles.
+	Inputs []int
 }
 
 // Validate checks internal consistency.
@@ -73,8 +81,8 @@ func (o Op) Validate() error {
 			return fmt.Errorf("nn: op %q GEMM lowering mismatch", o.Name)
 		}
 	case OpOther:
-		if o.OtherBytes < 0 {
-			return fmt.Errorf("nn: op %q has negative traffic", o.Name)
+		if o.OtherBytes < 0 || math.IsNaN(o.OtherBytes) || math.IsInf(o.OtherBytes, 0) {
+			return fmt.Errorf("nn: op %q has invalid traffic %g", o.Name, o.OtherBytes)
 		}
 	default:
 		return fmt.Errorf("nn: op %q has unknown kind %d", o.Name, int(o.Kind))
@@ -96,7 +104,7 @@ type Graph struct {
 	Ops  []Op
 }
 
-// Validate checks every operator.
+// Validate checks every operator and the dependency structure.
 func (g Graph) Validate() error {
 	if len(g.Ops) == 0 {
 		return fmt.Errorf("nn: graph %q has no operators", g.Name)
@@ -106,7 +114,87 @@ func (g Graph) Validate() error {
 			return fmt.Errorf("graph %q: %w", g.Name, err)
 		}
 	}
+	if _, err := g.Stages(); err != nil {
+		return fmt.Errorf("graph %q: %w", g.Name, err)
+	}
 	return nil
+}
+
+// Deps returns the effective dependency list of op i: its explicit Inputs
+// edges, or — when Inputs is nil — the chain default (the preceding op).
+func (g Graph) Deps(i int) []int {
+	if o := g.Ops[i]; o.Inputs != nil {
+		return o.Inputs
+	}
+	if i == 0 {
+		return nil
+	}
+	return []int{i - 1}
+}
+
+// Stages returns the topological schedule of the graph: stage s holds the
+// indices of ops whose dependencies all complete in stages < s (each stage
+// is the set of ops at equal longest-path depth). Ops sharing a stage are
+// mutually independent and may be co-scheduled on the device. An op index
+// out of range, a self-edge, or a dependency cycle is an error.
+func (g Graph) Stages() ([][]int, error) {
+	n := len(g.Ops)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for _, d := range g.Deps(i) {
+			if d < 0 || d >= n {
+				return nil, fmt.Errorf("nn: op %q input %d out of range [0,%d)", g.Ops[i].Name, d, n)
+			}
+			if d == i {
+				return nil, fmt.Errorf("nn: op %q depends on itself", g.Ops[i].Name)
+			}
+			succ[d] = append(succ[d], i)
+			indeg[i]++
+		}
+	}
+	// Kahn's algorithm by levels, visiting ready ops in index order so the
+	// schedule is deterministic.
+	var stages [][]int
+	ready := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	placed := 0
+	for len(ready) > 0 {
+		stage := ready
+		stages = append(stages, stage)
+		placed += len(stage)
+		ready = nil
+		for _, i := range stage {
+			for _, s := range succ[i] {
+				indeg[s]--
+				if indeg[s] == 0 {
+					ready = append(ready, s)
+				}
+			}
+		}
+	}
+	if placed != n {
+		return nil, fmt.Errorf("nn: graph has a dependency cycle (%d of %d ops unreachable)", n-placed, n)
+	}
+	return stages, nil
+}
+
+// Consumers returns, per op, the indices of the ops that read its output —
+// the reverse adjacency of Deps, used for buffer liveness.
+func (g Graph) Consumers() [][]int {
+	out := make([][]int, len(g.Ops))
+	for i := range g.Ops {
+		for _, d := range g.Deps(i) {
+			if d >= 0 && d < len(g.Ops) {
+				out[d] = append(out[d], i)
+			}
+		}
+	}
+	return out
 }
 
 // GemmShapes returns the distinct GEMM shapes in the graph with their total

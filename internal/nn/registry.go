@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ModelDims carries the dynamic dimensions of a model-build request. Zero
+// fields take per-family defaults; the families read different subsets
+// (transformers: Seq/Batch, CNNs: Batch/Resolution, llama decode:
+// Batch/KVLen).
+type ModelDims struct {
+	Seq        int
+	Batch      int
+	Resolution int
+	KVLen      int
+}
+
+// Default dynamic dimensions used when a request leaves a field zero.
+const (
+	DefaultSeq        = 128
+	DefaultBatch      = 1
+	DefaultResolution = 224
+	DefaultKVLen      = 128
+)
+
+func (d ModelDims) withDefaults() ModelDims {
+	if d.Seq == 0 {
+		d.Seq = DefaultSeq
+	}
+	if d.Batch == 0 {
+		d.Batch = DefaultBatch
+	}
+	if d.Resolution == 0 {
+		d.Resolution = DefaultResolution
+	}
+	if d.KVLen == 0 {
+		d.KVLen = DefaultKVLen
+	}
+	return d
+}
+
+// modelBuilders maps every servable model name to a dimension-checked
+// builder. The set is the paper's evaluated models (§5.1): the four
+// language models, the four TorchVision CNNs, and the Llama2 phases.
+var modelBuilders = map[string]func(d ModelDims) (Graph, error){
+	"bert-base":      transformerBuilder(BERTBaseConfig),
+	"distilbert":     transformerBuilder(DistilBERTConfig),
+	"roberta-base":   transformerBuilder(RoBERTaBaseConfig),
+	"albert-xlarge":  transformerBuilder(ALBERTXLargeConfig),
+	"alexnet":        cnnBuilder(AlexNet),
+	"googlenet":      cnnBuilder(GoogLeNet),
+	"resnet18":       cnnBuilder(ResNet18),
+	"vgg11":          cnnBuilder(VGG11),
+	"llama2-prefill": llamaPrefillBuilder,
+	"llama2-decode":  llamaDecodeBuilder,
+}
+
+func transformerBuilder(cfg TransformerConfig) func(ModelDims) (Graph, error) {
+	return func(d ModelDims) (Graph, error) {
+		if d.Seq < 1 || d.Batch < 1 {
+			return Graph{}, fmt.Errorf("nn: %s requires seq >= 1 and batch >= 1, got seq=%d batch=%d", cfg.Name, d.Seq, d.Batch)
+		}
+		return Transformer(cfg, d.Seq, d.Batch), nil
+	}
+}
+
+func cnnBuilder(b CNNBuilder) func(ModelDims) (Graph, error) {
+	return func(d ModelDims) (Graph, error) {
+		if d.Batch < 1 || d.Resolution < 16 {
+			return Graph{}, fmt.Errorf("nn: CNN models require batch >= 1 and resolution >= 16, got batch=%d resolution=%d", d.Batch, d.Resolution)
+		}
+		return b(d.Batch, d.Resolution), nil
+	}
+}
+
+func llamaPrefillBuilder(d ModelDims) (Graph, error) {
+	if d.Batch < 1 || d.Seq < 1 {
+		return Graph{}, fmt.Errorf("nn: llama2-prefill requires batch >= 1 and seq >= 1, got batch=%d seq=%d", d.Batch, d.Seq)
+	}
+	return Llama2Prefill(d.Batch, d.Seq), nil
+}
+
+func llamaDecodeBuilder(d ModelDims) (Graph, error) {
+	if d.Batch < 1 || d.KVLen < 1 {
+		return Graph{}, fmt.Errorf("nn: llama2-decode requires batch >= 1 and kv_len >= 1, got batch=%d kv_len=%d", d.Batch, d.KVLen)
+	}
+	return Llama2Decode(d.Batch, d.KVLen), nil
+}
+
+// ModelNames returns the registry's model names, sorted.
+func ModelNames() []string {
+	names := make([]string, 0, len(modelBuilders))
+	for name := range modelBuilders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuildModel instantiates a registered model for the given dynamic
+// dimensions (zero fields take defaults). Unlike the family builders, which
+// panic on bad input, it validates and returns errors — the entry point for
+// untrusted dimension values (the serving layer's /model endpoint).
+func BuildModel(name string, d ModelDims) (Graph, error) {
+	b, ok := modelBuilders[name]
+	if !ok {
+		return Graph{}, fmt.Errorf("nn: unknown model %q (known: %v)", name, ModelNames())
+	}
+	return b(d.withDefaults())
+}

@@ -119,21 +119,36 @@ func (s *Server) checkShape(shape tensor.GemmShape) (int, error) {
 }
 
 // planShape runs the deadline-bounded, fallback-protected planning stage.
-func (s *Server) planShape(ctx context.Context, shape tensor.GemmShape) (*poly.Program, bool, error) {
+func (s *Server) planShape(ctx context.Context, c *core.Compiler, shape tensor.GemmShape) (*poly.Program, bool, error) {
 	pctx := ctx
 	var cancel context.CancelFunc = func() {}
 	if s.cfg.PlanTimeout != 0 {
 		pctx, cancel = context.WithTimeout(ctx, s.cfg.PlanTimeout)
 	}
 	defer cancel()
-	prog, degraded, err := s.compiler.PlanOrFallback(pctx, shape)
+	prog, degraded, err := c.PlanOrFallback(pctx, shape)
 	if degraded {
 		s.nDegraded.Add(1)
 	}
 	return prog, degraded, err
 }
 
+// ready returns the bound compiler, answering 503 (and returning nil) while
+// the library is still loading or tuning.
+func (s *Server) ready(w http.ResponseWriter) *core.Compiler {
+	c := s.comp()
+	if c == nil {
+		httpError(w, http.StatusServiceUnavailable, "compiler not ready")
+		return nil
+	}
+	return c
+}
+
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	c := s.ready(w)
+	if c == nil {
+		return
+	}
 	var req planRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -143,13 +158,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, err.Error())
 		return
 	}
-	prog, degraded, err := s.planShape(r.Context(), shape)
+	prog, degraded, err := s.planShape(r.Context(), c, shape)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 
-	h := s.compiler.Hardware()
+	h := c.Hardware()
 	resp := planResponse{
 		Shape:    shape.String(),
 		Pattern:  prog.Pattern.String(),
@@ -167,7 +182,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if resp.Tasks > s.cfg.MaxSimTasks {
 		resp.SimSkipped = true
 	} else {
-		res := s.simulate(prog, 0)
+		res := s.simulate(c, prog, 0)
 		resp.SimCycles = res.Cycles
 		resp.SimTFLOPS = shape.FLOPs() / h.CyclesToSeconds(res.Cycles) / 1e12
 		resp.Efficiency = res.Efficiency()
@@ -176,6 +191,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	c := s.ready(w)
+	if c == nil {
+		return
+	}
 	var req execRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -200,7 +219,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := r.Context()
-	prog, degraded, err := s.planShape(ctx, shape)
+	prog, degraded, err := s.planShape(ctx, c, shape)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -212,7 +231,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	attempts := 0
 	var res sim.Result
 	for {
-		res = s.simulate(prog, uint64(attempts))
+		res = s.simulate(c, prog, uint64(attempts))
 		attempts++
 		if res.FaultedTasks == 0 || attempts > s.cfg.MaxRetries {
 			break
@@ -223,9 +242,9 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusServiceUnavailable, "retry budget interrupted: "+err.Error())
 			return
 		}
-		s.compiler.Invalidate(shape)
+		c.Invalidate(shape)
 		var d bool
-		prog, d, err = s.planShape(ctx, shape)
+		prog, d, err = s.planShape(ctx, c, shape)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -268,18 +287,25 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 
 // simulate runs the program on the (possibly degraded) simulated device.
 // salt distinguishes retry attempts so transient injected faults can clear.
-func (s *Server) simulate(prog *poly.Program, salt uint64) sim.Result {
-	h := s.compiler.Hardware()
+func (s *Server) simulate(c *core.Compiler, prog *poly.Program, salt uint64) sim.Result {
+	return s.simulateTasks(c, prog.Tasks(c.Hardware()), salt)
+}
+
+// simulateTasks runs a raw task batch under the service's fault config; it
+// is also the graph runtime's simulator seam, so /model executions see the
+// same injected degradation as /execute.
+func (s *Server) simulateTasks(c *core.Compiler, tasks []sim.Task, salt uint64) sim.Result {
+	h := c.Hardware()
 	if s.cfg.Faults == nil {
-		return prog.Simulate(h)
+		return sim.Run(h, tasks)
 	}
 	f := *s.cfg.Faults
 	f.Salt += salt
-	res, err := sim.RunWithFaults(h, prog.Tasks(h), f)
+	res, err := sim.RunWithFaults(h, tasks, f)
 	if err != nil {
 		// An unusable fault config degrades to the healthy simulation
 		// rather than failing requests.
-		return prog.Simulate(h)
+		return sim.Run(h, tasks)
 	}
 	return res
 }
@@ -291,7 +317,8 @@ type healthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.compiler == nil || len(s.compiler.Library().Kernels) == 0 {
+	c := s.comp()
+	if c == nil || len(c.Library().Kernels) == 0 {
 		httpError(w, http.StatusServiceUnavailable, "compiler not ready")
 		return
 	}
@@ -301,9 +328,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// graphStats is the /stats view of the graph runtime's cumulative counters.
+type graphStats struct {
+	Graphs       int64   `json:"graphs"`
+	Stages       int64   `json:"stages"`
+	Plans        int64   `json:"plans"`
+	Stalls       int64   `json:"stalls"`
+	PlanMs       float64 `json:"plan_ms"`
+	StallMs      float64 `json:"stall_ms"`
+	HiddenMs     float64 `json:"hidden_ms"`
+	Degraded     int64   `json:"degraded"`
+	FaultedTasks int64   `json:"faulted_tasks"`
+	Cycles       float64 `json:"cycles"`
+	SpillBytes   float64 `json:"spill_bytes"`
+}
+
+// batchStats is the /stats view of the continuous decode batcher.
+type batchStats struct {
+	Submitted        int64 `json:"submitted"`
+	Completed        int64 `json:"completed"`
+	StepGraphs       int64 `json:"step_graphs"`
+	SharedStepGraphs int64 `json:"shared_step_graphs"`
+	PaddedKVTokens   int64 `json:"padded_kv_tokens"`
+}
+
 // statsResponse is the /stats wire format.
 type statsResponse struct {
 	Uptime          string          `json:"uptime"`
+	Ready           bool            `json:"ready"`
 	Requests        int64           `json:"requests"`
 	Rejected        int64           `json:"rejected"`
 	Degraded        int64           `json:"degraded"`
@@ -317,12 +369,13 @@ type statsResponse struct {
 	Cache           core.CacheStats `json:"cache"`
 	Fallbacks       int64           `json:"fallbacks"`
 	PlannerPanics   int64           `json:"planner_panics"`
+	Models          int64           `json:"models"`
+	Graph           *graphStats     `json:"graph,omitempty"`
+	Batch           *batchStats     `json:"batch,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	plans, pstats := s.compiler.PlanStats()
-	health := s.compiler.Health()
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Uptime:          time.Since(s.started).Round(time.Millisecond).String(),
 		Requests:        s.nRequests.Load(),
 		Rejected:        s.nRejected.Load(),
@@ -332,10 +385,43 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PanicsRecovered: s.nPanics.Load(),
 		InFlight:        len(s.sem),
 		MaxInFlight:     cap(s.sem),
-		Plans:           plans,
-		PlanCandidates:  pstats.Candidates,
-		Cache:           s.compiler.CacheStats(),
-		Fallbacks:       health.Fallbacks,
-		PlannerPanics:   health.PlannerPanics,
-	})
+		Models:          s.nModels.Load(),
+	}
+	if c := s.comp(); c != nil {
+		resp.Ready = true
+		plans, pstats := c.PlanStats()
+		health := c.Health()
+		resp.Plans = plans
+		resp.PlanCandidates = pstats.Candidates
+		resp.Cache = c.CacheStats()
+		resp.Fallbacks = health.Fallbacks
+		resp.PlannerPanics = health.PlannerPanics
+	}
+	if rt := s.runtime.Load(); rt != nil {
+		gs := rt.Stats()
+		resp.Graph = &graphStats{
+			Graphs:       gs.Graphs,
+			Stages:       gs.Stages,
+			Plans:        gs.Plans,
+			Stalls:       gs.Stalls,
+			PlanMs:       float64(gs.PlanWall) / float64(time.Millisecond),
+			StallMs:      float64(gs.StallWall) / float64(time.Millisecond),
+			HiddenMs:     float64(gs.HiddenWall) / float64(time.Millisecond),
+			Degraded:     gs.Degraded,
+			FaultedTasks: gs.FaultedTasks,
+			Cycles:       gs.Cycles,
+			SpillBytes:   gs.SpillBytes,
+		}
+	}
+	if b := s.batcher.Load(); b != nil {
+		bs := b.Stats()
+		resp.Batch = &batchStats{
+			Submitted:        bs.Submitted,
+			Completed:        bs.Completed,
+			StepGraphs:       bs.StepGraphs,
+			SharedStepGraphs: bs.SharedStepGraphs,
+			PaddedKVTokens:   bs.PaddedKVTokens,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

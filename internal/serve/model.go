@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"mikpoly/internal/graphrt"
+	"mikpoly/internal/nn"
+)
+
+// modelRequest asks the service to execute a whole model graph end to end
+// through the graph runtime. Zero dimensions take the registry defaults;
+// Steps (llama2-decode only) defaults to 1.
+type modelRequest struct {
+	Model      string `json:"model"`
+	Seq        int    `json:"seq,omitempty"`
+	Batch      int    `json:"batch,omitempty"`
+	Resolution int    `json:"resolution,omitempty"`
+	KVLen      int    `json:"kv_len,omitempty"`
+	Steps      int    `json:"steps,omitempty"`
+}
+
+// modelResponse reports one model execution: device time, plan-ahead
+// accounting, memory-planner results, and (for batched decode) the sharing
+// achieved by continuous batching.
+type modelResponse struct {
+	Graph  string `json:"graph"`
+	Ops    int    `json:"ops"`
+	Stages int    `json:"stages,omitempty"`
+
+	SimCycles float64 `json:"sim_cycles"`
+
+	Plans      int     `json:"plans,omitempty"`
+	Stalls     int     `json:"stalls"`
+	PlanMs     float64 `json:"plan_ms"`
+	StallMs    float64 `json:"stall_ms"`
+	HiddenMs   float64 `json:"hidden_ms"`
+	HiddenFrac float64 `json:"hidden_frac"`
+
+	Degraded     int `json:"degraded"`
+	Attempts     int `json:"attempts"`
+	FaultedTasks int `json:"faulted_tasks"`
+
+	Batched     bool `json:"batched,omitempty"`
+	Tokens      int  `json:"tokens,omitempty"`
+	SharedSteps int  `json:"shared_steps,omitempty"`
+
+	PeakMemBytes    int64   `json:"peak_mem_bytes,omitempty"`
+	WorkingSetBytes int64   `json:"working_set_bytes,omitempty"`
+	SpilledBuffers  int     `json:"spilled_buffers,omitempty"`
+	SpillBytes      float64 `json:"spill_bytes,omitempty"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	c := s.ready(w)
+	if c == nil {
+		return
+	}
+	rt := s.runtime.Load()
+	if rt == nil {
+		httpError(w, http.StatusServiceUnavailable, "graph runtime not ready")
+		return
+	}
+	var req modelRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	for _, dim := range []struct {
+		name string
+		v    int
+	}{{"seq", req.Seq}, {"batch", req.Batch}, {"resolution", req.Resolution}, {"kv_len", req.KVLen}} {
+		if dim.v < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("%s must be non-negative", dim.name))
+			return
+		}
+		if dim.v > s.cfg.MaxDim {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("%s %d exceeds per-dimension limit %d", dim.name, dim.v, s.cfg.MaxDim))
+			return
+		}
+	}
+	if req.Steps < 0 || req.Steps > s.cfg.MaxModelSteps {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("steps %d outside [0, %d]", req.Steps, s.cfg.MaxModelSteps))
+		return
+	}
+	if req.Steps == 0 {
+		req.Steps = 1
+	}
+
+	// llama2-decode rides the continuous batcher when enabled: concurrent
+	// requests with nearby KV lengths share shape-bucketed step graphs.
+	if req.Model == "llama2-decode" && req.Batch <= 1 {
+		if b := s.batcher.Load(); b != nil {
+			s.handleBatchedDecode(w, r, b, req)
+			return
+		}
+	}
+
+	g, err := nn.BuildModel(req.Model, nn.ModelDims{
+		Seq: req.Seq, Batch: req.Batch, Resolution: req.Resolution, KVLen: req.KVLen,
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(g.Ops) > s.cfg.MaxModelOps {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("graph %s has %d ops, exceeds limit %d", g.Name, len(g.Ops), s.cfg.MaxModelOps))
+		return
+	}
+
+	// Execute with fault-triggered re-planning, mirroring /execute: on a
+	// reported fault, drop the graph's cached programs, back off, and retry
+	// under a fresh fault salt.
+	ctx := r.Context()
+	attempts := 0
+	var rep graphrt.Report
+	for {
+		rep, err = rt.ExecuteSalted(ctx, g, uint64(attempts))
+		attempts++
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if rep.FaultedTasks == 0 || attempts > s.cfg.MaxRetries {
+			break
+		}
+		s.nFaults.Add(1)
+		s.nRetries.Add(1)
+		if err := s.bo.sleep(ctx, attempts-1); err != nil {
+			httpError(w, http.StatusServiceUnavailable, "retry budget interrupted: "+err.Error())
+			return
+		}
+		for shape := range g.GemmShapes() {
+			c.Invalidate(shape)
+		}
+	}
+	if rep.FaultedTasks > 0 {
+		s.nFaults.Add(1)
+	}
+	if rep.Degraded > 0 {
+		s.nDegraded.Add(1)
+	}
+	s.nModels.Add(1)
+
+	writeJSON(w, http.StatusOK, modelResponse{
+		Graph:           rep.Graph,
+		Ops:             rep.Ops,
+		Stages:          rep.Stages,
+		SimCycles:       rep.Cycles,
+		Plans:           rep.Plans,
+		Stalls:          rep.Stalls,
+		PlanMs:          ms(rep.PlanWall),
+		StallMs:         ms(rep.StallWall),
+		HiddenMs:        ms(rep.HiddenWall),
+		HiddenFrac:      rep.HiddenFraction(),
+		Degraded:        rep.Degraded,
+		Attempts:        attempts,
+		FaultedTasks:    rep.FaultedTasks,
+		PeakMemBytes:    rep.Mem.PeakBytes,
+		WorkingSetBytes: rep.Mem.WorkingSetBytes,
+		SpilledBuffers:  rep.Mem.SpilledBuffers,
+		SpillBytes:      rep.Mem.SpillBytes,
+	})
+}
+
+// handleBatchedDecode submits a single-sequence decode request to the
+// continuous batcher and blocks until its steps complete.
+func (s *Server) handleBatchedDecode(w http.ResponseWriter, r *http.Request, b *graphrt.DecodeBatcher, req modelRequest) {
+	kv := req.KVLen
+	if kv == 0 {
+		kv = nn.DefaultKVLen
+	}
+	if kv < 1 {
+		httpError(w, http.StatusBadRequest, "kv_len must be >= 1")
+		return
+	}
+	res, err := b.Submit(r.Context(), graphrt.DecodeRequest{KVLen: kv, Tokens: req.Steps})
+	if err != nil {
+		status := http.StatusInternalServerError
+		if r.Context().Err() != nil {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	if res.FaultedTasks > 0 {
+		s.nFaults.Add(1)
+	}
+	if res.Degraded > 0 {
+		s.nDegraded.Add(1)
+	}
+	s.nModels.Add(1)
+	writeJSON(w, http.StatusOK, modelResponse{
+		Graph:        fmt.Sprintf("llama2-decode@kv%d+%d", kv, req.Steps),
+		SimCycles:    res.Cycles,
+		Stalls:       res.Stalls,
+		Degraded:     res.Degraded,
+		Attempts:     1,
+		FaultedTasks: res.FaultedTasks,
+		Batched:      true,
+		Tokens:       res.Tokens,
+		SharedSteps:  res.SharedSteps,
+	})
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestModelEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/model", modelRequest{Model: "distilbert", Seq: 32})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var mr modelResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Graph == "" || mr.Ops == 0 || mr.Stages == 0 {
+		t.Fatalf("implausible model response: %+v", mr)
+	}
+	if mr.SimCycles <= 0 {
+		t.Fatalf("no device time reported: %+v", mr)
+	}
+	if mr.Attempts != 1 || mr.FaultedTasks != 0 || mr.Degraded != 0 {
+		t.Fatalf("healthy run reported retries/faults/degradation: %+v", mr)
+	}
+	if mr.PlanMs > mr.StallMs+mr.HiddenMs+1e-6 {
+		t.Fatalf("plan accounting broken: plan=%g stall=%g hidden=%g", mr.PlanMs, mr.StallMs, mr.HiddenMs)
+	}
+	if mr.PeakMemBytes <= 0 || mr.WorkingSetBytes <= 0 {
+		t.Fatalf("memory plan missing: %+v", mr)
+	}
+}
+
+func TestModelEndpointBatchedDecode(t *testing.T) {
+	srv, ts := newTestServer(t, Config{DecodeBatch: true})
+	t.Cleanup(srv.Close)
+	resp, data := postJSON(t, ts.URL+"/model", modelRequest{Model: "llama2-decode", KVLen: 100, Steps: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var mr modelResponse
+	if err := json.Unmarshal(data, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if !mr.Batched || mr.Tokens != 2 {
+		t.Fatalf("batched decode response: %+v", mr)
+	}
+	if mr.SimCycles <= 0 {
+		t.Fatalf("no device time reported: %+v", mr)
+	}
+
+	// /stats reflects the batcher.
+	sresp, sdata := get(t, ts.URL+"/stats")
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", sresp.StatusCode)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(sdata, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Batch == nil || st.Batch.Completed != 1 || st.Batch.StepGraphs < 2 {
+		t.Fatalf("batch stats %+v, want 1 completed request over >= 2 steps", st.Batch)
+	}
+	if st.Graph == nil || st.Graph.Graphs < 2 {
+		t.Fatalf("graph runtime stats %+v, want >= 2 executed step graphs", st.Graph)
+	}
+	if st.Models != 1 {
+		t.Fatalf("models counter %d, want 1", st.Models)
+	}
+}
+
+func TestModelEndpointRejectsBadInput(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxModelSteps: 4, MaxModelOps: 50})
+	cases := []struct {
+		name   string
+		req    modelRequest
+		status int
+	}{
+		{"unknown model", modelRequest{Model: "gpt-17"}, http.StatusBadRequest},
+		{"negative seq", modelRequest{Model: "bert-base", Seq: -1}, http.StatusBadRequest},
+		{"tiny resolution", modelRequest{Model: "resnet18", Resolution: 4}, http.StatusBadRequest},
+		{"too many steps", modelRequest{Model: "llama2-decode", Steps: 5}, http.StatusRequestEntityTooLarge},
+		{"too many ops", modelRequest{Model: "bert-base"}, http.StatusRequestEntityTooLarge},
+	}
+	for _, c := range cases {
+		resp, data := postJSON(t, ts.URL+"/model", c.req)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.status, data)
+		}
+	}
+}
+
+// TestReadinessGate is the late-binding acceptance scenario: a server built
+// without a compiler answers 503 on /healthz and every work endpoint, then
+// flips ready when SetCompiler binds the tuned library.
+func TestReadinessGate(t *testing.T) {
+	srv := New(nil, Config{DecodeBatch: true})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	if resp, _ := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz before ready: %d, want 503", resp.StatusCode)
+	}
+	for _, ep := range []string{"/plan", "/execute", "/model"} {
+		resp, _ := postJSON(t, ts.URL+ep, map[string]any{})
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s before ready: %d, want 503", ep, resp.StatusCode)
+		}
+	}
+	// /stats stays reachable while not ready and says so.
+	sresp, sdata := get(t, ts.URL+"/stats")
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("stats before ready: %d", sresp.StatusCode)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(sdata, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready {
+		t.Fatal("stats claims ready before SetCompiler")
+	}
+
+	srv.SetCompiler(testCompiler(t))
+
+	if resp, _ := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after ready: %d, want 200", resp.StatusCode)
+	}
+	resp, data := postJSON(t, ts.URL+"/model", modelRequest{Model: "llama2-decode", KVLen: 64})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("model after ready: %d: %s", resp.StatusCode, data)
+	}
+	resp, data = postJSON(t, ts.URL+"/plan", planRequest{M: 128, N: 64, K: 128})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan after ready: %d: %s", resp.StatusCode, data)
+	}
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf
+}

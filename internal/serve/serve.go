@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"mikpoly/internal/core"
+	"mikpoly/internal/graphrt"
+	"mikpoly/internal/hw"
 	"mikpoly/internal/sim"
 )
 
@@ -71,6 +73,21 @@ type Config struct {
 	// into every simulated execution; each retry attempt re-runs with a
 	// distinct salt so transient faults can clear.
 	Faults *sim.Faults
+
+	// PlanAhead is the graph runtime's plan-ahead depth for /model
+	// requests (0 = default, negative = sequential inline planning).
+	PlanAhead int
+
+	// DecodeBatch enables continuous batching of llama2-decode /model
+	// requests: concurrent requests share shape-bucketed step graphs.
+	DecodeBatch bool
+
+	// MaxModelSteps bounds the decode steps of one /model request.
+	MaxModelSteps int
+
+	// MaxModelOps bounds the operator count of a built model graph;
+	// larger graphs are rejected with 413.
+	MaxModelOps int
 }
 
 // DefaultConfig returns production-leaning defaults.
@@ -87,6 +104,9 @@ func DefaultConfig() Config {
 		MaxRetries:     3,
 		RetryBase:      10 * time.Millisecond,
 		RetryMax:       500 * time.Millisecond,
+		PlanAhead:      2,
+		MaxModelSteps:  32,
+		MaxModelOps:    4096,
 	}
 }
 
@@ -129,35 +149,88 @@ func (c Config) withDefaults() Config {
 	if c.RetryMax <= 0 {
 		c.RetryMax = d.RetryMax
 	}
+	if c.PlanAhead == 0 {
+		c.PlanAhead = d.PlanAhead
+	} else if c.PlanAhead < 0 {
+		c.PlanAhead = 0
+	}
+	if c.MaxModelSteps <= 0 {
+		c.MaxModelSteps = d.MaxModelSteps
+	}
+	if c.MaxModelOps <= 0 {
+		c.MaxModelOps = d.MaxModelOps
+	}
 	return c
 }
 
-// Server serves compilation and execution requests over HTTP.
+// Server serves compilation, execution, and whole-model requests over HTTP.
+// The compiler may be bound after construction (SetCompiler): a daemon can
+// accept probes while the micro-kernel library loads or tunes, answering
+// 503 on work endpoints until ready.
 type Server struct {
-	compiler *core.Compiler
+	compiler atomic.Pointer[core.Compiler]
+	runtime  atomic.Pointer[graphrt.Runtime]
+	batcher  atomic.Pointer[graphrt.DecodeBatcher]
 	cfg      Config
 	sem      chan struct{}
 	bo       *backoff
 	started  time.Time
 
 	// cumulative counters, exported by /stats
-	nRequests atomic.Int64 // admitted plan/execute requests
+	nRequests atomic.Int64 // admitted plan/execute/model requests
 	nRejected atomic.Int64 // 429s from admission control
 	nDegraded atomic.Int64 // responses served via the fallback program
 	nRetries  atomic.Int64 // fault-triggered re-plan attempts
 	nFaults   atomic.Int64 // simulated runs that reported >= 1 faulted task
 	nPanics   atomic.Int64 // handler panics recovered
+	nModels   atomic.Int64 // /model graphs executed
 }
 
-// New wraps a compiler in a serving layer. Zero Config fields take defaults.
+// New wraps a compiler in a serving layer. Zero Config fields take
+// defaults. c may be nil: the server starts not-ready (503 on work
+// endpoints and /healthz) until SetCompiler binds one.
 func New(c *core.Compiler, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
-		compiler: c,
-		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.MaxInFlight),
-		bo:       newBackoff(cfg.RetryBase, cfg.RetryMax, cfg.Seed),
-		started:  time.Now(),
+	s := &Server{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		bo:      newBackoff(cfg.RetryBase, cfg.RetryMax, cfg.Seed),
+		started: time.Now(),
+	}
+	if c != nil {
+		s.SetCompiler(c)
+	}
+	return s
+}
+
+// SetCompiler binds (or replaces) the compiler and builds the graph
+// runtime over it, flipping the server ready.
+func (s *Server) SetCompiler(c *core.Compiler) {
+	rt := graphrt.New(c, graphrt.Config{
+		PlanAhead:   s.cfg.PlanAhead,
+		PlanTimeout: s.cfg.PlanTimeout,
+	})
+	rt.SetSimulator(func(h hw.Hardware, tasks []sim.Task, salt uint64) sim.Result {
+		return s.simulateTasks(c, tasks, salt)
+	})
+	s.runtime.Store(rt)
+	if s.cfg.DecodeBatch {
+		b := graphrt.NewDecodeBatcher(rt, graphrt.BatchConfig{})
+		b.Start()
+		if old := s.batcher.Swap(b); old != nil {
+			old.Stop()
+		}
+	}
+	s.compiler.Store(c)
+}
+
+// comp returns the bound compiler, or nil while the server is not ready.
+func (s *Server) comp() *core.Compiler { return s.compiler.Load() }
+
+// Close releases background resources (the decode batching loop).
+func (s *Server) Close() {
+	if b := s.batcher.Load(); b != nil {
+		b.Stop()
 	}
 }
 
@@ -167,6 +240,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /plan", s.guard(http.HandlerFunc(s.handlePlan)))
 	mux.Handle("POST /execute", s.guard(http.HandlerFunc(s.handleExecute)))
+	mux.Handle("POST /model", s.guard(http.HandlerFunc(s.handleModel)))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return s.recoverMW(mux)

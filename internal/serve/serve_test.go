@@ -180,7 +180,7 @@ func TestGracefulDegradationEndToEnd(t *testing.T) {
 	if srv.nDegraded.Load() < 2 {
 		t.Fatalf("degraded counter = %d, want >= 2", srv.nDegraded.Load())
 	}
-	if h := srv.compiler.Health(); h.Fallbacks < 2 {
+	if h := srv.comp().Health(); h.Fallbacks < 2 {
 		t.Fatalf("compiler fallback counter = %d, want >= 2", h.Fallbacks)
 	}
 }
@@ -216,7 +216,7 @@ func TestRetryBackoffOnInjectedFaults(t *testing.T) {
 		t.Fatalf("retry counter = %d, want 2", got)
 	}
 	// Each retry invalidated the cache and re-planned.
-	if plans, _ := srv.compiler.PlanStats(); plans != 3 {
+	if plans, _ := srv.comp().PlanStats(); plans != 3 {
 		t.Fatalf("planner ran %d times, want 3", plans)
 	}
 	// Numerics are unaffected by simulated faults.
