@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"os"
 	"strconv"
 
@@ -94,12 +93,10 @@ func main() {
 
 	fmt.Printf("%-8s %-22s %-28s %6s %6s %6s %8s %12s\n",
 		"region", "output block", "micro-kernel", "t1", "t2", "t3", "f_wave", "f_pipe")
-	for i, r := range prog.Regions {
-		t1, t2, t3 := r.Tiles()
-		waves := math.Ceil(float64(t1*t2) / float64(h.NumPEs))
-		pipe := lib.PredictTask(r.Kern, t3)
+	for i, rc := range poly.Explain(prog, lib) {
+		r := rc.Region
 		fmt.Printf("R%-7d [%d+%d)x[%d+%d)%8s %-28s %6d %6d %6d %8.0f %12.0f\n",
-			i, r.M0, r.M, r.N0, r.N, "", r.Kern.String(), t1, t2, t3, waves, pipe)
+			i, r.M0, r.M, r.N0, r.N, "", r.Kern.String(), rc.T1, rc.T2, rc.T3, rc.Waves, rc.Pipe)
 	}
 
 	fmt.Printf("\n%s\n", prog.Sketch(48, 12))

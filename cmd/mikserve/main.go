@@ -8,6 +8,8 @@
 //	curl -s localhost:8097/model -d '{"model":"bert-base","seq":384}'
 //	curl -s localhost:8097/healthz
 //	curl -s localhost:8097/stats
+//	curl -s localhost:8097/metrics
+//	curl -s localhost:8097/trace
 //
 // The serving layer (internal/serve) provides admission control, request
 // timeouts and size limits, panic recovery, planner deadlines with graceful
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers, mounted only under -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +37,7 @@ import (
 
 	"mikpoly/internal/core"
 	"mikpoly/internal/hw"
+	"mikpoly/internal/obs"
 	"mikpoly/internal/serve"
 	"mikpoly/internal/sim"
 	"mikpoly/internal/tune"
@@ -54,6 +58,9 @@ func main() {
 		saveLibrary = flag.String("save-library", "", "after tuning, save the micro-kernel library to this file")
 		planAhead   = flag.Int("plan-ahead", 2, "graph-runtime plan-ahead depth for /model (<= 0 = sequential inline planning)")
 		decodeBatch = flag.Bool("decode-batch", true, "continuously batch concurrent llama2-decode /model requests")
+		withTrace   = flag.Bool("trace", true, "record execution spans, served at GET /trace")
+		traceCap    = flag.Int("trace-cap", obs.DefaultTraceCapacity, "span ring-buffer capacity for -trace")
+		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -70,11 +77,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	o := obs.New(*traceCap)
+	o.T().SetEnabled(*withTrace)
+
 	cfg := serve.Config{
 		MaxInFlight:    *inFlight,
 		RequestTimeout: *reqTimeout,
 		PlanTimeout:    *planTimeout,
 		DecodeBatch:    *decodeBatch,
+		Obs:            o,
 	}
 	if *planAhead <= 0 {
 		cfg.PlanAhead = -1 // sequential
@@ -95,9 +106,20 @@ func main() {
 	// /healthz answer 503 until the library below is ready.
 	srv := serve.New(nil, cfg)
 	defer srv.Close()
+	handler := srv.Handler()
+	if *withPprof {
+		// pprof registers on http.DefaultServeMux; mount it next to the
+		// service on an outer mux so profiling never rides through the
+		// admission/timeout middleware.
+		outer := http.NewServeMux()
+		outer.Handle("/debug/pprof/", http.DefaultServeMux)
+		outer.Handle("/", handler)
+		handler = outer
+		log.Printf("mikserve: pprof enabled at /debug/pprof/")
+	}
 	hs := &http.Server{
 		Addr:         *addr,
-		Handler:      srv.Handler(),
+		Handler:      handler,
 		ReadTimeout:  15 * time.Second,
 		WriteTimeout: 30 * time.Second,
 		IdleTimeout:  2 * time.Minute,
@@ -105,7 +127,8 @@ func main() {
 
 	go func() {
 		lib := loadOrTune(h, *library, *saveLibrary, *cacheCap)
-		srv.SetCompiler(core.NewCompilerFromLibrary(lib, core.WithCacheCapacity(*cacheCap)))
+		srv.SetCompiler(core.NewCompilerFromLibrary(lib,
+			core.WithCacheCapacity(*cacheCap), core.WithObs(o)))
 		log.Printf("mikserve: ready (%d kernels for %s)", len(lib.Kernels), lib.HW.Name)
 	}()
 
@@ -120,7 +143,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("mikserve: serving on http://%s (plan, execute, model, healthz, stats)", *addr)
+	log.Printf("mikserve: serving on http://%s (plan, execute, model, healthz, stats, metrics, trace)", *addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

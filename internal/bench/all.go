@@ -33,6 +33,7 @@ func Experiments() []Experiment {
 		{"ablation-evolve", AblationEvolve},
 		{"ext-detection", ExtDetection},
 		{"ext-graphrt", ExtGraphRT},
+		{"ext-obs-overhead", ExtObsOverhead},
 	}
 }
 

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"mikpoly/internal/core"
+	"mikpoly/internal/graphrt"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/nn"
+	"mikpoly/internal/obs"
+	"mikpoly/internal/tensor"
+	"mikpoly/internal/tune"
+)
+
+// ExtObsOverhead validates the observability layer's two contracts on real
+// workloads: (1) observation never changes results — planner cost totals and
+// graph device cycles are bit-identical with tracing and metrics fully on —
+// and (2) the instrumented path stays cheap (<2% wall overhead is the
+// contract; the table reports the measured figure). The two modes run
+// interleaved — off/on pairs with the order swapped every rep — and each
+// keeps its minimum wall: running one mode as a block and then the other
+// lets CPU-frequency and GC drift between the blocks masquerade as
+// instrumentation overhead, which dominated the real signal in early runs.
+func ExtObsOverhead(cfg Config) (*Table, error) {
+	lib, err := core.SharedLibrary(hw.A100(), tune.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:    "ext-obs-overhead",
+		Title: "Observability overhead: tracing+metrics on vs off (identical results required)",
+		Header: []string{"workload", "cycles", "cycle-drift", "wall-ms-off",
+			"wall-ms-on", "overhead-pct", "within-2pct"},
+	}
+
+	// Quick mode shrinks the planner sweep to ~14 ms; the pair count stays
+	// at 10 because scheduler jitter, not workload size, is what the
+	// estimator has to beat.
+	nShapes, reps := 48, 10
+	if cfg.Quick {
+		nShapes = 16
+	}
+	rng := rand.New(rand.NewSource(23))
+	shapes := make([]tensor.GemmShape, nShapes)
+	for i := range shapes {
+		shapes[i] = tensor.GemmShape{
+			M: 1 + rng.Intn(2048), N: 1 + rng.Intn(2048), K: 1 + rng.Intn(1024),
+		}
+	}
+
+	// Planner sweep: fresh compiler per rep (cold cache — every shape pays
+	// full polymerization), fingerprinted by the summed Eq. 2 cost of the
+	// chosen programs.
+	plannerSweep := func(o *obs.Obs) (float64, error) {
+		var opts []core.Option
+		if o != nil {
+			opts = append(opts, core.WithObs(o))
+		}
+		c := core.NewCompilerFromLibrary(lib, opts...)
+		var sum float64
+		for _, s := range shapes {
+			prog, err := c.PlanContext(context.Background(), s)
+			if err != nil {
+				return 0, err
+			}
+			sum += prog.EstimatedCost
+		}
+		return sum, nil
+	}
+
+	// Graph execution: Llama2 decode end to end, fingerprinted by simulated
+	// device cycles. Sequential planning keeps the wall deterministic. One
+	// cold execution (planner spans, memo fills) plus hot steady-state
+	// repeats per timed run: a single ~1 ms execution cannot discriminate a
+	// 2% contract from scheduler jitter, and repeats are what serving does.
+	g := nn.Llama2Decode(4, 512)
+	const decodeExecs = 20
+	graphRun := func(o *obs.Obs) (float64, error) {
+		var opts []core.Option
+		if o != nil {
+			opts = append(opts, core.WithObs(o))
+		}
+		rt := graphrt.New(core.NewCompilerFromLibrary(lib, opts...), graphrt.Config{Obs: o})
+		var sum float64
+		for e := 0; e < decodeExecs; e++ {
+			rep, err := rt.Execute(context.Background(), g)
+			if err != nil {
+				return 0, err
+			}
+			sum += rep.Cycles
+		}
+		return sum, nil
+	}
+
+	type workload struct {
+		name string
+		run  func(o *obs.Obs) (float64, error)
+	}
+	for _, w := range []workload{
+		{"planner-sweep", plannerSweep},
+		{"llama2-decode", graphRun},
+	} {
+		// One measurement of the workload in one mode: min wall of two
+		// back-to-back runs, clipping the one-sided scheduler/GC spikes a
+		// single run is exposed to. Observed mode gets a fresh Obs per run
+		// so the ring buffer and registry fill from empty — the worst case
+		// for the instrumented path (o is built outside the timed region).
+		timed := func(observed bool) (float64, time.Duration, error) {
+			var fp float64
+			best := time.Duration(1<<63 - 1)
+			for i := 0; i < 2; i++ {
+				var o *obs.Obs
+				if observed {
+					o = obs.New(obs.DefaultTraceCapacity)
+				}
+				// Start both modes from the same heap state: without this,
+				// the ring-buffer allocation above pushes a pending GC out
+				// of the on-mode's timed region while off-mode runs absorb
+				// theirs inside it, and the "overhead" goes negative.
+				runtime.GC()
+				start := time.Now()
+				got, err := w.run(o)
+				wall := time.Since(start)
+				if err != nil {
+					return 0, 0, err
+				}
+				if i == 0 {
+					fp = got
+				} else if got != fp {
+					return 0, 0, errNondeterministic(w.name)
+				}
+				if wall < best {
+					best = wall
+				}
+			}
+			return fp, best, nil
+		}
+
+		// Interleaved pairs: every rep runs both modes back to back with the
+		// order swapped each rep, so the two members of a pair see nearly
+		// identical machine state. The headline overhead is the MEDIAN of
+		// the per-pair relative deltas — comparing one mode's global
+		// minimum against the other's lets a CPU burst that happens to
+		// straddle half the run masquerade as instrumentation cost, while
+		// the median simply discards burst-corrupted pairs. Fingerprints
+		// must agree across every rep of each mode; fpOff vs fpOn below is
+		// the 0-drift contract.
+		var fpOff, fpOn float64
+		wallOff := time.Duration(1<<63 - 1)
+		wallOn := wallOff
+		deltas := make([]float64, 0, reps)
+		for rep := 0; rep < reps; rep++ {
+			var pairOff, pairOn time.Duration
+			for pass := 0; pass < 2; pass++ {
+				observed := (rep+pass)%2 == 1
+				got, wall, err := timed(observed)
+				if err != nil {
+					return nil, err
+				}
+				fp, best, pair := &fpOff, &wallOff, &pairOff
+				if observed {
+					fp, best, pair = &fpOn, &wallOn, &pairOn
+				}
+				if rep == 0 && *fp == 0 {
+					*fp = got
+				} else if got != *fp {
+					// Nondeterminism across reps of the same mode would
+					// invalidate the drift comparison entirely.
+					return nil, errNondeterministic(w.name)
+				}
+				*pair = wall
+				if wall < *best {
+					*best = wall
+				}
+			}
+			deltas = append(deltas, 100*(float64(pairOn)-float64(pairOff))/float64(pairOff))
+		}
+		sort.Float64s(deltas)
+		overhead := deltas[len(deltas)/2]
+		if len(deltas)%2 == 0 {
+			overhead = (deltas[len(deltas)/2-1] + deltas[len(deltas)/2]) / 2
+		}
+		msOf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		t.AddRow(w.name, fpOff, boolCell(fpOn != fpOff),
+			msOf(wallOff), msOf(wallOn), overhead, boolCell(overhead <= 2.0))
+	}
+	t.Note("cycle-drift must be no: tracing and metrics never change planner costs or device cycles")
+	t.Note("overhead-pct: median of %d interleaved off/on pair deltas, each member min-of-2 runs (wall-ms columns are per-mode floors); contract is <2%%", reps)
+	return t, nil
+}
+
+// errNondeterministic reports a workload whose fingerprint varied across
+// repetitions of the same mode.
+type errNondeterministic string
+
+func (e errNondeterministic) Error() string {
+	return "bench: workload " + string(e) + " is nondeterministic across reps"
+}

@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+// TestExtObsOverheadZeroDrift asserts the hard half of the overhead
+// experiment: with tracing and metrics fully on, planner cost totals and
+// graph device cycles are bit-identical to the unobserved run. The wall
+// overhead column is reported by the experiment but not asserted here — CI
+// machines are too noisy for a tight wall-clock bound to be a reliable test.
+func TestExtObsOverheadZeroDrift(t *testing.T) {
+	tb, err := ExtObsOverhead(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (planner sweep + llama2 decode)", len(tb.Rows))
+	}
+	for _, r := range tb.Rows {
+		if r[2] != "no" {
+			t.Fatalf("observation changed workload results (cycle drift): %v", r)
+		}
+		if c := speedupCell(t, tb, 0, 1); c <= 0 {
+			t.Fatalf("implausible fingerprint %g: %v", c, r)
+		}
+	}
+}

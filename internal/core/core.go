@@ -21,6 +21,7 @@ import (
 
 	"mikpoly/internal/engine"
 	"mikpoly/internal/hw"
+	"mikpoly/internal/obs"
 	"mikpoly/internal/poly"
 	"mikpoly/internal/sim"
 	"mikpoly/internal/tensor"
@@ -47,6 +48,15 @@ type Compiler struct {
 	// robustness counters
 	fallbacks     int64
 	plannerPanics int64
+
+	// observability (nil-safe no-ops when WithObs was not given)
+	o            *obs.Obs
+	planLatency  *obs.Histogram
+	planTotal    *obs.Counter
+	planCandObs  *obs.Counter
+	planPruneObs *obs.Counter
+	fallbackObs  *obs.Counter
+	panicObs     *obs.Counter
 }
 
 // planCall is one in-flight singleflight planning operation: the first
@@ -64,6 +74,26 @@ type Option func(*Compiler)
 // DefaultCacheCapacity). Values < 1 select the default.
 func WithCacheCapacity(n int) Option {
 	return func(c *Compiler) { c.cache = newLRU(n) }
+}
+
+// WithObs attaches an observability bundle: the planner records search spans
+// through o's tracer, and the compiler feeds the planner-latency histogram
+// and online-stage counters into o's registry. A nil o is a no-op, and all
+// instruments degrade to no-ops when o's parts are nil, so instrumented code
+// never branches on "is observability on".
+func WithObs(o *obs.Obs) Option {
+	return func(c *Compiler) {
+		c.o = o
+		c.planner.Trace = o.T()
+		m := o.M()
+		c.planLatency = m.Histogram("mik_plan_latency_seconds",
+			"Online polymerization latency per leader (non-cached, non-coalesced) plan.", nil)
+		c.planTotal = m.Counter("mik_plan_total", "Completed leader plans.")
+		c.planCandObs = m.Counter("mik_plan_candidates_total", "Candidate programs fully costed by the online search.")
+		c.planPruneObs = m.Counter("mik_plan_pruned_anchors_total", "Anchor kernels skipped by branch-and-bound.")
+		c.fallbackObs = m.Counter("mik_plan_fallbacks_total", "Requests answered with the single-kernel graceful-degradation program.")
+		c.panicObs = m.Counter("mik_plan_panics_total", "Planner panics converted into errors.")
+	}
 }
 
 // NewCompiler runs the offline stage for hardware h and returns a ready
@@ -220,10 +250,20 @@ func (c *Compiler) planIsolated(ctx context.Context, shape tensor.GemmShape) (pr
 			c.mu.Lock()
 			c.plannerPanics++
 			c.mu.Unlock()
+			c.panicObs.Inc()
 			prog, err = nil, fmt.Errorf("core: planner panic for %v: %v", shape, r)
 		}
 	}()
-	return c.planFn(ctx, shape)
+	ctx, sp := c.o.T().Start(ctx, "core.plan")
+	defer sp.End()
+	prog, stats, err = c.planFn(ctx, shape)
+	if err == nil {
+		c.planTotal.Inc()
+		c.planLatency.Observe(stats.Elapsed.Seconds())
+		c.planCandObs.Add(int64(stats.Candidates))
+		c.planPruneObs.Add(int64(stats.PrunedAnchors))
+	}
+	return prog, stats, err
 }
 
 // PlanOrFallback returns the optimized program for shape, degrading to the
@@ -247,6 +287,7 @@ func (c *Compiler) PlanOrFallback(ctx context.Context, shape tensor.GemmShape) (
 	c.mu.Lock()
 	c.fallbacks++
 	c.mu.Unlock()
+	c.fallbackObs.Inc()
 	return fb, true, nil
 }
 

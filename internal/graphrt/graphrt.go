@@ -33,6 +33,7 @@ import (
 	"mikpoly/internal/core"
 	"mikpoly/internal/hw"
 	"mikpoly/internal/nn"
+	"mikpoly/internal/obs"
 	"mikpoly/internal/poly"
 	"mikpoly/internal/sim"
 	"mikpoly/internal/tensor"
@@ -53,6 +54,10 @@ type Config struct {
 	// to the always-legal fallback program (0 = no deadline, negative =
 	// already expired, the forced-degradation knob of the serve layer).
 	PlanTimeout time.Duration
+
+	// Obs optionally attaches tracing to graph execution; nil (the
+	// default) runs unobserved at zero cost.
+	Obs *obs.Obs
 }
 
 // Runtime executes model graphs against one compiler and its hardware.
@@ -61,6 +66,7 @@ type Runtime struct {
 	comp *core.Compiler
 	h    hw.Hardware
 	cfg  Config
+	o    *obs.Obs
 
 	// planFn is the per-op planning entry; a seam tests use to inject
 	// slow planners. Defaults to PlanOrFallback under cfg.PlanTimeout.
@@ -77,10 +83,13 @@ type Runtime struct {
 }
 
 // simEntry caches one stage's simulated execution within a salt generation.
+// peBusy is retained so memoized replays still accumulate per-PE utilization
+// — the counters reflect what the device did, not what the memo saved.
 type simEntry struct {
 	salt    uint64
 	cycles  float64
 	faulted int
+	peBusy  []float64
 }
 
 // Stats are the runtime's cumulative counters, aggregated across Execute
@@ -105,7 +114,30 @@ type Stats struct {
 	// memory-planner spill traffic.
 	Cycles     float64
 	SpillBytes float64
+	// GemmStageCycles accumulates co-scheduled GEMM stage makespans — the
+	// denominator of per-PE utilization. PEBusy accumulates per-PE busy
+	// cycles across stages (length = NumPEs once any stage has run);
+	// memoized stage replays accumulate like fresh simulations.
+	GemmStageCycles float64
+	PEBusy          []float64
 }
+
+// PEUtilization returns each PE's busy fraction of the cumulative
+// co-scheduled stage time, or nil before any GEMM stage has run.
+func (s Stats) PEUtilization() []float64 {
+	if s.GemmStageCycles <= 0 || len(s.PEBusy) == 0 {
+		return nil
+	}
+	u := make([]float64, len(s.PEBusy))
+	for i, b := range s.PEBusy {
+		u[i] = b / s.GemmStageCycles
+	}
+	return u
+}
+
+// WaveImbalance scores the spread of the cumulative per-PE busy series,
+// (max − min)/max; see sim.Imbalance.
+func (s Stats) WaveImbalance() float64 { return sim.Imbalance(s.PEBusy) }
 
 // Report describes one graph execution.
 type Report struct {
@@ -157,6 +189,7 @@ func New(comp *core.Compiler, cfg Config) *Runtime {
 		comp:     comp,
 		h:        comp.Hardware(),
 		cfg:      cfg,
+		o:        cfg.Obs,
 		simCache: make(map[string]simEntry),
 	}
 	r.planFn = func(ctx context.Context, shape tensor.GemmShape) (*poly.Program, bool, error) {
@@ -186,11 +219,15 @@ func (r *Runtime) SetSimulator(fn func(h hw.Hardware, tasks []sim.Task, salt uin
 	r.simFn = fn
 }
 
-// Stats returns the cumulative counters.
+// Stats returns the cumulative counters. The PEBusy slice is deep-copied:
+// callers (metric scrapes, /stats snapshots) may hold the result while
+// executions keep accumulating.
 func (r *Runtime) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.agg
+	s := r.agg
+	s.PEBusy = append([]float64(nil), r.agg.PEBusy...)
+	return s
 }
 
 // ticket is one op's plan, produced by the pipeline or inline.
@@ -218,7 +255,15 @@ func (r *Runtime) ExecuteSalted(ctx context.Context, g nn.Graph, salt uint64) (R
 		return Report{}, err
 	}
 	rep := Report{Graph: g.Name, Ops: len(g.Ops), Stages: len(stages)}
+	ctx, esp := r.o.T().Start(ctx, "graphrt.execute")
+	defer func() {
+		esp.Attr("ops", float64(rep.Ops)).Attr("stages", float64(rep.Stages)).
+			Attr("cycles", rep.Cycles).End()
+	}()
+	_, msp := r.o.T().Start(ctx, "graphrt.memplan")
 	rep.Mem = planMemory(g, stages, r.h)
+	msp.Attr("buffers", float64(rep.Mem.Buffers)).
+		Attr("spill_bytes", rep.Mem.SpillBytes).End()
 	rep.SpillCycles = rep.Mem.SpillBytes / r.h.GlobalBytesPerCycle
 
 	// Flatten the stage schedule into the planning order and start the
@@ -231,7 +276,12 @@ func (r *Runtime) ExecuteSalted(ctx context.Context, g nn.Graph, salt uint64) (R
 	defer stop()
 	pipe := r.startPipeline(pctx, g, order)
 
-	for _, stage := range stages {
+	// Spans cover novel work only: each memo-missing stage gets a
+	// graphrt.stage span inside runStageCached, while memoized replays —
+	// the bulk of a deep model's stages — ride on the enclosing execute
+	// span. Spanning all ~N stages of a decode graph would put hundreds of
+	// span commits on a ~ms execution, busting the <2% overhead contract.
+	for si, stage := range stages {
 		var tasks []sim.Task
 		stageKey := ""
 		for _, i := range stage {
@@ -251,7 +301,7 @@ func (r *Runtime) ExecuteSalted(ctx context.Context, g nn.Graph, salt uint64) (R
 			stageKey += progKey(t.prog, op.Count)
 		}
 		if len(tasks) > 0 {
-			cycles, faulted := r.runStageCached(stageKey, tasks, salt)
+			cycles, faulted := r.runStageCached(ctx, si, stageKey, tasks, salt)
 			rep.GemmCycles += cycles
 			rep.FaultedTasks += faulted
 		}

@@ -1,6 +1,7 @@
 package graphrt
 
 import (
+	"fmt"
 	"sort"
 
 	"mikpoly/internal/hw"
@@ -142,17 +143,25 @@ func planMemory(g nn.Graph, stages [][]int, h hw.Hardware) MemReport {
 }
 
 // arena is an offset-based first-fit allocator over [0, cap) with a sorted
-// free list and neighbor merging on free.
+// free list and neighbor merging on free. Every outstanding allocation is
+// tracked by offset, so a double release, a release of a never-allocated
+// offset, or a release with the wrong size panics instead of silently
+// corrupting the free list — those were representable before and would have
+// surfaced as impossible peak/spill numbers far from the cause.
 type arena struct {
 	cap  int64 // 0 = unbounded
 	free []span
 	peak int64
+	// used maps each outstanding allocation's offset to its size; inUse is
+	// their sum and can never go negative (release panics first).
+	used  map[int64]int64
+	inUse int64
 }
 
 type span struct{ off, len int64 }
 
 func newArena(capacity int64) *arena {
-	a := &arena{cap: capacity}
+	a := &arena{cap: capacity, used: make(map[int64]int64)}
 	limit := capacity
 	if limit <= 0 {
 		limit = int64(1) << 62 // unbounded
@@ -177,17 +186,29 @@ func (a *arena) alloc(size int64) (int64, bool) {
 			if end := off + size; end > a.peak {
 				a.peak = end
 			}
+			a.used[off] = size
+			a.inUse += size
 			return off, true
 		}
 	}
 	return 0, false
 }
 
-// release returns a span to the list, merging with adjacent neighbors.
+// release returns a span to the list, merging with adjacent neighbors. The
+// span must exactly match a live allocation from alloc.
 func (a *arena) release(off, size int64) {
 	if size <= 0 {
 		return
 	}
+	got, ok := a.used[off]
+	if !ok {
+		panic(fmt.Sprintf("graphrt: arena release of offset %d with no live allocation (double free?)", off))
+	}
+	if got != size {
+		panic(fmt.Sprintf("graphrt: arena release of offset %d with size %d, allocated %d", off, size, got))
+	}
+	delete(a.used, off)
+	a.inUse -= size
 	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].off >= off })
 	a.free = append(a.free, span{})
 	copy(a.free[i+1:], a.free[i:])

@@ -153,3 +153,64 @@ func TestArenaFirstFitAndMerge(t *testing.T) {
 		t.Fatal("freed spans did not merge back to full capacity")
 	}
 }
+
+// mustPanic asserts fn panics; the arena's accounting guards must fail loudly
+// rather than corrupt the free list.
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestArenaReleaseGuards(t *testing.T) {
+	a := newArena(100)
+	off, ok := a.alloc(40)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if a.inUse != 40 {
+		t.Fatalf("inUse %d after alloc, want 40", a.inUse)
+	}
+	mustPanic(t, "release with wrong size", func() { a.release(off, 30) })
+	mustPanic(t, "release of unallocated offset", func() { a.release(off + 1, 39) })
+	a.release(off, 40)
+	if a.inUse != 0 {
+		t.Fatalf("inUse %d after release, want 0", a.inUse)
+	}
+	// The double free is the bug this guard exists for: before it, the
+	// second release would insert an overlapping span and inUse (had it
+	// existed) would have gone negative.
+	mustPanic(t, "double free", func() { a.release(off, 40) })
+	if a.inUse != 0 {
+		t.Fatalf("inUse %d went negative or drifted after guarded double free", a.inUse)
+	}
+}
+
+func TestSpillChargedExactlyOnce(t *testing.T) {
+	// a → b → c → d with room for exactly one buffer. b spills at birth
+	// (a is resident) and is charged 512 × (1 store + 1 reload) = 1024;
+	// d spills at birth (c is resident) and, as a graph output with no
+	// consuming stage, is charged its 512-byte store only. The regression:
+	// b dies at stage 2 and the free sweep must not charge its spill
+	// traffic a second time (nor release memory it never held).
+	g := nn.Graph{Name: "spill-once", Ops: []nn.Op{
+		memOp("a", []int{}), memOp("b", []int{0}),
+		memOp("c", []int{1}), memOp("d", []int{2}),
+	}}
+	rep := memPlan(t, g, 512)
+	if rep.SpilledBuffers != 2 {
+		t.Fatalf("spilled buffers %d, want 2: %+v", rep.SpilledBuffers, rep)
+	}
+	if want := float64(512*2 + 512); rep.SpillBytes != want {
+		t.Fatalf("spill bytes %g, want %g (each spill charged exactly once)", rep.SpillBytes, want)
+	}
+	// Replanning the same graph is deterministic — a double charge or a
+	// corrupted free list would show up as drift between runs.
+	if again := memPlan(t, g, 512); again != rep {
+		t.Fatalf("replan drifted: %+v vs %+v", again, rep)
+	}
+}

@@ -132,27 +132,53 @@ func progKey(p *poly.Program, count int) string {
 // runStageCached executes one stage's co-scheduled task batch, memoizing by
 // (program identity, count) signature within a salt generation: model
 // graphs repeat the same operator stack across layers, and the simulator is
-// deterministic, so identical stages cost identical cycles.
-func (r *Runtime) runStageCached(key string, tasks []sim.Task, salt uint64) (float64, int) {
+// deterministic, so identical stages cost identical cycles. Only the memo
+// miss — the stage that actually hits the simulator — earns a span; replays
+// are aggregated into the parent graphrt.execute span's counters.
+func (r *Runtime) runStageCached(ctx context.Context, stage int, key string, tasks []sim.Task, salt uint64) (float64, int) {
 	key = fmt.Sprintf("%s#%d", key, salt)
 	r.mu.Lock()
 	if e, ok := r.simCache[key]; ok && e.salt == salt {
+		r.accumulateStageLocked(e)
 		r.mu.Unlock()
 		return e.cycles, e.faulted
 	}
 	r.mu.Unlock()
 
+	_, sp := r.o.T().Start(ctx, "graphrt.stage")
 	res := r.simFn(r.h, tasks, salt)
+	sp.Attr("stage", float64(stage)).Attr("tasks", float64(len(tasks))).
+		Attr("cycles", res.Cycles).End()
 
+	e := simEntry{salt: salt, cycles: res.Cycles, faulted: res.FaultedTasks, peBusy: res.PEBusy}
 	r.mu.Lock()
 	if len(r.simCache) >= simCacheCap {
 		// The cache is per-process scratch, not a correctness structure:
 		// dropping it wholesale keeps memory flat under shape churn.
 		r.simCache = make(map[string]simEntry)
 	}
-	r.simCache[key] = simEntry{salt: salt, cycles: res.Cycles, faulted: res.FaultedTasks}
+	r.simCache[key] = e
+	r.accumulateStageLocked(e)
 	r.mu.Unlock()
 	return res.Cycles, res.FaultedTasks
+}
+
+// accumulateStageLocked folds one executed (or memo-replayed) stage into the
+// cumulative utilization counters. Callers hold r.mu. The cached peBusy
+// slice is only read, never aliased into agg.PEBusy.
+func (r *Runtime) accumulateStageLocked(e simEntry) {
+	r.agg.GemmStageCycles += e.cycles
+	if len(e.peBusy) == 0 {
+		return
+	}
+	if len(r.agg.PEBusy) < len(e.peBusy) {
+		grown := make([]float64, len(e.peBusy))
+		copy(grown, r.agg.PEBusy)
+		r.agg.PEBusy = grown
+	}
+	for i, b := range e.peBusy {
+		r.agg.PEBusy[i] += b
+	}
 }
 
 // simCacheCap bounds the stage-simulation memo.

@@ -1,0 +1,53 @@
+// Package obs is the repo's zero-dependency observability layer: hierarchical
+// wall-clock spans recorded into a bounded ring buffer (the /trace dump) and
+// a Prometheus-text metrics registry (the /metrics endpoint), threaded
+// through the planner, simulator-facing runtime and serving hot paths.
+//
+// Two contracts govern the design:
+//
+//   - Disabled is (near) free. Every entry point is safe on a nil *Obs, nil
+//     *Tracer, nil *Registry and nil instrument, and a disabled tracer's
+//     Start returns the caller's context untouched with a nil span — no
+//     allocation, no clock read, no lock. Call sites therefore never branch
+//     on "is observability on"; they simply call through.
+//
+//   - Observation never changes results. Spans and metrics record wall-clock
+//     and counters only; simulated device cycles and planner decisions are
+//     pure functions of their inputs, so enabling tracing must leave them
+//     bit-identical (the ext-obs-overhead experiment enforces this).
+//
+// Metric naming follows mik_<subsystem>_<quantity>[_<unit>][_total]:
+// mik_plan_latency_seconds, mik_cache_hits_total, mik_pe_utilization, ...
+// Cumulative counters end in _total; gauges carry no suffix; histograms use
+// base-unit seconds.
+package obs
+
+// Obs bundles the span tracer and the metrics registry one process shares
+// across subsystems. A nil *Obs disables everything.
+type Obs struct {
+	Tracer  *Tracer
+	Metrics *Registry
+}
+
+// New returns an Obs with an enabled tracer of the given ring capacity
+// (values < 1 select DefaultTraceCapacity) and a fresh registry.
+func New(traceCap int) *Obs {
+	return &Obs{Tracer: NewTracer(traceCap), Metrics: NewRegistry()}
+}
+
+// T returns the tracer, nil-safe: (*Obs)(nil).T() is a nil (disabled) tracer.
+func (o *Obs) T() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// M returns the registry, nil-safe: (*Obs)(nil).M() is a nil (disabled)
+// registry whose constructors hand back nil (no-op) instruments.
+func (o *Obs) M() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCapacity is the span ring-buffer bound when none is given.
+const DefaultTraceCapacity = 4096
+
+// spanCtxKey carries the current span ID through a context for parenting.
+type spanCtxKey struct{}
+
+// Attr is one numeric span attribute (candidate counts, cycles, bytes, ...).
+type Attr struct {
+	Key   string  `json:"k"`
+	Value float64 `json:"v"`
+}
+
+// SpanRecord is one completed span in the ring buffer. IDs are process-unique
+// and monotone; Parent is 0 for roots.
+type SpanRecord struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Start  int64  `json:"start_ns"` // Unix nanoseconds
+	Dur    int64  `json:"dur_ns"`
+	Attrs  []Attr `json:"attrs,omitempty"`
+}
+
+// Tracer records hierarchical spans into a bounded ring buffer. All methods
+// are safe for concurrent use and safe on a nil receiver (nil = disabled).
+//
+// The ring grows lazily: storage is appended as spans arrive and only rings
+// (overwriting oldest) once the configured capacity is reached. Records hold
+// pointers (name, attrs), so a preallocated default-capacity ring adds ~300 KB
+// to every GC scan — measured at 3–5% of wall on short graph executions —
+// while a lazily grown ring costs GC only what was actually recorded.
+type Tracer struct {
+	enabled atomic.Bool
+	nextID  atomic.Uint64
+
+	mu       sync.Mutex
+	capacity int          // configured bound; buf never grows past it
+	buf      []SpanRecord // grows to capacity, then rings; growth phase ⇒ head == n == len(buf)
+	head     int          // next write position
+	n        int          // records currently held (<= len(buf))
+	dropped  uint64       // records overwritten since last Reset
+}
+
+// NewTracer returns an enabled tracer with the given ring capacity (values
+// < 1 select DefaultTraceCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = DefaultTraceCapacity
+	}
+	t := &Tracer{capacity: capacity}
+	t.enabled.Store(true)
+	return t
+}
+
+// SetEnabled toggles recording. While disabled, Start is a near-no-op.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Span is one in-flight timed operation. A nil *Span (from a disabled or nil
+// tracer) accepts every method as a no-op, so call sites never branch.
+// Attributes live in a small inline array so the common span (≤6 attrs)
+// costs one heap allocation for the Span itself and one more at End.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	nattrs int
+	attrs  [6]Attr
+	spill  []Attr // overflow beyond the inline array; rare
+}
+
+// Start opens a span named name as a child of the span carried by ctx (root
+// if none) and returns a derived context carrying the new span. When the
+// tracer is nil or disabled it returns ctx unchanged and a nil span.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if !t.Enabled() {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanCtxKey{}).(uint64)
+	s := &Span{t: t, id: t.nextID.Add(1), parent: parent, name: name, start: time.Now()}
+	return context.WithValue(ctx, spanCtxKey{}, s.id), s
+}
+
+// Attr attaches a numeric attribute; chainable, nil-safe.
+func (s *Span) Attr(key string, v float64) *Span {
+	if s == nil {
+		return s
+	}
+	if s.nattrs < len(s.attrs) {
+		s.attrs[s.nattrs] = Attr{Key: key, Value: v}
+		s.nattrs++
+	} else {
+		s.spill = append(s.spill, Attr{Key: key, Value: v})
+	}
+	return s
+}
+
+// End closes the span and commits it to the ring buffer; nil-safe. A span
+// must be ended at most once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	var attrs []Attr
+	if n := s.nattrs + len(s.spill); n > 0 {
+		attrs = make([]Attr, 0, n)
+		attrs = append(attrs, s.attrs[:s.nattrs]...)
+		attrs = append(attrs, s.spill...)
+	}
+	rec := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start.UnixNano(),
+		Dur:    int64(time.Since(s.start)),
+		Attrs:  attrs,
+	}
+	t := s.t
+	t.mu.Lock()
+	if len(t.buf) < t.capacity {
+		t.buf = append(t.buf, rec)
+		t.n = len(t.buf)
+		t.head = len(t.buf) % t.capacity
+	} else {
+		t.dropped++
+		t.buf[t.head] = rec
+		t.head = (t.head + 1) % len(t.buf)
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the buffered spans oldest-first.
+func (t *Tracer) Snapshot() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n == 0 {
+		return nil
+	}
+	out := make([]SpanRecord, 0, t.n)
+	start := (t.head - t.n + len(t.buf)) % len(t.buf)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// Dropped reports spans overwritten because the ring was full.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all buffered spans and the dropped count. The backing
+// array's capacity is kept, so a tracer that once filled up doesn't re-pay
+// growth, but its length is truncated to restore the growth-phase invariant.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.buf = t.buf[:0]
+	t.head, t.n, t.dropped = 0, 0, 0
+	t.mu.Unlock()
+}
+
+// traceDump is the /trace wire format.
+type traceDump struct {
+	Enabled  bool         `json:"enabled"`
+	Capacity int          `json:"capacity"`
+	Dropped  uint64       `json:"dropped"`
+	Spans    []SpanRecord `json:"spans"`
+}
+
+// Handler serves the buffered spans as JSON. `?reset=1` clears the buffer
+// after the dump, so successive scrapes see disjoint windows.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		dump := traceDump{Enabled: t.Enabled(), Dropped: t.Dropped(), Spans: t.Snapshot()}
+		if t != nil {
+			t.mu.Lock()
+			dump.Capacity = t.capacity
+			t.mu.Unlock()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(dump)
+		if r.URL.Query().Get("reset") == "1" {
+			t.Reset()
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+
+	"mikpoly/internal/hw"
+	"mikpoly/internal/tensor"
+	"mikpoly/internal/tune"
+)
+
+func TestWaveCount(t *testing.T) {
+	cases := []struct {
+		tasks, pes int
+		want       float64
+	}{
+		{0, 108, 0},
+		{1, 108, 1},
+		{108, 108, 1},
+		{109, 108, 2},
+		{216, 108, 2},
+		{217, 108, 3},
+		{5, 1, 5},
+	}
+	for _, c := range cases {
+		if got := WaveCount(c.tasks, c.pes); got != c.want {
+			t.Errorf("WaveCount(%d, %d) = %g, want %g", c.tasks, c.pes, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WaveCount with pes=0 did not panic")
+		}
+	}()
+	WaveCount(1, 0)
+}
+
+// TestExplainAgreesWithPlannerCost is the anti-drift regression for the
+// three formerly duplicated wave-count computations: for randomized shapes,
+// the planner's incremental search total (EstimatedCost), the standalone
+// ProgramCost evaluator, and the Explain breakdown must all agree exactly.
+func TestExplainAgreesWithPlannerCost(t *testing.T) {
+	for _, hardware := range []hw.Hardware{hw.A100(), hw.Ascend910()} {
+		lib, err := tune.Generate(hardware, tune.Options{NGen: 6, NSyn: 9, NMik: 10, NPred: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewPlanner(lib)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 40; i++ {
+			shape := tensor.GemmShape{
+				M: 1 + rng.Intn(4096),
+				N: 1 + rng.Intn(4096),
+				K: 1 + rng.Intn(2048),
+			}
+			prog, _, err := p.Plan(shape)
+			if err != nil {
+				t.Fatalf("%s %v: %v", hardware.Name, shape, err)
+			}
+			if got := ProgramCost(prog, lib); got != prog.EstimatedCost {
+				t.Errorf("%s %v: ProgramCost %g != planner EstimatedCost %g",
+					hardware.Name, shape, got, prog.EstimatedCost)
+			}
+			costs := Explain(prog, lib)
+			if got := TotalCost(costs); got != prog.EstimatedCost {
+				t.Errorf("%s %v: TotalCost(Explain) %g != planner EstimatedCost %g",
+					hardware.Name, shape, got, prog.EstimatedCost)
+			}
+			for ri, rc := range costs {
+				if want := WaveCount(rc.Tasks, lib.HW.NumPEs); rc.Waves != want {
+					t.Errorf("%s %v region %d: Explain waves %g != WaveCount %g",
+						hardware.Name, shape, ri, rc.Waves, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitKCostAgreement extends the cross-check to the split-K pattern,
+// whose co-run wave semantics differ from the per-region sum: the planner's
+// splitKCost and ProgramCost must agree on chosen split-K programs.
+func TestSplitKCostAgreement(t *testing.T) {
+	lib, err := tune.Generate(hw.A100(), tune.Options{NGen: 6, NSyn: 9, NMik: 10, NPred: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlanner(lib)
+	p.EnableSplitK = true
+	rng := rand.New(rand.NewSource(11))
+	seen := 0
+	for i := 0; i < 60; i++ {
+		// Skinny outputs with deep reductions favour split-K.
+		shape := tensor.GemmShape{
+			M: 1 + rng.Intn(64),
+			N: 1 + rng.Intn(64),
+			K: 256 + rng.Intn(1 << 17),
+		}
+		prog, _, err := p.Plan(shape)
+		if err != nil {
+			t.Fatalf("%v: %v", shape, err)
+		}
+		if got := ProgramCost(prog, lib); got != prog.EstimatedCost {
+			t.Errorf("%v (%s): ProgramCost %g != EstimatedCost %g",
+				shape, prog.Pattern, got, prog.EstimatedCost)
+		}
+		if prog.Pattern == PatternSplitK {
+			seen++
+		}
+	}
+	if seen == 0 {
+		t.Error("no split-K program selected across 60 skinny shapes; suite lost its split-K coverage")
+	}
+}

@@ -1,8 +1,6 @@
 package poly
 
 import (
-	"math"
-
 	"mikpoly/internal/tune"
 )
 
@@ -24,13 +22,18 @@ type RegionCost struct {
 }
 
 // Explain evaluates Eq. 2 term by term for a program against a library —
-// the developer view of why the cost model preferred this strategy.
+// the developer view of why the cost model preferred this strategy. Wave
+// counts come from the shared WaveCount helper, so the breakdown can never
+// drift from the planner's scoring; for output-plane patterns
+// TotalCost(Explain(prog, lib)) equals ProgramCost(prog, lib) exactly, while
+// split-K programs co-run their regions and must be totalled with
+// ProgramCost instead.
 func Explain(prog *Program, lib *tune.Library) []RegionCost {
 	out := make([]RegionCost, 0, len(prog.Regions))
 	for _, r := range prog.Regions {
 		t1, t2, t3 := r.Tiles()
 		tasks := t1 * t2
-		waves := math.Ceil(float64(tasks) / float64(lib.HW.NumPEs))
+		waves := WaveCount(tasks, lib.HW.NumPEs)
 		pipe := lib.PredictTask(r.Kern, t3)
 		out = append(out, RegionCost{
 			Region: r,

@@ -8,6 +8,7 @@ import (
 
 	"mikpoly/internal/hw"
 	"mikpoly/internal/kernel"
+	"mikpoly/internal/obs"
 	"mikpoly/internal/tensor"
 	"mikpoly/internal/tune"
 )
@@ -92,6 +93,11 @@ type Planner struct {
 	// the search — an extension beyond the paper's output-plane patterns
 	// for skinny outputs with deep reductions.
 	EnableSplitK bool
+
+	// Trace, when non-nil and enabled, records hierarchical spans for the
+	// search (poly.plan → per-pattern enumeration → validate). It never
+	// affects which program is chosen.
+	Trace *obs.Tracer
 }
 
 // NewPlanner returns a planner with the platform-default pattern set.
@@ -108,10 +114,10 @@ func (p *Planner) patterns() []PatternID {
 }
 
 // regionCost evaluates one (R_i, K̃_i) term of Eq. 2 under the active cost
-// model: f_wave = ceil(f_parallel / |P_multi|), f_pipe = g_predict(f_num).
+// model: f_wave = WaveCount(f_parallel, |P_multi|), f_pipe = g_predict(f_num).
 func (p *Planner) regionCost(r Region) float64 {
 	t1, t2, t3 := r.Tiles()
-	waves := math.Ceil(float64(t1*t2) / float64(p.Lib.HW.NumPEs))
+	waves := WaveCount(t1*t2, p.Lib.HW.NumPEs)
 	switch p.Cost {
 	case CostWaveOnly:
 		return waves
@@ -159,6 +165,12 @@ func (p *Planner) PlanContext(ctx context.Context, shape tensor.GemmShape) (*Pro
 	if err := ctx.Err(); err != nil {
 		return nil, stats, fmt.Errorf("poly: planning aborted: %w", err)
 	}
+	ctx, sp := p.Trace.Start(ctx, "poly.plan")
+	defer func() {
+		sp.Attr("m", float64(shape.M)).Attr("n", float64(shape.N)).Attr("k", float64(shape.K))
+		sp.Attr("candidates", float64(stats.Candidates)).Attr("pruned", float64(stats.PrunedAnchors))
+		sp.End()
+	}()
 
 	var best *Program
 	bestCost := math.Inf(1)
@@ -174,6 +186,10 @@ func (p *Planner) PlanContext(ctx context.Context, shape tensor.GemmShape) (*Pro
 		if err := ctx.Err(); err != nil {
 			return nil, stats, fmt.Errorf("poly: planning aborted: %w", err)
 		}
+		// One strategy-search span per pattern enumeration; a span cut
+		// short by cancellation is simply never recorded.
+		_, psp := p.Trace.Start(ctx, "poly.pattern."+pat.String())
+		before := stats.Candidates
 		for _, anchor := range p.Lib.Kernels {
 			if err := ctx.Err(); err != nil {
 				return nil, stats, fmt.Errorf("poly: planning aborted: %w", err)
@@ -226,9 +242,12 @@ func (p *Planner) PlanContext(ctx context.Context, shape tensor.GemmShape) (*Pro
 				break
 			}
 		}
+		psp.Attr("candidates", float64(stats.Candidates-before)).End()
 	}
 
 	if p.EnableSplitK {
+		_, ksp := p.Trace.Start(ctx, "poly.pattern."+PatternSplitK.String())
+		before := stats.Candidates
 		for _, prog := range p.splitKCandidates(shape) {
 			cost := p.splitKCost(prog)
 			if p.Cost == CostOracle {
@@ -237,12 +256,16 @@ func (p *Planner) PlanContext(ctx context.Context, shape tensor.GemmShape) (*Pro
 			prog.EstimatedCost = cost
 			consider(prog, cost)
 		}
+		ksp.Attr("candidates", float64(stats.Candidates-before)).End()
 	}
 
 	if best == nil {
 		return nil, stats, fmt.Errorf("poly: no candidate programs for %v", shape)
 	}
-	if err := best.Validate(); err != nil {
+	_, vsp := p.Trace.Start(ctx, "poly.validate")
+	err := best.Validate()
+	vsp.End()
+	if err != nil {
 		return nil, stats, fmt.Errorf("poly: planned program invalid: %w", err)
 	}
 	stats.Elapsed = time.Since(start)
@@ -305,7 +328,7 @@ func (p *Planner) splitKCost(prog *Program) float64 {
 			maxPipe = c
 		}
 	}
-	waves := math.Ceil(float64(total) / float64(p.Lib.HW.NumPEs))
+	waves := WaveCount(total, p.Lib.HW.NumPEs)
 	switch p.Cost {
 	case CostWaveOnly:
 		return waves

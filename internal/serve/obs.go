@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"strconv"
+	"time"
+
+	"mikpoly/internal/obs"
+)
+
+// registerObs exports the server's counters, the compiler's cache/health
+// stats, and the graph runtime's aggregates into the observability registry.
+// Everything that already lives behind a mutex or atomic is bridged with
+// scrape-time Collect callbacks reading live snapshots — no second set of
+// books to keep consistent, and a rebound compiler (SetCompiler) is picked up
+// automatically because the callbacks re-resolve through the atomic pointers.
+func (s *Server) registerObs() {
+	m := s.o.M()
+	if m == nil {
+		return
+	}
+
+	one := func(v float64) []obs.Sample { return []obs.Sample{{Value: v}} }
+
+	m.Collect("mik_serve_requests_total", "Admitted plan/execute/model requests.", "counter",
+		func() []obs.Sample { return one(float64(s.nRequests.Load())) })
+	m.Collect("mik_serve_rejected_total", "Requests refused by admission control (429).", "counter",
+		func() []obs.Sample { return one(float64(s.nRejected.Load())) })
+	m.Collect("mik_serve_degraded_total", "Responses served via the fallback program.", "counter",
+		func() []obs.Sample { return one(float64(s.nDegraded.Load())) })
+	m.Collect("mik_serve_retries_total", "Fault-triggered re-plan attempts.", "counter",
+		func() []obs.Sample { return one(float64(s.nRetries.Load())) })
+	m.Collect("mik_serve_faulted_runs_total", "Simulated runs reporting at least one faulted task.", "counter",
+		func() []obs.Sample { return one(float64(s.nFaults.Load())) })
+	m.Collect("mik_serve_panics_total", "Handler panics recovered.", "counter",
+		func() []obs.Sample { return one(float64(s.nPanics.Load())) })
+	m.Collect("mik_serve_models_total", "Model graphs executed via /model.", "counter",
+		func() []obs.Sample { return one(float64(s.nModels.Load())) })
+	m.Collect("mik_serve_in_flight", "Requests currently admitted.", "gauge",
+		func() []obs.Sample { return one(float64(len(s.sem))) })
+	m.Collect("mik_serve_uptime_seconds", "Seconds since server construction.", "gauge",
+		func() []obs.Sample { return one(time.Since(s.started).Seconds()) })
+
+	m.Collect("mik_cache_entries", "Program cache size and capacity.", "gauge",
+		func() []obs.Sample {
+			c := s.comp()
+			if c == nil {
+				return nil
+			}
+			cs := c.CacheStats()
+			return []obs.Sample{
+				{Labels: [][2]string{{"state", "used"}}, Value: float64(cs.Size)},
+				{Labels: [][2]string{{"state", "capacity"}}, Value: float64(cs.Capacity)},
+			}
+		})
+	m.Collect("mik_cache_ops_total", "Program cache hits, misses, and evictions.", "counter",
+		func() []obs.Sample {
+			c := s.comp()
+			if c == nil {
+				return nil
+			}
+			cs := c.CacheStats()
+			return []obs.Sample{
+				{Labels: [][2]string{{"op", "hit"}}, Value: float64(cs.Hits)},
+				{Labels: [][2]string{{"op", "miss"}}, Value: float64(cs.Misses)},
+				{Labels: [][2]string{{"op", "eviction"}}, Value: float64(cs.Evictions)},
+			}
+		})
+
+	m.Collect("mik_graph_executions_total", "Graphs executed by the graph runtime.", "counter",
+		func() []obs.Sample {
+			rt := s.runtime.Load()
+			if rt == nil {
+				return nil
+			}
+			return one(float64(rt.Stats().Graphs))
+		})
+	m.Collect("mik_graph_plan_wall_seconds", "Plan-ahead wall-time split: total planning, executor stalls, and the portion hidden behind execution.", "counter",
+		func() []obs.Sample {
+			rt := s.runtime.Load()
+			if rt == nil {
+				return nil
+			}
+			gs := rt.Stats()
+			return []obs.Sample{
+				{Labels: [][2]string{{"kind", "plan"}}, Value: gs.PlanWall.Seconds()},
+				{Labels: [][2]string{{"kind", "stall"}}, Value: gs.StallWall.Seconds()},
+				{Labels: [][2]string{{"kind", "hidden"}}, Value: gs.HiddenWall.Seconds()},
+			}
+		})
+	m.Collect("mik_graph_device_cycles_total", "Cumulative simulated device cycles across graph executions.", "counter",
+		func() []obs.Sample {
+			rt := s.runtime.Load()
+			if rt == nil {
+				return nil
+			}
+			return one(rt.Stats().Cycles)
+		})
+	m.Collect("mik_graph_spill_bytes_total", "Memory-planner spill traffic across graph executions.", "counter",
+		func() []obs.Sample {
+			rt := s.runtime.Load()
+			if rt == nil {
+				return nil
+			}
+			return one(rt.Stats().SpillBytes)
+		})
+	m.Collect("mik_pe_utilization", "Per-PE busy fraction of cumulative co-scheduled stage time.", "gauge",
+		func() []obs.Sample {
+			rt := s.runtime.Load()
+			if rt == nil {
+				return nil
+			}
+			u := rt.Stats().PEUtilization()
+			samples := make([]obs.Sample, len(u))
+			for i, v := range u {
+				samples[i] = obs.Sample{Labels: [][2]string{{"pe", strconv.Itoa(i)}}, Value: v}
+			}
+			return samples
+		})
+	m.Collect("mik_wave_imbalance", "Relative spread (max-min)/max of cumulative per-PE busy cycles.", "gauge",
+		func() []obs.Sample {
+			rt := s.runtime.Load()
+			if rt == nil {
+				return nil
+			}
+			return one(rt.Stats().WaveImbalance())
+		})
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"mikpoly/internal/core"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/obs"
+	"mikpoly/internal/tune"
+)
+
+// newObsServer builds a fully observed stack: compiler with planner metrics
+// and tracing, server exporting /metrics and /trace.
+func newObsServer(t *testing.T, o *obs.Obs, cfg Config) (*Server, string) {
+	t.Helper()
+	lib, err := core.SharedLibrary(hw.A100(), tune.Options{NGen: 6, NSyn: 9, NMik: 10, NPred: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Obs = o
+	srv := New(core.NewCompilerFromLibrary(lib, core.WithObs(o)), cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts.URL
+}
+
+func getBody(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(data)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	o := obs.New(obs.DefaultTraceCapacity)
+	_, ts := newObsServer(t, o, Config{})
+
+	// One uncached plan, one cached replay (a cache hit), one model run —
+	// every exported subsystem has something to report.
+	for i := 0; i < 2; i++ {
+		if resp, data := postJSON(t, ts+"/plan", planRequest{M: 512, N: 512, K: 512}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("plan status %d: %s", resp.StatusCode, data)
+		}
+	}
+	if resp, data := postJSON(t, ts+"/model", modelRequest{Model: "distilbert", Seq: 32}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("model status %d: %s", resp.StatusCode, data)
+	}
+
+	resp, body := getBody(t, ts+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE mik_plan_latency_seconds histogram",
+		"mik_plan_latency_seconds_bucket{le=\"+Inf\"}",
+		`mik_cache_ops_total{op="hit"}`,
+		`mik_cache_ops_total{op="miss"}`,
+		`mik_cache_ops_total{op="eviction"}`,
+		`mik_cache_entries{state="used"}`,
+		"mik_serve_requests_total 3",
+		"mik_graph_executions_total 1",
+		`mik_pe_utilization{pe="0"}`,
+		"mik_wave_imbalance",
+		`mik_graph_plan_wall_seconds{kind="hidden"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	resp, body = getBody(t, ts+"/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", resp.StatusCode)
+	}
+	for _, want := range []string{"core.plan", "poly.plan", "graphrt.execute", "graphrt.stage"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("trace dump missing span %q", want)
+		}
+	}
+}
+
+func TestObsDisabledServes404(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, ep := range []string{"/metrics", "/trace"} {
+		resp, _ := getBody(t, ts.URL+ep)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without Obs: status %d, want 404", ep, resp.StatusCode)
+		}
+	}
+}
+
+// TestConcurrentModelStatsClearCache is the race regression for the stats
+// snapshotting path: model executions mutate the runtime's cumulative
+// counters (including the per-PE busy slice) while /stats, /metrics, and
+// ClearCache read and reset shared compiler state. Run under -race (the CI
+// does); any unsynchronized access fails the build.
+func TestConcurrentModelStatsClearCache(t *testing.T) {
+	o := obs.New(256)
+	srv, ts := newObsServer(t, o, Config{PlanAhead: 2})
+
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				resp, data := postJSON(t, ts+"/model", modelRequest{Model: "distilbert", Seq: 32})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("model status %d: %s", resp.StatusCode, data)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if resp, _ := getBody(t, ts+"/stats"); resp.StatusCode != http.StatusOK {
+					t.Error("stats failed mid-churn")
+					return
+				}
+				if resp, _ := getBody(t, ts+"/metrics"); resp.StatusCode != http.StatusOK {
+					t.Error("metrics failed mid-churn")
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				srv.comp().ClearCache()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if resp, _ := getBody(t, ts+"/metrics"); resp.StatusCode != http.StatusOK {
+		t.Fatal("metrics unavailable after churn")
+	}
+}

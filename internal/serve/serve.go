@@ -21,6 +21,7 @@ import (
 	"mikpoly/internal/core"
 	"mikpoly/internal/graphrt"
 	"mikpoly/internal/hw"
+	"mikpoly/internal/obs"
 	"mikpoly/internal/sim"
 )
 
@@ -88,6 +89,14 @@ type Config struct {
 	// MaxModelOps bounds the operator count of a built model graph;
 	// larger graphs are rejected with 413.
 	MaxModelOps int
+
+	// Obs optionally attaches the observability layer: the handler then
+	// serves GET /metrics (Prometheus text) and GET /trace (span dump),
+	// server/compiler/runtime counters are exported at scrape time, and
+	// the same Obs is threaded into the graph runtime for tracing. nil
+	// (the default) serves unobserved: both endpoints answer 404 and no
+	// instrumentation runs.
+	Obs *obs.Obs
 }
 
 // DefaultConfig returns production-leaning defaults.
@@ -172,6 +181,7 @@ type Server struct {
 	runtime  atomic.Pointer[graphrt.Runtime]
 	batcher  atomic.Pointer[graphrt.DecodeBatcher]
 	cfg      Config
+	o        *obs.Obs
 	sem      chan struct{}
 	bo       *backoff
 	started  time.Time
@@ -193,10 +203,12 @@ func New(c *core.Compiler, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
+		o:       cfg.Obs,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		bo:      newBackoff(cfg.RetryBase, cfg.RetryMax, cfg.Seed),
 		started: time.Now(),
 	}
+	s.registerObs()
 	if c != nil {
 		s.SetCompiler(c)
 	}
@@ -209,6 +221,7 @@ func (s *Server) SetCompiler(c *core.Compiler) {
 	rt := graphrt.New(c, graphrt.Config{
 		PlanAhead:   s.cfg.PlanAhead,
 		PlanTimeout: s.cfg.PlanTimeout,
+		Obs:         s.o,
 	})
 	rt.SetSimulator(func(h hw.Hardware, tasks []sim.Task, salt uint64) sim.Result {
 		return s.simulateTasks(c, tasks, salt)
@@ -243,6 +256,14 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /model", s.guard(http.HandlerFunc(s.handleModel)))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	// Observability endpoints bypass admission like the probes: a scrape
+	// must succeed while the work endpoints shed load.
+	if m := s.o.M(); m != nil {
+		mux.Handle("GET /metrics", m.Handler())
+	}
+	if t := s.o.T(); t != nil {
+		mux.Handle("GET /trace", t.Handler())
+	}
 	return s.recoverMW(mux)
 }
 

@@ -366,3 +366,25 @@ func TestFastPathAgreesWithEventLoopProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		name string
+		busy []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all idle", []float64{0, 0, 0}, 0},
+		{"balanced", []float64{10, 10, 10}, 0},
+		{"one idle PE", []float64{10, 10, 0}, 1},
+		{"half spread", []float64{10, 5}, 0.5},
+	}
+	for _, c := range cases {
+		if got := Imbalance(c.busy); got != c.want {
+			t.Errorf("%s: Imbalance(%v) = %g, want %g", c.name, c.busy, got, c.want)
+		}
+	}
+	if got := (Result{PEBusy: []float64{8, 4, 8, 8}}).Imbalance(); got != 0.5 {
+		t.Errorf("Result.Imbalance = %g, want 0.5", got)
+	}
+}

@@ -81,3 +81,33 @@ func (r Result) Waves() int {
 	}
 	return (r.NumTasks + len(r.PEBusy) - 1) / len(r.PEBusy)
 }
+
+// Imbalance returns the relative busy-time spread across PEs,
+// (max − min) / max over the per-PE busy cycles: 0 is a perfectly balanced
+// execution, values near 1 mean some PEs idled through almost the whole run
+// — the "last wave" effect the polymerized programs exist to shrink. An
+// all-idle or empty execution reports 0.
+func (r Result) Imbalance() float64 { return Imbalance(r.PEBusy) }
+
+// Imbalance computes the relative spread (max − min) / max of a per-PE busy
+// series; see Result.Imbalance. Exposed as a free function so aggregated
+// busy series (e.g. the graph runtime's cumulative per-PE counters) can be
+// scored the same way.
+func Imbalance(peBusy []float64) float64 {
+	if len(peBusy) == 0 {
+		return 0
+	}
+	min, max := peBusy[0], peBusy[0]
+	for _, b := range peBusy[1:] {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if max <= 0 {
+		return 0
+	}
+	return (max - min) / max
+}

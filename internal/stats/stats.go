@@ -1,7 +1,16 @@
 // Package stats provides the aggregation helpers the evaluation harness
-// uses: means, geometric means, extrema, and speedup summaries matching the
-// way the paper reports results ("average speedup of 1.47× with a maximum of
-// 4.82×").
+// uses: means, geometric means, extrema, percentiles, and speedup summaries
+// matching the way the paper reports results ("average speedup of 1.47× with
+// a maximum of 4.82×").
+//
+// Percentile convention: nearest-rank. Percentile(xs, p) is the element at
+// rank ⌈p/100·n⌉ (1-based) of the sorted sample, so p=0 is the minimum,
+// p=100 the maximum, and a single-element sample answers every p with that
+// element. p outside [0, 100] — including NaN — panics, as does a NaN in any
+// other aggregate's precondition; NaN *values* in the sample are skipped
+// (they carry no order), and an all-NaN sample returns NaN rather than
+// masquerading as a zero measurement. Empty inputs return 0 across the
+// package, matching the harness's "no data yet" rendering.
 package stats
 
 import (
@@ -67,25 +76,44 @@ func Min(xs []float64) float64 {
 	return m
 }
 
-// Percentile returns the p-th percentile (0..100) using nearest-rank on a
-// copy of the input.
+// Percentile returns the p-th percentile (0..100) of xs using the
+// nearest-rank definition on a copy of the input; see the package comment
+// for the exact boundary and NaN semantics.
+//
+// Two latent hazards are handled explicitly. A NaN p used to slip past the
+// range check (every comparison with NaN is false) and reach int(Ceil(NaN)),
+// whose value is platform-defined — it now panics like any out-of-range p.
+// NaN sample values used to sort ahead of every finite value (sort.Float64s
+// orders NaN first), silently corrupting low percentiles — they are now
+// skipped, and an all-NaN sample reports NaN.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	if p < 0 || p > 100 {
+	if math.IsNaN(p) || p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %g out of range", p))
 	}
-	c := append([]float64(nil), xs...)
+	c := make([]float64, 0, len(xs))
+	sawNaN := false
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			sawNaN = true
+			continue
+		}
+		c = append(c, x)
+	}
+	if len(c) == 0 {
+		if sawNaN {
+			return math.NaN()
+		}
+		return 0
+	}
 	sort.Float64s(c)
-	rank := int(math.Ceil(p/100*float64(len(c)))) - 1
-	if rank < 0 {
-		rank = 0
+	rank := int(math.Ceil(p / 100 * float64(len(c)))) // 1-based nearest rank
+	if rank < 1 {
+		rank = 1
 	}
-	if rank >= len(c) {
-		rank = len(c) - 1
+	if rank > len(c) {
+		rank = len(c)
 	}
-	return c[rank]
+	return c[rank-1]
 }
 
 // Summary condenses a speedup series the way the paper quotes results.

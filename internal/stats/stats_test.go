@@ -66,6 +66,53 @@ func TestPercentile(t *testing.T) {
 	Percentile(xs, 101)
 }
 
+// TestPercentileBoundaries pins the nearest-rank convention documented in the
+// package comment: every (sample, p) cell here is part of the API contract.
+func TestPercentileBoundaries(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"p0 is the minimum", []float64{9, 2, 7}, 0, 2},
+		{"p100 is the maximum", []float64{9, 2, 7}, 100, 9},
+		{"single element answers p0", []float64{42}, 0, 42},
+		{"single element answers p50", []float64{42}, 50, 42},
+		{"single element answers p100", []float64{42}, 100, 42},
+		{"two elements split at p50", []float64{10, 20}, 50, 10},
+		{"two elements just past p50", []float64{10, 20}, 50.001, 20},
+		{"duplicates collapse ranks", []float64{5, 5, 5, 1}, 75, 5},
+		{"nearest rank rounds up", []float64{1, 2, 3, 4}, 26, 2},
+		{"NaN values are skipped", []float64{nan, 3, 1, nan, 2}, 100, 3},
+		{"NaN values do not pollute low ranks", []float64{nan, 3, 1, 2}, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Percentile(c.xs, c.p); got != c.want {
+			t.Errorf("%s: Percentile(%v, %g) = %g, want %g", c.name, c.xs, c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{nan, nan}, 50); !math.IsNaN(got) {
+		t.Errorf("all-NaN sample = %g, want NaN", got)
+	}
+	if got := Percentile(nil, 0); got != 0 {
+		t.Errorf("empty sample = %g, want 0", got)
+	}
+}
+
+// TestPercentileNaNPPanics is the regression for the NaN-p hole: NaN passed
+// every ordered comparison in the old range check and flowed into
+// int(math.Ceil(NaN)), whose result is platform-defined.
+func TestPercentileNaNPPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile(xs, NaN) did not panic")
+		}
+	}()
+	Percentile([]float64{1, 2, 3}, math.NaN())
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{0.5, 1.5, 2.0})
 	if s.N != 3 || s.Max != 2.0 || s.Min != 0.5 {
