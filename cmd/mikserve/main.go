@@ -54,6 +54,7 @@ func main() {
 		faultRate   = flag.Float64("fault-rate", 0, "injected transient task-fault probability [0,1]")
 		faultSeed   = flag.Uint64("fault-seed", 1, "fault injection seed")
 		dropPEs     = flag.Int("drop-pes", 0, "number of simulated dead PEs")
+		chaosSeed   = flag.Uint64("chaos-seed", 0, "run under a seeded chaos schedule (PE death, sticky faults, brownouts); 0 disables")
 		library     = flag.String("library", "", "load the micro-kernel library from this file instead of tuning (falls back to tuning if unreadable)")
 		saveLibrary = flag.String("save-library", "", "after tuning, save the micro-kernel library to this file")
 		planAhead   = flag.Int("plan-ahead", 2, "graph-runtime plan-ahead depth for /model (<= 0 = sequential inline planning)")
@@ -92,7 +93,13 @@ func main() {
 	} else {
 		cfg.PlanAhead = *planAhead
 	}
-	if *faultRate > 0 || *dropPEs > 0 {
+	switch {
+	case *chaosSeed != 0:
+		f := sim.ChaosSchedule(*chaosSeed, h)
+		cfg.Faults = &f
+		log.Printf("mikserve: chaos schedule enabled (seed=%d): PE death %v, sticky %v, brownout %v, task fault rate %g",
+			*chaosSeed, f.PEDeathCycle, f.StickyFaults, f.Brownout != nil, f.TaskFaultRate)
+	case *faultRate > 0 || *dropPEs > 0:
 		f := &sim.Faults{Seed: *faultSeed, TaskFaultRate: *faultRate}
 		for pe := 0; pe < *dropPEs && pe < h.NumPEs; pe++ {
 			f.DropPEs = append(f.DropPEs, pe)
@@ -177,13 +184,11 @@ func loadOrTune(h hw.Hardware, libPath, savePath string, cacheCap int) *tune.Lib
 	return lib
 }
 
+// loadLibrary restores a checksummed library artifact. tune.LoadFile rejects
+// truncated or bit-rotted files, so a corrupted artifact falls back to
+// retuning in loadOrTune instead of serving from damaged models.
 func loadLibrary(h hw.Hardware, path string) (*tune.Library, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	lib, err := tune.Load(f)
+	lib, err := tune.LoadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -193,14 +198,8 @@ func loadLibrary(h hw.Hardware, path string) (*tune.Library, error) {
 	return lib, nil
 }
 
+// saveLibraryFile persists the tuned library crash-safely (temp file, fsync,
+// atomic rename) with an integrity trailer.
 func saveLibraryFile(lib *tune.Library, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := lib.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return tune.SaveFile(lib, path)
 }

@@ -18,8 +18,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"mikpoly/internal/engine"
+	"mikpoly/internal/health"
 	"mikpoly/internal/hw"
 	"mikpoly/internal/obs"
 	"mikpoly/internal/poly"
@@ -34,12 +36,28 @@ type Compiler struct {
 	planner *poly.Planner
 
 	// planFn is the planner invocation; a seam tests use to inject slow or
-	// panicking planners.
-	planFn func(ctx context.Context, shape tensor.GemmShape) (*poly.Program, poly.PlanStats, error)
+	// panicking planners. fp is the health fingerprint of the hardware
+	// view the plan targets ("" = pristine H).
+	planFn func(ctx context.Context, shape tensor.GemmShape, fp string) (*poly.Program, poly.PlanStats, error)
+
+	// hreg, when non-nil, supplies the degraded hardware view H' the
+	// online stage plans against. Nil means the pristine H always.
+	hreg *health.Registry
 
 	mu       sync.Mutex
 	cache    *lruCache
-	inflight map[tensor.GemmShape]*planCall
+	inflight map[cacheKey]*planCall
+
+	// planners maps health fingerprints to planners targeting the
+	// corresponding H' (sharing the offline library's kernels and fitted
+	// models); "" is the base planner. Bounded: distinct degraded views
+	// are few in practice, but a pathological fault stream must not grow
+	// this without bound.
+	planners map[string]*poly.Planner
+
+	// lastGen is the health-view generation the compiler last saw;
+	// a change triggers background replanning of the hot working set.
+	lastGen uint64
 
 	// aggregate online-stage statistics (Fig. 12a accounting)
 	planCount int
@@ -48,6 +66,8 @@ type Compiler struct {
 	// robustness counters
 	fallbacks     int64
 	plannerPanics int64
+	replans       int64
+	degradedPlans int64
 
 	// observability (nil-safe no-ops when WithObs was not given)
 	o            *obs.Obs
@@ -74,6 +94,14 @@ type Option func(*Compiler)
 // DefaultCacheCapacity). Values < 1 select the default.
 func WithCacheCapacity(n int) Option {
 	return func(c *Compiler) { c.cache = newLRU(n) }
+}
+
+// WithHealth attaches a health registry: every plan targets the registry's
+// current degraded view H' instead of the pristine H, the program cache is
+// keyed by (shape, view fingerprint), and a view change triggers background
+// replanning of the hot shapes (see SetHealth).
+func WithHealth(reg *health.Registry) Option {
+	return func(c *Compiler) { c.hreg = reg }
 }
 
 // WithObs attaches an observability bundle: the planner records search spans
@@ -115,13 +143,84 @@ func NewCompilerFromLibrary(lib *tune.Library, opts ...Option) *Compiler {
 		lib:      lib,
 		planner:  poly.NewPlanner(lib),
 		cache:    newLRU(DefaultCacheCapacity),
-		inflight: make(map[tensor.GemmShape]*planCall),
+		inflight: make(map[cacheKey]*planCall),
+		planners: make(map[string]*poly.Planner),
 	}
-	c.planFn = c.planner.PlanContext
+	c.planners[""] = c.planner
+	c.planFn = func(ctx context.Context, shape tensor.GemmShape, fp string) (*poly.Program, poly.PlanStats, error) {
+		return c.plannerByFP(fp).PlanContext(ctx, shape)
+	}
 	for _, o := range opts {
 		o(c)
 	}
 	return c
+}
+
+// SetHealth attaches (or replaces) the health registry after construction —
+// the serving layer wires one registry across compiler, runtime and
+// handlers. Passing nil restores pristine-only planning.
+func (c *Compiler) SetHealth(reg *health.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hreg = reg
+	c.lastGen = 0
+}
+
+// currentView snapshots the health view and its fingerprint ("" and the
+// zero view when no registry is attached).
+func (c *Compiler) currentView() (health.View, string) {
+	if c.hreg == nil {
+		return health.View{}, ""
+	}
+	v := c.hreg.View()
+	return v, v.Fingerprint()
+}
+
+// plannersCap bounds the per-fingerprint planner map.
+const plannersCap = 16
+
+// plannerForView returns (building if needed) the planner targeting the
+// view's degraded hardware. The degraded planner inherits the base
+// planner's search configuration — cost model, pattern subset, pruning and
+// tracing — and shares the offline library's kernels and models; only the
+// hardware abstraction differs.
+func (c *Compiler) plannerForView(v health.View, fp string) *poly.Planner {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.planners[fp]; ok {
+		return p
+	}
+	if len(c.planners) >= plannersCap {
+		// Degenerate fault churn: keep only the base planner. Dropping
+		// degraded planners is safe — they are derived state.
+		for k := range c.planners {
+			if k != "" {
+				delete(c.planners, k)
+			}
+		}
+	}
+	base := c.planners[""]
+	p := poly.NewPlanner(c.lib.WithHardware(v.Apply(c.lib.HW)))
+	p.Patterns = base.Patterns
+	p.Cost = base.Cost
+	p.DisablePruning = base.DisablePruning
+	p.EnableSplitK = base.EnableSplitK
+	p.Trace = base.Trace
+	c.planners[fp] = p
+	return p
+}
+
+// plannerByFP resolves a fingerprint to an already-built planner, falling
+// back to the base planner — the plan path materializes the planner via
+// plannerForView before invoking planFn, so the fallback only triggers for
+// injected planFn seams.
+func (c *Compiler) plannerByFP(fp string) *poly.Planner {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.planners[fp]; ok {
+		return p
+	}
+	return c.planners[""]
 }
 
 // Name implements the baseline.Planner interface for head-to-head reports.
@@ -146,11 +245,21 @@ func (c *Compiler) ClearCache() {
 }
 
 // Invalidate drops the cached program for one shape — e.g. after an
-// execution fault report — so the next request re-plans it.
+// execution fault report — so the next request re-plans it. The shape is
+// dropped under every health fingerprint.
 func (c *Compiler) Invalidate(shape tensor.GemmShape) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.cache.remove(shape)
+	c.cache.removeShape(shape)
+}
+
+// Cached reports whether a program for (shape, health fingerprint) is
+// currently cached, without affecting recency or hit/miss counters. The
+// chaos harness uses it to assert healthy↔degraded cache isolation.
+func (c *Compiler) Cached(shape tensor.GemmShape, fp string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cache.peek(cacheKey{shape: shape, fp: fp})
 }
 
 // CacheStats reports the program cache bound and cumulative hit/miss/eviction
@@ -168,13 +277,24 @@ type HealthStats struct {
 	Fallbacks int64
 	// PlannerPanics counts planner panics converted into errors.
 	PlannerPanics int64
+	// Replans counts background replanning invocations triggered by
+	// health-view changes.
+	Replans int64
+	// DegradedPlans counts leader plans performed against a non-pristine
+	// hardware view.
+	DegradedPlans int64
 }
 
 // Health returns the cumulative robustness counters.
 func (c *Compiler) Health() HealthStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return HealthStats{Fallbacks: c.fallbacks, PlannerPanics: c.plannerPanics}
+	return HealthStats{
+		Fallbacks:     c.fallbacks,
+		PlannerPanics: c.plannerPanics,
+		Replans:       c.replans,
+		DegradedPlans: c.degradedPlans,
+	}
 }
 
 // Plan returns the optimized program S* for a runtime shape, caching per
@@ -188,18 +308,28 @@ func (c *Compiler) Plan(shape tensor.GemmShape) (*poly.Program, error) {
 // cancelled when ctx expires. Concurrent calls for the same uncached shape
 // coalesce into a single planner invocation (singleflight); waiters whose
 // own context outlives a leader that died of its context retry as the new
-// leader.
+// leader. The plan targets the health registry's current degraded view (the
+// pristine H without a registry), and the cache key carries the view's
+// fingerprint so health transitions never serve a stale-mode program.
 func (c *Compiler) PlanContext(ctx context.Context, shape tensor.GemmShape) (*poly.Program, error) {
+	v, fp := c.currentView()
+	c.maybeReplanOnChange(v, fp)
+	return c.planForView(ctx, shape, v, fp)
+}
+
+// planForView is the cached singleflight plan path against one pinned view.
+func (c *Compiler) planForView(ctx context.Context, shape tensor.GemmShape, v health.View, fp string) (*poly.Program, error) {
 	if !shape.Valid() {
 		return nil, fmt.Errorf("core: invalid shape %v", shape)
 	}
+	key := cacheKey{shape: shape, fp: fp}
 	for {
 		c.mu.Lock()
-		if prog, ok := c.cache.get(shape); ok {
+		if prog, ok := c.cache.get(key); ok {
 			c.mu.Unlock()
 			return prog, nil
 		}
-		if call, ok := c.inflight[shape]; ok {
+		if call, ok := c.inflight[key]; ok {
 			c.mu.Unlock()
 			select {
 			case <-call.done:
@@ -215,19 +345,26 @@ func (c *Compiler) PlanContext(ctx context.Context, shape tensor.GemmShape) (*po
 			}
 		}
 		call := &planCall{done: make(chan struct{})}
-		c.inflight[shape] = call
+		c.inflight[key] = call
 		c.mu.Unlock()
 
-		prog, stats, err := c.planIsolated(ctx, shape)
+		// Materialize the view's planner before planFn runs, so the
+		// default planFn (and any injected seam that cares) can resolve
+		// fp without re-deriving the view.
+		c.plannerForView(v, fp)
+		prog, stats, err := c.planIsolated(ctx, shape, fp)
 
 		c.mu.Lock()
-		delete(c.inflight, shape)
+		delete(c.inflight, key)
 		if err == nil {
-			c.cache.add(shape, prog)
+			c.cache.add(key, prog)
 			c.planCount++
 			c.planStats.Candidates += stats.Candidates
 			c.planStats.PrunedAnchors += stats.PrunedAnchors
 			c.planStats.Elapsed += stats.Elapsed
+			if fp != "" {
+				c.degradedPlans++
+			}
 		}
 		c.mu.Unlock()
 
@@ -237,6 +374,48 @@ func (c *Compiler) PlanContext(ctx context.Context, shape tensor.GemmShape) (*po
 	}
 }
 
+// replanLimit bounds how many hot shapes a health-view change replans in the
+// background; replanTimeout bounds each replan.
+const (
+	replanLimit   = 8
+	replanTimeout = 2 * time.Second
+)
+
+// maybeReplanOnChange detects a health-view generation change and kicks off
+// background replanning of the most recently used cached shapes against the
+// new view. Requests arriving meanwhile are not blocked: they either hit the
+// freshly planned (shape, fp) entries or plan on demand — and until a
+// degraded plan lands, PlanOrFallback still answers with the always-legal
+// program.
+func (c *Compiler) maybeReplanOnChange(v health.View, fp string) {
+	if c.hreg == nil {
+		return
+	}
+	c.mu.Lock()
+	if v.Generation == c.lastGen {
+		c.mu.Unlock()
+		return
+	}
+	c.lastGen = v.Generation
+	shapes := c.cache.shapesMRU(replanLimit)
+	c.mu.Unlock()
+	if len(shapes) == 0 {
+		return
+	}
+	go func() {
+		for _, s := range shapes {
+			ctx, cancel := context.WithTimeout(context.Background(), replanTimeout)
+			_, err := c.planForView(ctx, s, v, fp)
+			cancel()
+			c.mu.Lock()
+			if err == nil {
+				c.replans++
+			}
+			c.mu.Unlock()
+		}
+	}()
+}
+
 func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
@@ -244,7 +423,7 @@ func isCtxErr(err error) bool {
 // planIsolated runs the planner with panic isolation: a panicking planner
 // (corrupted library, cost-model bug) becomes an error the serving layer can
 // degrade on, instead of killing the process.
-func (c *Compiler) planIsolated(ctx context.Context, shape tensor.GemmShape) (prog *poly.Program, stats poly.PlanStats, err error) {
+func (c *Compiler) planIsolated(ctx context.Context, shape tensor.GemmShape, fp string) (prog *poly.Program, stats poly.PlanStats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.mu.Lock()
@@ -256,7 +435,7 @@ func (c *Compiler) planIsolated(ctx context.Context, shape tensor.GemmShape) (pr
 	}()
 	ctx, sp := c.o.T().Start(ctx, "core.plan")
 	defer sp.End()
-	prog, stats, err = c.planFn(ctx, shape)
+	prog, stats, err = c.planFn(ctx, shape, fp)
 	if err == nil {
 		c.planTotal.Inc()
 		c.planLatency.Observe(stats.Elapsed.Seconds())
@@ -273,14 +452,19 @@ func (c *Compiler) planIsolated(ctx context.Context, shape tensor.GemmShape) (pr
 // programs are not cached, so a later request retries full polymerization.
 // Only an invalid shape or an unusable library yields an error.
 func (c *Compiler) PlanOrFallback(ctx context.Context, shape tensor.GemmShape) (prog *poly.Program, degraded bool, err error) {
-	prog, err = c.PlanContext(ctx, shape)
+	v, fp := c.currentView()
+	c.maybeReplanOnChange(v, fp)
+	prog, err = c.planForView(ctx, shape, v, fp)
 	if err == nil {
 		return prog, false, nil
 	}
 	if !shape.Valid() {
 		return nil, false, err
 	}
-	fb, ferr := poly.FallbackProgram(c.lib, shape)
+	// The fallback is built against the same view the failed plan
+	// targeted: single-kernel legality is shape-local, and its wave count
+	// should price the hardware that will actually run it.
+	fb, ferr := poly.FallbackProgram(c.plannerForView(v, fp).Lib, shape)
 	if ferr != nil {
 		return nil, false, errors.Join(err, ferr)
 	}
@@ -298,9 +482,10 @@ func (c *Compiler) PlanUncached(shape tensor.GemmShape) (*poly.Program, poly.Pla
 }
 
 // PlanUncachedContext is PlanUncached under a caller-supplied context, with
-// the same panic isolation as the cached path.
+// the same panic isolation as the cached path. It always targets the
+// pristine H — overhead measurements want the paper's configuration.
 func (c *Compiler) PlanUncachedContext(ctx context.Context, shape tensor.GemmShape) (*poly.Program, poly.PlanStats, error) {
-	return c.planIsolated(ctx, shape)
+	return c.planIsolated(ctx, shape, "")
 }
 
 // PlanStats returns the number of online plans performed and their summed

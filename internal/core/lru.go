@@ -26,12 +26,28 @@ type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	// Degraded is the number of cached programs planned against a
+	// non-healthy hardware view (fingerprint != ""). Healthy and degraded
+	// plans for the same shape are distinct entries — the cache never
+	// serves one health mode a program planned for another.
+	Degraded int `json:"degraded"`
 }
 
-// lruEntry is one cached program keyed by its shape.
-type lruEntry struct {
+// cacheKey identifies a cached program: the runtime shape plus the health
+// fingerprint of the hardware view it was planned against ("" = pristine).
+// Keying on both is what prevents cache poisoning across health transitions:
+// a program polymerized for 107 live PEs must never be served once PE 31 is
+// quarantined, and the healthy plan must come back verbatim once the view
+// recovers.
+type cacheKey struct {
 	shape tensor.GemmShape
-	prog  *poly.Program
+	fp    string
+}
+
+// lruEntry is one cached program keyed by (shape, health fingerprint).
+type lruEntry struct {
+	key  cacheKey
+	prog *poly.Program
 }
 
 // lruCache is a bounded least-recently-used program cache. It is not
@@ -39,9 +55,10 @@ type lruEntry struct {
 type lruCache struct {
 	capacity int
 	ll       *list.List // front = most recently used
-	items    map[tensor.GemmShape]*list.Element
+	items    map[cacheKey]*list.Element
 
 	hits, misses, evictions int64
+	degraded                int
 }
 
 func newLRU(capacity int) *lruCache {
@@ -51,13 +68,13 @@ func newLRU(capacity int) *lruCache {
 	return &lruCache{
 		capacity: capacity,
 		ll:       list.New(),
-		items:    make(map[tensor.GemmShape]*list.Element, capacity),
+		items:    make(map[cacheKey]*list.Element, capacity),
 	}
 }
 
-// get returns the cached program for shape and refreshes its recency.
-func (c *lruCache) get(shape tensor.GemmShape) (*poly.Program, bool) {
-	el, ok := c.items[shape]
+// get returns the cached program for key and refreshes its recency.
+func (c *lruCache) get(key cacheKey) (*poly.Program, bool) {
+	el, ok := c.items[key]
 	if !ok {
 		c.misses++
 		return nil, false
@@ -67,35 +84,83 @@ func (c *lruCache) get(shape tensor.GemmShape) (*poly.Program, bool) {
 	return el.Value.(*lruEntry).prog, true
 }
 
+// peek reports whether key is cached without touching recency or counters.
+func (c *lruCache) peek(key cacheKey) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
 // add inserts (or refreshes) a program, evicting the least recently used
 // entry when the bound is exceeded.
-func (c *lruCache) add(shape tensor.GemmShape, prog *poly.Program) {
-	if el, ok := c.items[shape]; ok {
+func (c *lruCache) add(key cacheKey, prog *poly.Program) {
+	if el, ok := c.items[key]; ok {
 		el.Value.(*lruEntry).prog = prog
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[shape] = c.ll.PushFront(&lruEntry{shape: shape, prog: prog})
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, prog: prog})
+	if key.fp != "" {
+		c.degraded++
+	}
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry).shape)
+		k := oldest.Value.(*lruEntry).key
+		delete(c.items, k)
+		if k.fp != "" {
+			c.degraded--
+		}
 		c.evictions++
 	}
 }
 
-// remove drops one shape if present.
-func (c *lruCache) remove(shape tensor.GemmShape) {
-	if el, ok := c.items[shape]; ok {
+// remove drops one key if present.
+func (c *lruCache) remove(key cacheKey) {
+	if el, ok := c.items[key]; ok {
 		c.ll.Remove(el)
-		delete(c.items, shape)
+		delete(c.items, key)
+		if key.fp != "" {
+			c.degraded--
+		}
 	}
+}
+
+// removeShape drops the shape's entries under every health fingerprint — an
+// execution-fault invalidation must not leave a stale plan behind in any
+// health mode.
+func (c *lruCache) removeShape(shape tensor.GemmShape) {
+	for key, el := range c.items {
+		if key.shape == shape {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			if key.fp != "" {
+				c.degraded--
+			}
+		}
+	}
+}
+
+// shapesMRU returns up to limit distinct shapes in most-recently-used order
+// — the working set worth replanning proactively when the health view
+// changes.
+func (c *lruCache) shapesMRU(limit int) []tensor.GemmShape {
+	seen := make(map[tensor.GemmShape]bool)
+	var out []tensor.GemmShape
+	for el := c.ll.Front(); el != nil && len(out) < limit; el = el.Next() {
+		s := el.Value.(*lruEntry).key.shape
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // clear drops every entry, keeping the cumulative counters.
 func (c *lruCache) clear() {
 	c.ll.Init()
-	c.items = make(map[tensor.GemmShape]*list.Element, c.capacity)
+	c.items = make(map[cacheKey]*list.Element, c.capacity)
+	c.degraded = 0
 }
 
 func (c *lruCache) len() int { return c.ll.Len() }
@@ -107,5 +172,6 @@ func (c *lruCache) stats() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		Degraded:  c.degraded,
 	}
 }

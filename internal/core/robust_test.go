@@ -65,16 +65,19 @@ func TestLRURecencyOrder(t *testing.T) {
 	sa := tensor.GemmShape{M: 1, N: 1, K: 1}
 	sb := tensor.GemmShape{M: 2, N: 2, K: 2}
 	sc := tensor.GemmShape{M: 3, N: 3, K: 3}
-	l.add(sa, pa)
-	l.add(sb, pb)
-	if _, ok := l.get(sa); !ok { // refresh a: b becomes LRU
+	ka := cacheKey{shape: sa}
+	kb := cacheKey{shape: sb}
+	kc := cacheKey{shape: sc}
+	l.add(ka, pa)
+	l.add(kb, pb)
+	if _, ok := l.get(ka); !ok { // refresh a: b becomes LRU
 		t.Fatal("a missing")
 	}
-	l.add(sc, pc) // evicts b
-	if _, ok := l.get(sb); ok {
+	l.add(kc, pc) // evicts b
+	if _, ok := l.get(kb); ok {
 		t.Fatal("b should have been evicted")
 	}
-	if _, ok := l.get(sa); !ok {
+	if _, ok := l.get(ka); !ok {
 		t.Fatal("a should have survived")
 	}
 	if got := l.stats(); got.Evictions != 1 || got.Size != 2 {
@@ -92,10 +95,10 @@ func TestSingleflightDedupsConcurrentPlans(t *testing.T) {
 	var invocations atomic.Int32
 	gate := make(chan struct{})
 	real := c.planFn
-	c.planFn = func(ctx context.Context, s tensor.GemmShape) (*poly.Program, poly.PlanStats, error) {
+	c.planFn = func(ctx context.Context, s tensor.GemmShape, fp string) (*poly.Program, poly.PlanStats, error) {
 		invocations.Add(1)
 		<-gate
-		return real(ctx, s)
+		return real(ctx, s, fp)
 	}
 
 	shape := tensor.GemmShape{M: 123, N: 45, K: 67}
@@ -144,13 +147,13 @@ func TestPlanContextDeadlineAndWaiterRetry(t *testing.T) {
 	var invocations atomic.Int32
 	leaderIn := make(chan struct{})
 	real := c.planFn
-	c.planFn = func(ctx context.Context, s tensor.GemmShape) (*poly.Program, poly.PlanStats, error) {
+	c.planFn = func(ctx context.Context, s tensor.GemmShape, fp string) (*poly.Program, poly.PlanStats, error) {
 		if invocations.Add(1) == 1 {
 			close(leaderIn)
 			<-ctx.Done() // simulate a search outliving the leader's deadline
 			return nil, poly.PlanStats{}, ctx.Err()
 		}
-		return real(ctx, s)
+		return real(ctx, s, fp)
 	}
 	shape := tensor.GemmShape{M: 99, N: 88, K: 77}
 	leaderCtx, leaderCancel := context.WithCancel(context.Background())
@@ -181,7 +184,7 @@ func TestPlanContextDeadlineAndWaiterRetry(t *testing.T) {
 
 func TestPanicIsolation(t *testing.T) {
 	c := newTestCompiler(t)
-	c.planFn = func(ctx context.Context, s tensor.GemmShape) (*poly.Program, poly.PlanStats, error) {
+	c.planFn = func(ctx context.Context, s tensor.GemmShape, fp string) (*poly.Program, poly.PlanStats, error) {
 		panic("cost model exploded")
 	}
 	_, err := c.Plan(tensor.GemmShape{M: 10, N: 10, K: 10})
@@ -227,7 +230,7 @@ func TestPlanOrFallbackDegradesGracefully(t *testing.T) {
 	}
 
 	// Panicking planner: fallback too.
-	c.planFn = func(ctx context.Context, s tensor.GemmShape) (*poly.Program, poly.PlanStats, error) {
+	c.planFn = func(ctx context.Context, s tensor.GemmShape, fp string) (*poly.Program, poly.PlanStats, error) {
 		panic("boom")
 	}
 	if _, degraded, err := c.PlanOrFallback(context.Background(), tensor.GemmShape{M: 5, N: 5, K: 5}); err != nil || !degraded {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"mikpoly/internal/core"
+	"mikpoly/internal/health"
 	"mikpoly/internal/hw"
 	"mikpoly/internal/nn"
 	"mikpoly/internal/obs"
@@ -58,6 +59,17 @@ type Config struct {
 	// Obs optionally attaches tracing to graph execution; nil (the
 	// default) runs unobserved at zero cost.
 	Obs *obs.Obs
+
+	// Health, when non-nil, turns on stage-level self-healing: every
+	// stage executes against the registry's current degraded view, stage
+	// outcomes feed the registry, and a dirty stage walks the escalation
+	// ladder (retry-in-place -> migrate to H' -> replan on H' -> typed
+	// StageError) instead of surfacing faults to the caller.
+	Health *health.Registry
+
+	// MaxStageAttempts bounds total executions of one stage, the initial
+	// run included (default 4: one rung of the ladder each).
+	MaxStageAttempts int
 }
 
 // Runtime executes model graphs against one compiler and its hardware.
@@ -73,9 +85,11 @@ type Runtime struct {
 	planFn func(ctx context.Context, shape tensor.GemmShape) (*poly.Program, bool, error)
 
 	// simFn executes one stage's task batch; a seam the serve layer uses
-	// for fault injection and tests use for slow devices. Defaults to
-	// sim.Run (salt ignored).
-	simFn func(h hw.Hardware, tasks []sim.Task, salt uint64) sim.Result
+	// for fault injection and tests use for slow devices. v is the health
+	// view the stage runs under, so injected fault schedules can be
+	// remapped onto the shrunken survivor numbering. Defaults to sim.Run
+	// (salt and view ignored).
+	simFn func(h hw.Hardware, v health.View, tasks []sim.Task, salt uint64) sim.Result
 
 	mu       sync.Mutex
 	agg      Stats
@@ -83,13 +97,12 @@ type Runtime struct {
 }
 
 // simEntry caches one stage's simulated execution within a salt generation.
-// peBusy is retained so memoized replays still accumulate per-PE utilization
-// — the counters reflect what the device did, not what the memo saved.
+// The full Result is retained: memoized replays still accumulate per-PE
+// utilization, and the recovery ladder needs the fault breakdown (faulted,
+// stranded, dead PEs) when a cached dirty stage replays.
 type simEntry struct {
-	salt    uint64
-	cycles  float64
-	faulted int
-	peBusy  []float64
+	salt uint64
+	res  sim.Result
 }
 
 // Stats are the runtime's cumulative counters, aggregated across Execute
@@ -108,8 +121,14 @@ type Stats struct {
 	PlanWall, StallWall, HiddenWall time.Duration
 	// Degraded counts ops answered with the fallback program.
 	Degraded int64
-	// FaultedTasks accumulates simulator-reported faulted tasks.
+	// FaultedTasks accumulates simulator-reported faulted tasks that the
+	// runtime could not absorb (no recovery, or recovery exhausted).
 	FaultedTasks int64
+	// Stage-recovery ladder counters: stages that recovered via an
+	// in-place retry, by migrating onto the degraded view, or by
+	// replanning their ops against it — and stages that exhausted the
+	// ladder.
+	RetriedStages, MigratedStages, ReplannedStages, UnrecoverableStages int64
 	// Cycles and SpillBytes accumulate end-to-end device cycles and
 	// memory-planner spill traffic.
 	Cycles     float64
@@ -162,6 +181,12 @@ type Report struct {
 	Degraded     int
 	FaultedTasks int
 
+	// RecoveredStages counts stages that hit faults but were healed by
+	// the recovery ladder; RecoveredFaults the faulted tasks absorbed
+	// doing so (not included in FaultedTasks).
+	RecoveredStages int
+	RecoveredFaults int
+
 	Mem MemReport
 }
 
@@ -174,8 +199,16 @@ func (r Report) HiddenFraction() float64 {
 	return float64(r.HiddenWall) / float64(r.PlanWall)
 }
 
-// New builds a runtime over a ready compiler.
+// New builds a runtime over a ready compiler. When cfg.Health is set it is
+// also attached to the compiler, so planning and execution share one view of
+// the degrading device.
 func New(comp *core.Compiler, cfg Config) *Runtime {
+	if cfg.MaxStageAttempts <= 0 {
+		cfg.MaxStageAttempts = 4
+	}
+	if cfg.Health != nil {
+		comp.SetHealth(cfg.Health)
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = cfg.PlanAhead
 		if cfg.Workers > 4 {
@@ -201,7 +234,7 @@ func New(comp *core.Compiler, cfg Config) *Runtime {
 		}
 		return comp.PlanOrFallback(pctx, shape)
 	}
-	r.simFn = func(h hw.Hardware, tasks []sim.Task, salt uint64) sim.Result {
+	r.simFn = func(h hw.Hardware, v health.View, tasks []sim.Task, salt uint64) sim.Result {
 		return sim.Run(h, tasks)
 	}
 	return r
@@ -214,9 +247,24 @@ func (r *Runtime) Compiler() *core.Compiler { return r.comp }
 func (r *Runtime) Hardware() hw.Hardware { return r.h }
 
 // SetSimulator overrides stage execution (fault injection in the serving
-// layer). fn must be deterministic for a given (tasks, salt).
-func (r *Runtime) SetSimulator(fn func(h hw.Hardware, tasks []sim.Task, salt uint64) sim.Result) {
+// layer). fn must be deterministic for a given (h, v, tasks, salt).
+func (r *Runtime) SetSimulator(fn func(h hw.Hardware, v health.View, tasks []sim.Task, salt uint64) sim.Result) {
 	r.simFn = fn
+}
+
+// healthView snapshots the registry's current view together with its
+// fingerprint and the effective hardware H' a stage should run on. Without a
+// registry the pristine device is returned.
+func (r *Runtime) healthView() (health.View, string, hw.Hardware) {
+	if r.cfg.Health == nil {
+		return health.View{}, "", r.h
+	}
+	v := r.cfg.Health.View()
+	fp := v.Fingerprint()
+	if fp == "" {
+		return v, "", r.h
+	}
+	return v, fp, v.Apply(r.h)
 }
 
 // Stats returns the cumulative counters. The PEBusy slice is deep-copied:
@@ -283,7 +331,12 @@ func (r *Runtime) ExecuteSalted(ctx context.Context, g nn.Graph, salt uint64) (R
 	// span commits on a ~ms execution, busting the <2% overhead contract.
 	for si, stage := range stages {
 		var tasks []sim.Task
+		var ops []stageOp
 		stageKey := ""
+		// The health view is resolved per stage, not per graph: a PE
+		// quarantined while stage k executes shrinks the hardware stage
+		// k+1 runs on — mid-graph adaptation.
+		v, fp, hEff := r.healthView()
 		for _, i := range stage {
 			op := g.Ops[i]
 			if op.Kind == nn.OpOther {
@@ -294,16 +347,31 @@ func (r *Runtime) ExecuteSalted(ctx context.Context, g nn.Graph, salt uint64) (R
 			if err != nil {
 				return Report{}, fmt.Errorf("graphrt: graph %s op %s: %w", g.Name, op.Name, err)
 			}
-			single := t.prog.Tasks(r.h)
+			single := t.prog.Tasks(hEff)
 			for c := 0; c < op.Count; c++ {
 				tasks = append(tasks, single...)
 			}
+			ops = append(ops, stageOp{shape: op.Gemm, count: op.Count, prog: t.prog})
 			stageKey += progKey(t.prog, op.Count)
 		}
 		if len(tasks) > 0 {
-			cycles, faulted := r.runStageCached(ctx, si, stageKey, tasks, salt)
-			rep.GemmCycles += cycles
-			rep.FaultedTasks += faulted
+			res := r.runStageCached(ctx, si, stageKey, fp, hEff, v, tasks, salt)
+			r.observe(v, res)
+			switch {
+			case res.Clean():
+				// Healthy stage.
+			case r.cfg.Health != nil:
+				recovered, err := r.recoverStage(ctx, g, si, ops, stageKey, tasks, salt, res, &rep)
+				if err != nil {
+					return Report{}, err
+				}
+				res = recovered
+			default:
+				// No registry: surface faults; the layer above owns
+				// the (blind) retry policy.
+				rep.FaultedTasks += res.FaultedTasks + res.StrandedTasks
+			}
+			rep.GemmCycles += res.Cycles
 		}
 		if err := ctx.Err(); err != nil {
 			return Report{}, err

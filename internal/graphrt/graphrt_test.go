@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mikpoly/internal/core"
+	"mikpoly/internal/health"
 	"mikpoly/internal/hw"
 	"mikpoly/internal/nn"
 	"mikpoly/internal/poly"
@@ -31,7 +32,7 @@ func testRuntime(t *testing.T, cfg Config) *Runtime {
 func fastRuntime(t *testing.T, cfg Config) *Runtime {
 	t.Helper()
 	rt := testRuntime(t, cfg)
-	rt.simFn = func(h hw.Hardware, tasks []sim.Task, salt uint64) sim.Result {
+	rt.simFn = func(h hw.Hardware, v health.View, tasks []sim.Task, salt uint64) sim.Result {
 		return sim.Result{Cycles: float64(len(tasks)), NumTasks: len(tasks)}
 	}
 	return rt

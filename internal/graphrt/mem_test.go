@@ -176,7 +176,7 @@ func TestArenaReleaseGuards(t *testing.T) {
 		t.Fatalf("inUse %d after alloc, want 40", a.inUse)
 	}
 	mustPanic(t, "release with wrong size", func() { a.release(off, 30) })
-	mustPanic(t, "release of unallocated offset", func() { a.release(off + 1, 39) })
+	mustPanic(t, "release of unallocated offset", func() { a.release(off+1, 39) })
 	a.release(off, 40)
 	if a.inUse != 0 {
 		t.Fatalf("inUse %d after release, want 0", a.inUse)

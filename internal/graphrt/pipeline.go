@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"time"
 
+	"mikpoly/internal/health"
+	"mikpoly/internal/hw"
 	"mikpoly/internal/nn"
 	"mikpoly/internal/poly"
 	"mikpoly/internal/sim"
@@ -130,27 +132,30 @@ func progKey(p *poly.Program, count int) string {
 }
 
 // runStageCached executes one stage's co-scheduled task batch, memoizing by
-// (program identity, count) signature within a salt generation: model
+// (program identity, count, health fingerprint, salt) signature: model
 // graphs repeat the same operator stack across layers, and the simulator is
-// deterministic, so identical stages cost identical cycles. Only the memo
-// miss — the stage that actually hits the simulator — earns a span; replays
-// are aggregated into the parent graphrt.execute span's counters.
-func (r *Runtime) runStageCached(ctx context.Context, stage int, key string, tasks []sim.Task, salt uint64) (float64, int) {
-	key = fmt.Sprintf("%s#%d", key, salt)
+// deterministic, so identical stages under the same device view cost
+// identical cycles. The fingerprint in the key keeps healthy and degraded
+// executions strictly separated (no cross-contamination), and recovery
+// attempts always miss because their salts differ. Only the memo miss — the
+// stage that actually hits the simulator — earns a span; replays are
+// aggregated into the parent graphrt.execute span's counters.
+func (r *Runtime) runStageCached(ctx context.Context, stage int, key, fp string, h hw.Hardware, v health.View, tasks []sim.Task, salt uint64) sim.Result {
+	key = fmt.Sprintf("%s#%s#%d", key, fp, salt)
 	r.mu.Lock()
 	if e, ok := r.simCache[key]; ok && e.salt == salt {
 		r.accumulateStageLocked(e)
 		r.mu.Unlock()
-		return e.cycles, e.faulted
+		return e.res
 	}
 	r.mu.Unlock()
 
 	_, sp := r.o.T().Start(ctx, "graphrt.stage")
-	res := r.simFn(r.h, tasks, salt)
+	res := r.simFn(h, v, tasks, salt)
 	sp.Attr("stage", float64(stage)).Attr("tasks", float64(len(tasks))).
 		Attr("cycles", res.Cycles).End()
 
-	e := simEntry{salt: salt, cycles: res.Cycles, faulted: res.FaultedTasks, peBusy: res.PEBusy}
+	e := simEntry{salt: salt, res: res}
 	r.mu.Lock()
 	if len(r.simCache) >= simCacheCap {
 		// The cache is per-process scratch, not a correctness structure:
@@ -160,23 +165,26 @@ func (r *Runtime) runStageCached(ctx context.Context, stage int, key string, tas
 	r.simCache[key] = e
 	r.accumulateStageLocked(e)
 	r.mu.Unlock()
-	return res.Cycles, res.FaultedTasks
+	return res
 }
 
 // accumulateStageLocked folds one executed (or memo-replayed) stage into the
-// cumulative utilization counters. Callers hold r.mu. The cached peBusy
-// slice is only read, never aliased into agg.PEBusy.
+// cumulative utilization counters. Callers hold r.mu. The cached PEBusy
+// slice is only read, never aliased into agg.PEBusy. Degraded stages report
+// fewer PEs than healthy ones; the shorter series folds into the prefix, so
+// cumulative utilization reflects survivor positions — an accepted
+// approximation while quarantines are live.
 func (r *Runtime) accumulateStageLocked(e simEntry) {
-	r.agg.GemmStageCycles += e.cycles
-	if len(e.peBusy) == 0 {
+	r.agg.GemmStageCycles += e.res.Cycles
+	if len(e.res.PEBusy) == 0 {
 		return
 	}
-	if len(r.agg.PEBusy) < len(e.peBusy) {
-		grown := make([]float64, len(e.peBusy))
+	if len(r.agg.PEBusy) < len(e.res.PEBusy) {
+		grown := make([]float64, len(e.res.PEBusy))
 		copy(grown, r.agg.PEBusy)
 		r.agg.PEBusy = grown
 	}
-	for i, b := range e.peBusy {
+	for i, b := range e.res.PEBusy {
 		r.agg.PEBusy[i] += b
 	}
 }

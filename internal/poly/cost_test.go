@@ -93,7 +93,7 @@ func TestSplitKCostAgreement(t *testing.T) {
 		shape := tensor.GemmShape{
 			M: 1 + rng.Intn(64),
 			N: 1 + rng.Intn(64),
-			K: 256 + rng.Intn(1 << 17),
+			K: 256 + rng.Intn(1<<17),
 		}
 		prog, _, err := p.Plan(shape)
 		if err != nil {

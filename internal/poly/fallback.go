@@ -34,6 +34,7 @@ func FallbackProgram(lib *tune.Library, shape tensor.GemmShape) (*Program, error
 		Shape:   shape,
 		Pattern: PatternI,
 		Regions: []Region{{M0: 0, N0: 0, M: shape.M, N: shape.N, K: shape.K, Kern: best}},
+		HW:      lib.HW,
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, fmt.Errorf("poly: fallback program invalid: %w", err)

@@ -268,6 +268,7 @@ func (p *Planner) PlanContext(ctx context.Context, shape tensor.GemmShape) (*Pro
 	if err != nil {
 		return nil, stats, fmt.Errorf("poly: planned program invalid: %w", err)
 	}
+	best.HW = p.Lib.HW
 	stats.Elapsed = time.Since(start)
 	return best, stats, nil
 }

@@ -82,6 +82,14 @@ type Program struct {
 	// EstimatedCost is the planner's cost-model value (cycles); zero for
 	// hand-built programs.
 	EstimatedCost float64
+
+	// HW is the hardware abstraction the program was planned against —
+	// the pristine H, or a degraded H' with quarantined PEs removed and
+	// bandwidth derated. Execution layers simulate the program on this
+	// abstraction, not the pristine device, so a degraded-mode plan runs
+	// on the hardware it was priced for. Zero (NumPEs == 0) for
+	// hand-built programs; callers fall back to their own device then.
+	HW hw.Hardware
 }
 
 // Validate checks that the regions are well-formed and exactly partition the

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBackoffJitterBounds samples every attempt many times: equal jitter
+// guarantees delay(n) ∈ [exp(n)/2, exp(n)] where exp(n) is the capped
+// exponential — never zero, never above the cap.
+func TestBackoffJitterBounds(t *testing.T) {
+	const base, max = 5 * time.Millisecond, 40 * time.Millisecond
+	b := newBackoff(base, max, 7)
+	for attempt := 0; attempt < 10; attempt++ {
+		exp := base << attempt
+		if exp > max || exp <= 0 {
+			exp = max
+		}
+		for i := 0; i < 200; i++ {
+			d := b.delay(attempt)
+			if d < exp/2 || d > exp {
+				t.Fatalf("attempt %d sample %d: delay %v outside [%v, %v]", attempt, i, d, exp/2, exp)
+			}
+		}
+	}
+}
+
+// TestBackoffMonotonicCap pins the cap behaviour: the deterministic half of
+// the delay grows monotonically with the attempt number until it reaches
+// max/2 and then stays flat — including attempt numbers large enough to
+// overflow a naive 1<<n computation.
+func TestBackoffMonotonicCap(t *testing.T) {
+	const base, max = time.Millisecond, 64 * time.Millisecond
+	b := newBackoff(base, max, 1)
+	prevFloor := time.Duration(0)
+	for _, attempt := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 16, 32, 63, 64, 1 << 20} {
+		d := b.delay(attempt)
+		if d > max {
+			t.Fatalf("attempt %d: delay %v exceeds cap %v", attempt, d, max)
+		}
+		// The deterministic floor is half the capped exponential; it must
+		// never shrink as attempts grow.
+		floor := base << attempt
+		if attempt >= 6 || floor > max || floor <= 0 {
+			floor = max
+		}
+		floor /= 2
+		if d < floor {
+			t.Fatalf("attempt %d: delay %v below deterministic floor %v", attempt, d, floor)
+		}
+		if floor < prevFloor {
+			t.Fatalf("attempt %d: floor %v regressed below %v", attempt, floor, prevFloor)
+		}
+		prevFloor = floor
+	}
+	// Saturated attempts must draw from the same [max/2, max] band.
+	for i := 0; i < 100; i++ {
+		if d := b.delay(1 << 30); d < max/2 || d > max {
+			t.Fatalf("saturated delay %v outside [%v, %v]", d, max/2, max)
+		}
+	}
+}
+
+// TestBackoffSeedDeterminism: the full delay sequence is a pure function of
+// (base, max, seed); replaying the same seed replays the same schedule.
+func TestBackoffSeedDeterminism(t *testing.T) {
+	seq := func(seed uint64) []time.Duration {
+		b := newBackoff(3*time.Millisecond, 24*time.Millisecond, seed)
+		out := make([]time.Duration, 12)
+		for i := range out {
+			out[i] = b.delay(i % 5)
+		}
+		return out
+	}
+	a, b2 := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b2[i] {
+			t.Fatalf("step %d: same seed diverged: %v vs %v", i, a[i], b2[i])
+		}
+	}
+	c := seq(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 12-step schedules")
+	}
+}
+
+// TestBackoffConstructorClamps: non-positive base defaults to 1ms and a max
+// below base is raised to base, so the zero-config server can never spin in
+// a zero-delay retry loop.
+func TestBackoffConstructorClamps(t *testing.T) {
+	b := newBackoff(0, 0, 1)
+	if b.base != time.Millisecond || b.max != time.Millisecond {
+		t.Fatalf("zero config -> base=%v max=%v, want 1ms/1ms", b.base, b.max)
+	}
+	b = newBackoff(10*time.Millisecond, time.Millisecond, 1)
+	if b.max != 10*time.Millisecond {
+		t.Fatalf("max below base not clamped: %v", b.max)
+	}
+	for i := 0; i < 50; i++ {
+		if d := b.delay(i); d <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", i, d)
+		}
+	}
+}
+
+// TestBackoffSleepHonorsContext: an expired context aborts the wait with the
+// context's error instead of sleeping out the delay.
+func TestBackoffSleepHonorsContext(t *testing.T) {
+	b := newBackoff(time.Hour, time.Hour, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := b.sleep(ctx, 3); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("sleep ignored the dead context")
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one model's circuit: consecutive unrecoverable failures open
+// it, opening sheds that model's traffic with 503 until the cooldown
+// elapses, then a single half-open probe decides between re-closing and
+// re-opening. Transient faults healed by the runtime's recovery ladder
+// never reach the breaker — only typed unrecoverable failures count, so a
+// degraded-but-functional device keeps serving.
+type breaker struct {
+	state    breakerState
+	failures int
+	openedAt time.Time
+}
+
+// breakerSet is the per-model-name breaker registry.
+type breakerSet struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	byModel   map[string]*breaker
+	now       func() time.Time // seam for deterministic tests
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
+	return &breakerSet{
+		threshold: threshold,
+		cooldown:  cooldown,
+		byModel:   make(map[string]*breaker),
+		now:       time.Now,
+	}
+}
+
+// allow reports whether a request for the model may proceed. An open
+// breaker past its cooldown transitions to half-open and admits exactly one
+// probe; concurrent requests during the probe are still shed.
+func (bs *breakerSet) allow(model string) bool {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.byModel[model]
+	if b == nil {
+		return true
+	}
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if bs.now().Sub(b.openedAt) >= bs.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: one probe is already in flight
+		return false
+	}
+}
+
+// record feeds one request outcome back. Returns true when this outcome
+// tripped the breaker open (for the trip counter).
+func (bs *breakerSet) record(model string, ok bool) bool {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.byModel[model]
+	if b == nil {
+		if ok {
+			return false
+		}
+		b = &breaker{}
+		bs.byModel[model] = b
+	}
+	if ok {
+		b.state = breakerClosed
+		b.failures = 0
+		return false
+	}
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= bs.threshold {
+		tripped := b.state != breakerOpen
+		b.state = breakerOpen
+		b.openedAt = bs.now()
+		b.failures = 0
+		return tripped
+	}
+	return false
+}
+
+// snapshot lists the non-closed breakers for /healthz.
+func (bs *breakerSet) snapshot() map[string]string {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	var out map[string]string
+	for name, b := range bs.byModel {
+		if b.state != breakerClosed {
+			if out == nil {
+				out = make(map[string]string)
+			}
+			out[name] = b.state.String()
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock gives breaker tests deterministic time.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClockedBreakers(threshold int, cooldown time.Duration) (*breakerSet, *fakeClock) {
+	bs := newBreakerSet(threshold, cooldown)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	bs.now = clk.now
+	return bs, clk
+}
+
+func TestBreakerOpensAtThresholdAndSheds(t *testing.T) {
+	bs, _ := newClockedBreakers(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if bs.record("bert", false) {
+			t.Fatalf("tripped after %d failures, threshold is 3", i+1)
+		}
+		if !bs.allow("bert") {
+			t.Fatalf("shed below threshold after %d failures", i+1)
+		}
+	}
+	if !bs.record("bert", false) {
+		t.Fatal("third failure did not trip the breaker")
+	}
+	if bs.allow("bert") {
+		t.Fatal("open breaker admitted a request")
+	}
+	// Other models are unaffected.
+	if !bs.allow("llama2-decode") {
+		t.Fatal("breaker leaked across model names")
+	}
+	if snap := bs.snapshot(); snap["bert"] != "open" {
+		t.Fatalf("snapshot %v, want bert open", snap)
+	}
+}
+
+func TestBreakerHalfOpenProbeAndReclose(t *testing.T) {
+	bs, clk := newClockedBreakers(1, time.Minute)
+	bs.record("bert", false) // trips at threshold 1
+	if bs.allow("bert") {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	clk.advance(time.Minute)
+	if !bs.allow("bert") {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	// Only one probe: concurrent requests during half-open are shed.
+	if bs.allow("bert") {
+		t.Fatal("half-open breaker admitted a second probe")
+	}
+	if snap := bs.snapshot(); snap["bert"] != "half-open" {
+		t.Fatalf("snapshot %v, want bert half-open", snap)
+	}
+	bs.record("bert", true)
+	if !bs.allow("bert") {
+		t.Fatal("successful probe did not re-close the breaker")
+	}
+	if snap := bs.snapshot(); snap != nil {
+		t.Fatalf("snapshot %v, want empty after re-close", snap)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	bs, clk := newClockedBreakers(1, time.Minute)
+	bs.record("bert", false)
+	clk.advance(time.Minute)
+	if !bs.allow("bert") {
+		t.Fatal("probe rejected")
+	}
+	if !bs.record("bert", false) {
+		t.Fatal("failed probe must re-trip the breaker")
+	}
+	if bs.allow("bert") {
+		t.Fatal("re-opened breaker admitted a request before a fresh cooldown")
+	}
+	clk.advance(time.Minute)
+	if !bs.allow("bert") {
+		t.Fatal("second cooldown elapsed but probe rejected")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	bs, _ := newClockedBreakers(3, time.Minute)
+	bs.record("bert", false)
+	bs.record("bert", false)
+	bs.record("bert", true) // heal: streak resets
+	bs.record("bert", false)
+	bs.record("bert", false)
+	if !bs.allow("bert") {
+		t.Fatal("interrupted failure streak still tripped the breaker")
+	}
+}

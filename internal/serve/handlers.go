@@ -10,6 +10,8 @@ import (
 
 	"mikpoly/internal/core"
 	"mikpoly/internal/engine"
+	"mikpoly/internal/health"
+	"mikpoly/internal/hw"
 	"mikpoly/internal/poly"
 	"mikpoly/internal/sim"
 	"mikpoly/internal/tensor"
@@ -285,21 +287,38 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// simulate runs the program on the (possibly degraded) simulated device.
+// simulate runs the program on the (possibly degraded) simulated device:
+// the health registry's current view shrinks the hardware before the tasks
+// are lowered, and the outcome feeds back into the registry so /execute
+// traffic contributes to fault classification just like /model stages.
 // salt distinguishes retry attempts so transient injected faults can clear.
 func (s *Server) simulate(c *core.Compiler, prog *poly.Program, salt uint64) sim.Result {
-	return s.simulateTasks(c, prog.Tasks(c.Hardware()), salt)
+	h := c.Hardware()
+	var v health.View
+	reg := s.health.Load()
+	if reg != nil {
+		v = reg.View()
+		h = v.Apply(h)
+	}
+	res := s.simulateTasks(h, v, prog.Tasks(h), salt)
+	if reg != nil {
+		reg.ObserveResult(v, res)
+	}
+	return res
 }
 
 // simulateTasks runs a raw task batch under the service's fault config; it
 // is also the graph runtime's simulator seam, so /model executions see the
 // same injected degradation as /execute.
-func (s *Server) simulateTasks(c *core.Compiler, tasks []sim.Task, salt uint64) sim.Result {
-	h := c.Hardware()
+func (s *Server) simulateTasks(h hw.Hardware, v health.View, tasks []sim.Task, salt uint64) sim.Result {
 	if s.cfg.Faults == nil {
 		return sim.Run(h, tasks)
 	}
-	f := *s.cfg.Faults
+	// The runtime hands us the effective (possibly shrunken) hardware and
+	// the health view it reflects: renumber the fault schedule's per-PE
+	// entries onto the survivor indices so a quarantined PE's configured
+	// faults die with it instead of landing on an innocent survivor.
+	f := v.RemapFaults(*s.cfg.Faults)
 	f.Salt += salt
 	res, err := sim.RunWithFaults(h, tasks, f)
 	if err != nil {
@@ -310,10 +329,18 @@ func (s *Server) simulateTasks(c *core.Compiler, tasks []sim.Task, salt uint64) 
 	return res
 }
 
-// healthResponse is the /healthz wire format.
+// healthResponse is the /healthz wire format. A degrading device stays
+// HTTP 200 — the process is alive and serving, just on fewer PEs — with
+// Status "degraded" and the view's forensics attached, so orchestrators
+// don't kill a pod that is healing itself.
 type healthResponse struct {
 	Status string `json:"status"`
 	Uptime string `json:"uptime"`
+
+	Quarantined     []int             `json:"quarantined_pes,omitempty"`
+	BandwidthFactor float64           `json:"bandwidth_factor,omitempty"`
+	Fingerprint     string            `json:"health_fingerprint,omitempty"`
+	Breakers        map[string]string `json:"breakers,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -322,10 +349,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "compiler not ready")
 		return
 	}
-	writeJSON(w, http.StatusOK, healthResponse{
-		Status: "ok",
-		Uptime: time.Since(s.started).Round(time.Millisecond).String(),
-	})
+	resp := healthResponse{
+		Status:   "ok",
+		Uptime:   time.Since(s.started).Round(time.Millisecond).String(),
+		Breakers: s.breakers.snapshot(),
+	}
+	if reg := s.health.Load(); reg != nil {
+		v := reg.View()
+		if fp := v.Fingerprint(); fp != "" {
+			resp.Status = "degraded"
+			resp.Quarantined = v.Quarantined
+			resp.BandwidthFactor = v.BandwidthFactor
+			resp.Fingerprint = fp
+		}
+	}
+	if len(resp.Breakers) > 0 {
+		resp.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // graphStats is the /stats view of the graph runtime's cumulative counters.
@@ -341,6 +382,30 @@ type graphStats struct {
 	FaultedTasks int64   `json:"faulted_tasks"`
 	Cycles       float64 `json:"cycles"`
 	SpillBytes   float64 `json:"spill_bytes"`
+
+	// Stage-recovery ladder outcomes.
+	RetriedStages       int64 `json:"retried_stages,omitempty"`
+	MigratedStages      int64 `json:"migrated_stages,omitempty"`
+	ReplannedStages     int64 `json:"replanned_stages,omitempty"`
+	UnrecoverableStages int64 `json:"unrecoverable_stages,omitempty"`
+}
+
+// healthStats is the /stats view of the health registry and the compiler's
+// degraded-mode planning counters.
+type healthStats struct {
+	Quarantined  []int   `json:"quarantined_pes,omitempty"`
+	BWFactor     float64 `json:"bandwidth_factor"`
+	Fingerprint  string  `json:"fingerprint,omitempty"`
+	Generation   uint64  `json:"generation"`
+	Observations uint64  `json:"observations"`
+	Transients   uint64  `json:"transients"`
+	Persistents  uint64  `json:"persistents"`
+	Quarantines  uint64  `json:"quarantines"`
+	BWAdoptions  uint64  `json:"bw_adoptions"`
+	Replans      int64   `json:"replans"`
+	DegradedPlan int64   `json:"degraded_plans"`
+	BreakerTrips int64   `json:"breaker_trips"`
+	BreakerDrops int64   `json:"breaker_drops"`
 }
 
 // batchStats is the /stats view of the continuous decode batcher.
@@ -370,8 +435,10 @@ type statsResponse struct {
 	Fallbacks       int64           `json:"fallbacks"`
 	PlannerPanics   int64           `json:"planner_panics"`
 	Models          int64           `json:"models"`
+	Unrecoverable   int64           `json:"unrecoverable"`
 	Graph           *graphStats     `json:"graph,omitempty"`
 	Batch           *batchStats     `json:"batch,omitempty"`
+	Health          *healthStats    `json:"health,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -386,6 +453,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		InFlight:        len(s.sem),
 		MaxInFlight:     cap(s.sem),
 		Models:          s.nModels.Load(),
+		Unrecoverable:   s.nUnrecoverable.Load(),
 	}
 	if c := s.comp(); c != nil {
 		resp.Ready = true
@@ -400,17 +468,44 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if rt := s.runtime.Load(); rt != nil {
 		gs := rt.Stats()
 		resp.Graph = &graphStats{
-			Graphs:       gs.Graphs,
-			Stages:       gs.Stages,
-			Plans:        gs.Plans,
-			Stalls:       gs.Stalls,
-			PlanMs:       float64(gs.PlanWall) / float64(time.Millisecond),
-			StallMs:      float64(gs.StallWall) / float64(time.Millisecond),
-			HiddenMs:     float64(gs.HiddenWall) / float64(time.Millisecond),
-			Degraded:     gs.Degraded,
-			FaultedTasks: gs.FaultedTasks,
-			Cycles:       gs.Cycles,
-			SpillBytes:   gs.SpillBytes,
+			Graphs:              gs.Graphs,
+			Stages:              gs.Stages,
+			Plans:               gs.Plans,
+			Stalls:              gs.Stalls,
+			PlanMs:              float64(gs.PlanWall) / float64(time.Millisecond),
+			StallMs:             float64(gs.StallWall) / float64(time.Millisecond),
+			HiddenMs:            float64(gs.HiddenWall) / float64(time.Millisecond),
+			Degraded:            gs.Degraded,
+			FaultedTasks:        gs.FaultedTasks,
+			Cycles:              gs.Cycles,
+			SpillBytes:          gs.SpillBytes,
+			RetriedStages:       gs.RetriedStages,
+			MigratedStages:      gs.MigratedStages,
+			ReplannedStages:     gs.ReplannedStages,
+			UnrecoverableStages: gs.UnrecoverableStages,
+		}
+	}
+	if reg := s.health.Load(); reg != nil {
+		hs, v := reg.Stats(), reg.View()
+		var replans, degradedPlans int64
+		if c := s.comp(); c != nil {
+			ch := c.Health()
+			replans, degradedPlans = ch.Replans, ch.DegradedPlans
+		}
+		resp.Health = &healthStats{
+			Quarantined:  v.Quarantined,
+			BWFactor:     v.BandwidthFactor,
+			Fingerprint:  v.Fingerprint(),
+			Generation:   hs.Generation,
+			Observations: hs.Observations,
+			Transients:   hs.Transients,
+			Persistents:  hs.Persistents,
+			Quarantines:  hs.Quarantines,
+			BWAdoptions:  hs.BWAdoptions,
+			Replans:      replans,
+			DegradedPlan: degradedPlans,
+			BreakerTrips: s.nBreakerTrips.Load(),
+			BreakerDrops: s.nBreakerDrops.Load(),
 		}
 	}
 	if b := s.batcher.Load(); b != nil {

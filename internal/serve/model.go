@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -41,6 +42,11 @@ type modelResponse struct {
 	Degraded     int `json:"degraded"`
 	Attempts     int `json:"attempts"`
 	FaultedTasks int `json:"faulted_tasks"`
+
+	// Stage-recovery accounting: stages healed by the runtime's escalation
+	// ladder and the faulted tasks it absorbed doing so.
+	RecoveredStages int `json:"recovered_stages,omitempty"`
+	RecoveredFaults int `json:"recovered_faults,omitempty"`
 
 	Batched     bool `json:"batched,omitempty"`
 	Tokens      int  `json:"tokens,omitempty"`
@@ -90,6 +96,16 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if req.Steps == 0 {
 		req.Steps = 1
 	}
+	// Per-model circuit breaker: a model whose graphs keep failing
+	// unrecoverably is shed early, so a persistently broken shape class
+	// cannot monopolize the device while other models still serve.
+	if !s.breakers.allow(req.Model) {
+		s.nBreakerDrops.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.BreakerCooldown/time.Second)+1))
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Sprintf("circuit breaker open for model %q", req.Model))
+		return
+	}
 
 	// llama2-decode rides the continuous batcher when enabled: concurrent
 	// requests with nearby KV lengths share shape-bucketed step graphs.
@@ -113,32 +129,52 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Execute with fault-triggered re-planning, mirroring /execute: on a
-	// reported fault, drop the graph's cached programs, back off, and retry
-	// under a fresh fault salt.
+	// Execute with fault-triggered re-planning. The runtime's recovery
+	// ladder absorbs most faults stage-locally; what reaches this loop is
+	// either residual faulted tasks (runtime without health recovery) or a
+	// typed StageError (ladder exhausted). Both get the whole-graph
+	// treatment: drop the graph's cached programs, back off, and retry
+	// under a fresh fault salt — bounded by MaxRetries.
 	ctx := r.Context()
 	attempts := 0
 	var rep graphrt.Report
+	var stageErr *graphrt.StageError
 	for {
 		rep, err = rt.ExecuteSalted(ctx, g, uint64(attempts))
 		attempts++
-		if err != nil {
+		retryable := err == nil && rep.FaultedTasks > 0
+		if err != nil && errors.As(err, &stageErr) {
+			s.nUnrecoverable.Add(1)
+			retryable = true
+		}
+		if err != nil && !retryable {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		if rep.FaultedTasks == 0 || attempts > s.cfg.MaxRetries {
+		if !retryable || attempts > s.cfg.MaxRetries {
 			break
 		}
 		s.nFaults.Add(1)
 		s.nRetries.Add(1)
-		if err := s.bo.sleep(ctx, attempts-1); err != nil {
-			httpError(w, http.StatusServiceUnavailable, "retry budget interrupted: "+err.Error())
+		if berr := s.bo.sleep(ctx, attempts-1); berr != nil {
+			httpError(w, http.StatusServiceUnavailable, "retry budget interrupted: "+berr.Error())
 			return
 		}
 		for shape := range g.GemmShapes() {
 			c.Invalidate(shape)
 		}
 	}
+	if err != nil {
+		// Retries exhausted on an unrecoverable stage: typed 503 (the
+		// device genuinely cannot run this graph right now) and a strike
+		// against the model's circuit breaker.
+		if s.breakers.record(req.Model, false) {
+			s.nBreakerTrips.Add(1)
+		}
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.breakers.record(req.Model, true)
 	if rep.FaultedTasks > 0 {
 		s.nFaults.Add(1)
 	}
@@ -161,6 +197,8 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		Degraded:        rep.Degraded,
 		Attempts:        attempts,
 		FaultedTasks:    rep.FaultedTasks,
+		RecoveredStages: rep.RecoveredStages,
+		RecoveredFaults: rep.RecoveredFaults,
 		PeakMemBytes:    rep.Mem.PeakBytes,
 		WorkingSetBytes: rep.Mem.WorkingSetBytes,
 		SpilledBuffers:  rep.Mem.SpilledBuffers,

@@ -124,4 +124,75 @@ func (s *Server) registerObs() {
 			}
 			return one(rt.Stats().WaveImbalance())
 		})
+
+	m.Collect("mik_health_quarantined_pes", "PEs currently quarantined by the health registry.", "gauge",
+		func() []obs.Sample {
+			reg := s.health.Load()
+			if reg == nil {
+				return nil
+			}
+			return one(float64(reg.Stats().Quarantined))
+		})
+	m.Collect("mik_health_bandwidth_factor", "Adopted global-bandwidth derate factor (1 = pristine).", "gauge",
+		func() []obs.Sample {
+			reg := s.health.Load()
+			if reg == nil {
+				return nil
+			}
+			return one(reg.View().BandwidthFactor)
+		})
+	m.Collect("mik_health_generation", "Health-view generation (0 = pristine, bumps on every view change).", "counter",
+		func() []obs.Sample {
+			reg := s.health.Load()
+			if reg == nil {
+				return nil
+			}
+			return one(float64(reg.Stats().Generation))
+		})
+	m.Collect("mik_health_observations_total", "Stage outcomes fed to the health registry, by classification.", "counter",
+		func() []obs.Sample {
+			reg := s.health.Load()
+			if reg == nil {
+				return nil
+			}
+			hs := reg.Stats()
+			return []obs.Sample{
+				{Labels: [][2]string{{"class", "transient"}}, Value: float64(hs.Transients)},
+				{Labels: [][2]string{{"class", "persistent"}}, Value: float64(hs.Persistents)},
+				{Labels: [][2]string{{"class", "clean"}}, Value: float64(hs.Observations - hs.Transients - hs.Persistents)},
+			}
+		})
+	m.Collect("mik_recovery_stages_total", "Stage-recovery ladder outcomes by rung.", "counter",
+		func() []obs.Sample {
+			rt := s.runtime.Load()
+			if rt == nil {
+				return nil
+			}
+			gs := rt.Stats()
+			return []obs.Sample{
+				{Labels: [][2]string{{"outcome", "retried"}}, Value: float64(gs.RetriedStages)},
+				{Labels: [][2]string{{"outcome", "migrated"}}, Value: float64(gs.MigratedStages)},
+				{Labels: [][2]string{{"outcome", "replanned"}}, Value: float64(gs.ReplannedStages)},
+				{Labels: [][2]string{{"outcome", "unrecoverable"}}, Value: float64(gs.UnrecoverableStages)},
+			}
+		})
+	m.Collect("mik_health_replans_total", "Background replans triggered by health-view changes and plans executed against a degraded view.", "counter",
+		func() []obs.Sample {
+			c := s.comp()
+			if c == nil {
+				return nil
+			}
+			ch := c.Health()
+			return []obs.Sample{
+				{Labels: [][2]string{{"kind", "background"}}, Value: float64(ch.Replans)},
+				{Labels: [][2]string{{"kind", "degraded"}}, Value: float64(ch.DegradedPlans)},
+			}
+		})
+	m.Collect("mik_breaker_events_total", "Circuit-breaker open transitions and requests shed while open.", "counter",
+		func() []obs.Sample {
+			return []obs.Sample{
+				{Labels: [][2]string{{"event", "trip"}}, Value: float64(s.nBreakerTrips.Load())},
+				{Labels: [][2]string{{"event", "drop"}}, Value: float64(s.nBreakerDrops.Load())},
+			}
+		})
 }

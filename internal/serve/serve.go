@@ -20,6 +20,7 @@ import (
 
 	"mikpoly/internal/core"
 	"mikpoly/internal/graphrt"
+	"mikpoly/internal/health"
 	"mikpoly/internal/hw"
 	"mikpoly/internal/obs"
 	"mikpoly/internal/sim"
@@ -90,6 +91,19 @@ type Config struct {
 	// larger graphs are rejected with 413.
 	MaxModelOps int
 
+	// DisableSelfHeal turns off the health registry and stage-level
+	// recovery: faults surface to the blind whole-graph retry loop, as in
+	// the pre-self-healing serving layer. A test/benchmark knob — it
+	// exists so the chaos harness can measure what the recovery ladder
+	// buys over blind retries.
+	DisableSelfHeal bool
+
+	// BreakerThreshold is the consecutive unrecoverable-failure count per
+	// model name that opens its circuit breaker; BreakerCooldown is how
+	// long the breaker stays open before a half-open probe is admitted.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
 	// Obs optionally attaches the observability layer: the handler then
 	// serves GET /metrics (Prometheus text) and GET /trace (span dump),
 	// server/compiler/runtime counters are exported at scrape time, and
@@ -102,20 +116,22 @@ type Config struct {
 // DefaultConfig returns production-leaning defaults.
 func DefaultConfig() Config {
 	return Config{
-		MaxInFlight:    64,
-		RequestTimeout: 10 * time.Second,
-		PlanTimeout:    2 * time.Second,
-		MaxBodyBytes:   1 << 16,
-		MaxDim:         1 << 20,
-		MaxPlanElems:   1 << 40,
-		MaxSimTasks:    1 << 18,
-		MaxExecElems:   1 << 22,
-		MaxRetries:     3,
-		RetryBase:      10 * time.Millisecond,
-		RetryMax:       500 * time.Millisecond,
-		PlanAhead:      2,
-		MaxModelSteps:  32,
-		MaxModelOps:    4096,
+		MaxInFlight:      64,
+		RequestTimeout:   10 * time.Second,
+		PlanTimeout:      2 * time.Second,
+		MaxBodyBytes:     1 << 16,
+		MaxDim:           1 << 20,
+		MaxPlanElems:     1 << 40,
+		MaxSimTasks:      1 << 18,
+		MaxExecElems:     1 << 22,
+		MaxRetries:       3,
+		RetryBase:        10 * time.Millisecond,
+		RetryMax:         500 * time.Millisecond,
+		PlanAhead:        2,
+		MaxModelSteps:    32,
+		MaxModelOps:      4096,
+		BreakerThreshold: 5,
+		BreakerCooldown:  5 * time.Second,
 	}
 }
 
@@ -169,6 +185,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxModelOps <= 0 {
 		c.MaxModelOps = d.MaxModelOps
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = d.BreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = d.BreakerCooldown
+	}
 	return c
 }
 
@@ -180,20 +202,25 @@ type Server struct {
 	compiler atomic.Pointer[core.Compiler]
 	runtime  atomic.Pointer[graphrt.Runtime]
 	batcher  atomic.Pointer[graphrt.DecodeBatcher]
+	health   atomic.Pointer[health.Registry]
 	cfg      Config
 	o        *obs.Obs
 	sem      chan struct{}
 	bo       *backoff
+	breakers *breakerSet
 	started  time.Time
 
 	// cumulative counters, exported by /stats
-	nRequests atomic.Int64 // admitted plan/execute/model requests
-	nRejected atomic.Int64 // 429s from admission control
-	nDegraded atomic.Int64 // responses served via the fallback program
-	nRetries  atomic.Int64 // fault-triggered re-plan attempts
-	nFaults   atomic.Int64 // simulated runs that reported >= 1 faulted task
-	nPanics   atomic.Int64 // handler panics recovered
-	nModels   atomic.Int64 // /model graphs executed
+	nRequests      atomic.Int64 // admitted plan/execute/model requests
+	nRejected      atomic.Int64 // 429s from admission control
+	nDegraded      atomic.Int64 // responses served via the fallback program
+	nRetries       atomic.Int64 // fault-triggered re-plan attempts
+	nFaults        atomic.Int64 // simulated runs that reported >= 1 faulted task
+	nPanics        atomic.Int64 // handler panics recovered
+	nModels        atomic.Int64 // /model graphs executed
+	nUnrecoverable atomic.Int64 // /model requests failed with a StageError
+	nBreakerTrips  atomic.Int64 // circuit-breaker open transitions
+	nBreakerDrops  atomic.Int64 // requests rejected by an open breaker
 }
 
 // New wraps a compiler in a serving layer. Zero Config fields take
@@ -202,11 +229,12 @@ type Server struct {
 func New(c *core.Compiler, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		o:       cfg.Obs,
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		bo:      newBackoff(cfg.RetryBase, cfg.RetryMax, cfg.Seed),
-		started: time.Now(),
+		cfg:      cfg,
+		o:        cfg.Obs,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		bo:       newBackoff(cfg.RetryBase, cfg.RetryMax, cfg.Seed),
+		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		started:  time.Now(),
 	}
 	s.registerObs()
 	if c != nil {
@@ -216,15 +244,23 @@ func New(c *core.Compiler, cfg Config) *Server {
 }
 
 // SetCompiler binds (or replaces) the compiler and builds the graph
-// runtime over it, flipping the server ready.
+// runtime over it, flipping the server ready. A fresh health registry is
+// attached to both (degraded-mode planning and stage-level recovery share
+// one view of the device), sized to the compiler's hardware.
 func (s *Server) SetCompiler(c *core.Compiler) {
+	var reg *health.Registry
+	if !s.cfg.DisableSelfHeal {
+		reg = health.NewRegistry(c.Hardware().NumPEs, health.Config{})
+		s.health.Store(reg)
+	}
 	rt := graphrt.New(c, graphrt.Config{
 		PlanAhead:   s.cfg.PlanAhead,
 		PlanTimeout: s.cfg.PlanTimeout,
 		Obs:         s.o,
+		Health:      reg,
 	})
-	rt.SetSimulator(func(h hw.Hardware, tasks []sim.Task, salt uint64) sim.Result {
-		return s.simulateTasks(c, tasks, salt)
+	rt.SetSimulator(func(h hw.Hardware, v health.View, tasks []sim.Task, salt uint64) sim.Result {
+		return s.simulateTasks(h, v, tasks, salt)
 	})
 	s.runtime.Store(rt)
 	if s.cfg.DecodeBatch {

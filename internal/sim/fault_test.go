@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math"
+	"reflect"
 	"testing"
 
 	"mikpoly/internal/hw"
@@ -52,6 +54,30 @@ func TestFaultsValidate(t *testing.T) {
 		{"bandwidth above 1", Faults{Bandwidth: 1.5}, false},
 		{"rate ok", Faults{TaskFaultRate: 0.3}, true},
 		{"rate above 1", Faults{TaskFaultRate: 1.1}, false},
+		// NaN fails every <,> comparison, so naive range checks accept it.
+		{"bandwidth NaN", Faults{Bandwidth: math.NaN()}, false},
+		{"bandwidth +Inf", Faults{Bandwidth: math.Inf(1)}, false},
+		{"bandwidth -Inf", Faults{Bandwidth: math.Inf(-1)}, false},
+		{"rate NaN", Faults{TaskFaultRate: math.NaN()}, false},
+		{"rate +Inf", Faults{TaskFaultRate: math.Inf(1)}, false},
+		{"slow NaN", Faults{SlowPE: map[int]float64{0: math.NaN()}}, false},
+		{"slow +Inf", Faults{SlowPE: map[int]float64{0: math.Inf(1)}}, false},
+		{"death ok", Faults{PEDeathCycle: map[int]float64{1: 500}}, true},
+		{"death at zero", Faults{PEDeathCycle: map[int]float64{1: 0}}, true},
+		{"death negative", Faults{PEDeathCycle: map[int]float64{1: -1}}, false},
+		{"death NaN", Faults{PEDeathCycle: map[int]float64{1: math.NaN()}}, false},
+		{"death Inf", Faults{PEDeathCycle: map[int]float64{1: math.Inf(1)}}, false},
+		{"death out of range", Faults{PEDeathCycle: map[int]float64{7: 10}}, false},
+		{"brownout ok", Faults{Brownout: &Brownout{StartCycle: 10, Duration: 100, Factor: 0.5}}, true},
+		{"brownout zero duration", Faults{Brownout: &Brownout{Duration: 0, Factor: 0.5}}, false},
+		{"brownout zero factor", Faults{Brownout: &Brownout{Duration: 10, Factor: 0}}, false},
+		{"brownout factor NaN", Faults{Brownout: &Brownout{Duration: 10, Factor: math.NaN()}}, false},
+		{"brownout factor above 1", Faults{Brownout: &Brownout{Duration: 10, Factor: 1.5}}, false},
+		{"brownout start NaN", Faults{Brownout: &Brownout{StartCycle: math.NaN(), Duration: 10, Factor: 0.5}}, false},
+		{"brownout duration Inf", Faults{Brownout: &Brownout{Duration: math.Inf(1), Factor: 0.5}}, false},
+		{"sticky ok", Faults{StickyFaults: map[int]int{2: 3}}, true},
+		{"sticky negative", Faults{StickyFaults: map[int]int{2: -1}}, false},
+		{"sticky out of range", Faults{StickyFaults: map[int]int{5: 1}}, false},
 	}
 	for _, c := range cases {
 		err := c.f.Validate(h)
@@ -187,5 +213,201 @@ func TestRunWithFaultsEmptyAndInvalid(t *testing.T) {
 	}
 	if _, err := RunWithFaults(h, repeat(computeTask(), 1), Faults{DropPEs: []int{0, 1, 2, 3}}); err == nil {
 		t.Fatal("all-dropped config accepted")
+	}
+}
+
+func TestPEDeathKillsInFlightAndStopsPlacement(t *testing.T) {
+	for _, sched := range []hw.Scheduler{hw.ScheduleDynamic, hw.ScheduleStaticMaxMin} {
+		h := faultTestHW(sched)
+		tasks := repeat(computeTask(), 12) // 3 waves on 4 PEs
+		healthy := Run(h, tasks)
+		// Kill PE 1 mid first wave: its in-flight task is lost.
+		f := Faults{PEDeathCycle: map[int]float64{1: 500}}
+		res, err := RunWithFaults(h, tasks, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.DeadPEs; !reflect.DeepEqual(got, []int{1}) {
+			t.Fatalf("sched %v: DeadPEs = %v, want [1]", sched, got)
+		}
+		if res.FaultedTasks < 1 {
+			t.Fatalf("sched %v: in-flight task on dying PE not counted faulted", sched)
+		}
+		if res.Clean() {
+			t.Fatalf("sched %v: death run reported clean", sched)
+		}
+		// PE 1 stops accruing busy time at the death cycle.
+		if res.PEBusy[1] > 500+1 {
+			t.Fatalf("sched %v: dead PE busy %g past death cycle", sched, res.PEBusy[1])
+		}
+		switch sched {
+		case hw.ScheduleStaticMaxMin:
+			// Statically assigned residual work strands.
+			if res.StrandedTasks == 0 {
+				t.Fatalf("static: no stranded tasks after mid-run death")
+			}
+			if res.NumTasks+res.StrandedTasks != len(tasks) {
+				t.Fatalf("static: started %d + stranded %d != %d", res.NumTasks, res.StrandedTasks, len(tasks))
+			}
+		default:
+			// The shared queue reroutes everything to survivors.
+			if res.StrandedTasks != 0 {
+				t.Fatalf("dynamic: %d tasks stranded despite live PEs", res.StrandedTasks)
+			}
+			if res.NumTasks != len(tasks) {
+				t.Fatalf("dynamic: ran %d/%d tasks", res.NumTasks, len(tasks))
+			}
+			if res.Cycles <= healthy.Cycles {
+				t.Fatalf("dynamic: death makespan %g not above healthy %g", res.Cycles, healthy.Cycles)
+			}
+		}
+	}
+}
+
+func TestPEDeathAllPEsStrandsRemainder(t *testing.T) {
+	for _, sched := range []hw.Scheduler{hw.ScheduleDynamic, hw.ScheduleStaticMaxMin} {
+		h := faultTestHW(sched)
+		tasks := repeat(computeTask(), 12)
+		f := Faults{PEDeathCycle: map[int]float64{0: 100, 1: 100, 2: 100, 3: 100}}
+		res, err := RunWithFaults(h, tasks, f)
+		if err != nil {
+			t.Fatalf("sched %v: %v", sched, err)
+		}
+		if got := res.DeadPEs; !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+			t.Fatalf("sched %v: DeadPEs = %v", sched, got)
+		}
+		// First wave of 4 died in flight; the rest never ran.
+		if res.FaultedTasks != 4 || res.StrandedTasks != 8 {
+			t.Fatalf("sched %v: faulted %d stranded %d, want 4/8", sched, res.FaultedTasks, res.StrandedTasks)
+		}
+	}
+}
+
+func TestBrownoutStretchesOnlyItsWindow(t *testing.T) {
+	h := faultTestHW(hw.ScheduleDynamic)
+	tasks := repeat(memTask(h), 4)
+	healthy := Run(h, tasks)
+
+	// A brownout covering the whole run behaves like run-long derating.
+	whole := Faults{Brownout: &Brownout{StartCycle: 0, Duration: 1e12, Factor: 0.5}}
+	rWhole, err := RunWithFaults(h, tasks, whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rWhole.Cycles < 1.9*healthy.Cycles {
+		t.Fatalf("run-long brownout makespan %g vs healthy %g — expected ~2x", rWhole.Cycles, healthy.Cycles)
+	}
+	if rWhole.BandwidthDerate != 0.5 {
+		t.Fatalf("BandwidthDerate = %g, want 0.5", rWhole.BandwidthDerate)
+	}
+
+	// A brownout that ends before the run finishes costs strictly less.
+	partial := Faults{Brownout: &Brownout{StartCycle: 0, Duration: healthy.Cycles / 2, Factor: 0.5}}
+	rPartial, err := RunWithFaults(h, tasks, partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(healthy.Cycles < rPartial.Cycles && rPartial.Cycles < rWhole.Cycles) {
+		t.Fatalf("partial brownout %g not between healthy %g and whole-run %g",
+			rPartial.Cycles, healthy.Cycles, rWhole.Cycles)
+	}
+
+	// A brownout entirely after the run is a no-op (and not reported).
+	after := Faults{Brownout: &Brownout{StartCycle: 10 * healthy.Cycles, Duration: 100, Factor: 0.5}}
+	rAfter, err := RunWithFaults(h, tasks, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rAfter.Cycles != healthy.Cycles || rAfter.BandwidthDerate != 0 {
+		t.Fatalf("future brownout changed the run: cycles %g (healthy %g), derate %g",
+			rAfter.Cycles, healthy.Cycles, rAfter.BandwidthDerate)
+	}
+}
+
+func TestStickyFaultStreakIsSaltIndependent(t *testing.T) {
+	h := faultTestHW(hw.ScheduleStaticMaxMin)
+	tasks := repeat(computeTask(), 16)
+	f := Faults{StickyFaults: map[int]int{2: 3}}
+	for salt := uint64(0); salt < 3; salt++ {
+		f.Salt = salt
+		res, err := RunWithFaults(h, tasks, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FaultedTasks != 3 {
+			t.Fatalf("salt %d: %d faults, want the sticky streak of 3", salt, res.FaultedTasks)
+		}
+		if len(res.PEFaults) == 0 || res.PEFaults[2] != 3 {
+			t.Fatalf("salt %d: PEFaults = %v, want 3 on PE 2", salt, res.PEFaults)
+		}
+	}
+}
+
+func TestPersistentFaultsDeterministicUnderSeed(t *testing.T) {
+	h := faultTestHW(hw.ScheduleDynamic)
+	tasks := repeat(computeTask(), 32)
+	f := Faults{
+		Seed:          7,
+		TaskFaultRate: 0.05,
+		PEDeathCycle:  map[int]float64{3: 1500},
+		Brownout:      &Brownout{StartCycle: 200, Duration: 900, Factor: 0.6},
+		StickyFaults:  map[int]int{0: 2},
+	}
+	r1, err := RunWithFaults(h, tasks, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunWithFaults(h, tasks, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.FaultedTasks != r2.FaultedTasks ||
+		r1.StrandedTasks != r2.StrandedTasks || !reflect.DeepEqual(r1.PEFaults, r2.PEFaults) ||
+		!reflect.DeepEqual(r1.DeadPEs, r2.DeadPEs) {
+		t.Fatalf("same config diverged:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestFaultsPersistent(t *testing.T) {
+	if (Faults{Seed: 1, TaskFaultRate: 0.5}).Persistent() {
+		t.Fatal("transient-only config reported persistent")
+	}
+	for _, f := range []Faults{
+		{DropPEs: []int{1}},
+		{SlowPE: map[int]float64{0: 2}},
+		{Bandwidth: 0.5},
+		{PEDeathCycle: map[int]float64{0: 10}},
+		{Brownout: &Brownout{Duration: 10, Factor: 0.5}},
+		{StickyFaults: map[int]int{0: 1}},
+	} {
+		if !f.Persistent() {
+			t.Fatalf("%+v not reported persistent", f)
+		}
+	}
+}
+
+func TestChaosScheduleDeterministicAndValid(t *testing.T) {
+	h := hw.A100()
+	for seed := uint64(0); seed < 20; seed++ {
+		a := ChaosSchedule(seed, h)
+		b := ChaosSchedule(seed, h)
+		if !reflect.DeepEqual(a.PEDeathCycle, b.PEDeathCycle) ||
+			!reflect.DeepEqual(a.StickyFaults, b.StickyFaults) ||
+			a.TaskFaultRate != b.TaskFaultRate ||
+			(a.Brownout == nil) != (b.Brownout == nil) ||
+			(a.Brownout != nil && *a.Brownout != *b.Brownout) {
+			t.Fatalf("seed %d: schedule not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+		if err := a.Validate(h); err != nil {
+			t.Fatalf("seed %d: invalid schedule: %v", seed, err)
+		}
+		if len(a.PEDeathCycle) != 1 {
+			t.Fatalf("seed %d: want exactly one PE death, got %v", seed, a.PEDeathCycle)
+		}
+	}
+	// Different seeds should not all collapse onto the same schedule.
+	if reflect.DeepEqual(ChaosSchedule(1, h).PEDeathCycle, ChaosSchedule(2, h).PEDeathCycle) &&
+		reflect.DeepEqual(ChaosSchedule(2, h).PEDeathCycle, ChaosSchedule(3, h).PEDeathCycle) {
+		t.Fatal("chaos schedules identical across seeds 1..3")
 	}
 }

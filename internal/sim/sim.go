@@ -34,6 +34,7 @@ type running struct {
 	memStartAt    float64 // startup completes, streaming may begin
 	computeDoneAt float64 // startup + compute fully elapsed
 	memLeft       float64 // bytes still to stream
+	faulted       bool    // injected fault: output must be discarded
 }
 
 func (r *running) done(now float64) bool {
@@ -124,10 +125,15 @@ func analyticFastPath(h hw.Hardware, tasks []Task) (Result, bool) {
 }
 
 // feeder abstracts task placement: next returns the task a freed PE should
-// run, or false when that PE has no more work.
+// run, or false when that PE has no more work. drain discards work only the
+// given PE could ever run (a statically assigned list when the PE dies
+// mid-run), returning the count; abandon discards everything left, for the
+// degenerate case where no live PE remains.
 type feeder interface {
 	next(pe int) (Task, bool)
 	remaining() int
+	drain(pe int) int
+	abandon() int
 }
 
 // dynamicQueue models the GPU hardware scheduler: a single FIFO shared by
@@ -150,6 +156,15 @@ func (q *dynQueue) next(pe int) (Task, bool) {
 
 func (q *dynQueue) remaining() int { return len(q.tasks) - q.head }
 
+// drain is a no-op for the shared queue: any surviving PE can run the work.
+func (q *dynQueue) drain(pe int) int { return 0 }
+
+func (q *dynQueue) abandon() int {
+	n := len(q.tasks) - q.head
+	q.head = len(q.tasks)
+	return n
+}
+
 // staticFeeder holds the per-PE lists computed by the max-min allocator.
 type staticFeeder struct {
 	perPE [][]Task
@@ -168,6 +183,21 @@ func (f *staticFeeder) next(pe int) (Task, bool) {
 }
 
 func (f *staticFeeder) remaining() int { return f.left }
+
+func (f *staticFeeder) drain(pe int) int {
+	n := len(f.perPE[pe])
+	f.perPE[pe] = nil
+	f.left -= n
+	return n
+}
+
+func (f *staticFeeder) abandon() int {
+	n := 0
+	for pe := range f.perPE {
+		n += f.drain(pe)
+	}
+	return n
+}
 
 // staticAssign implements the max-min static allocation used on the NPU
 // platform (§4): tasks are ordered by decreasing estimated duration (with the
@@ -220,10 +250,9 @@ func runEventLoop(h hw.Hardware, f feeder) Result {
 // task), advances streaming progress, retires finished tasks (reporting them
 // to collect when tracing), and starts new ones on idle PEs. fs, when
 // non-nil, injects deterministic hardware faults (dead PEs, per-PE compute
-// slowdown, transient task faults); bandwidth degradation is applied by the
-// caller through h.
+// slowdown, mid-run PE death, brownout windows, transient and sticky task
+// faults); run-long bandwidth degradation is applied by the caller through h.
 func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent), fs *faultState) Result {
-	bwCap := perTaskBandwidthCap(h)
 	var (
 		now     float64
 		active  []*running
@@ -238,10 +267,14 @@ func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent), fs *fa
 
 	start := func(pe int, t Task) {
 		compute := t.ComputeCycles
+		fault := false
 		if fs != nil {
 			compute *= fs.slow[pe]
-			if fs.taskFault(nTasks) {
-				faulted++
+			if fs.sticky[pe] > 0 {
+				fs.sticky[pe]--
+				fault = true
+			} else if fs.taskFault(nTasks) {
+				fault = true
 			}
 		}
 		nTasks++
@@ -252,9 +285,23 @@ func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent), fs *fa
 			memStartAt:    now + t.StartupCycles,
 			computeDoneAt: now + t.StartupCycles + compute,
 			memLeft:       t.MemBytes,
+			faulted:       fault,
 		})
 		peFree[pe] = false
 		peBusy[pe] -= now // completed at retire time below
+	}
+
+	retire := func(r *running) {
+		peBusy[r.pe] += now
+		if r.faulted {
+			faulted++
+			if fs != nil {
+				fs.peFaults[r.pe]++
+			}
+		}
+		if collect != nil {
+			collect(TraceEvent{PE: r.pe, Tag: r.task.Tag, Start: r.start, End: now})
+		}
 	}
 
 	for {
@@ -263,15 +310,38 @@ func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent), fs *fa
 		for _, r := range active {
 			if r.done(now) {
 				peFree[r.pe] = true
-				peBusy[r.pe] += now
-				if collect != nil {
-					collect(TraceEvent{PE: r.pe, Tag: r.task.Tag, Start: r.start, End: now})
-				}
+				retire(r)
 			} else {
 				keep = append(keep, r)
 			}
 		}
 		active = keep
+
+		// Process PE deaths due by now: the in-flight task (if any) is
+		// lost, the PE accepts no further work, and statically assigned
+		// residual work strands. Runs after retirement so a task finishing
+		// exactly at the death cycle still completes.
+		if fs != nil {
+			for pe := 0; pe < h.NumPEs; pe++ {
+				if fs.dead[pe] || now+timeEps(now) < fs.deathAt[pe] {
+					continue
+				}
+				fs.dead[pe] = true
+				fs.diedMid[pe] = true
+				peFree[pe] = false
+				keep := active[:0]
+				for _, r := range active {
+					if r.pe == pe {
+						r.faulted = true
+						retire(r)
+					} else {
+						keep = append(keep, r)
+					}
+				}
+				active = keep
+				fs.stranded += f.drain(pe)
+			}
+		}
 
 		// Fill idle PEs.
 		for pe := 0; pe < h.NumPEs; pe++ {
@@ -289,13 +359,30 @@ func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent), fs *fa
 			if f.remaining() == 0 {
 				break
 			}
-			// Static feeder can strand work only if every PE list is
-			// empty while remaining()>0, which cannot happen; guard
-			// against infinite loops regardless.
-			panic("sim: no runnable tasks but work remains")
+			// Remaining work with nothing runnable: either every PE died
+			// mid-run (the shared queue's leftovers strand), or the
+			// static feeder misassigned — the latter cannot happen, so
+			// any free PE here means a bug.
+			for pe := 0; pe < h.NumPEs; pe++ {
+				if peFree[pe] {
+					panic("sim: no runnable tasks but work remains")
+				}
+			}
+			if fs == nil {
+				panic("sim: no runnable tasks but work remains")
+			}
+			fs.stranded += f.abandon()
+			break
 		}
 
-		// Current bandwidth share among streaming tasks.
+		// Current bandwidth: the caller-scaled device total, derated by an
+		// active brownout window, shared equally among streaming tasks and
+		// capped per task.
+		hNow := h
+		if fs != nil {
+			hNow.GlobalBytesPerCycle *= fs.bwFactor(now)
+		}
+		bwCap := perTaskBandwidthCap(hNow)
 		tEps := timeEps(now)
 		streaming := 0
 		for _, r := range active {
@@ -305,11 +392,13 @@ func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent), fs *fa
 		}
 		share := bwCap
 		if streaming > 0 {
-			share = math.Min(bwCap, h.GlobalBytesPerCycle/float64(streaming))
+			share = math.Min(bwCap, hNow.GlobalBytesPerCycle/float64(streaming))
 		}
 
-		// Next event: a startup completing, a compute finishing, or a
-		// stream draining.
+		// Next event: a startup completing, a compute finishing, a stream
+		// draining, a PE death killing an in-flight task, or a brownout
+		// boundary changing the bandwidth share. Streaming steps never
+		// cross any of these boundaries.
 		next := math.Inf(1)
 		for _, r := range active {
 			if r.memStartAt > now+tEps {
@@ -319,6 +408,16 @@ func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent), fs *fa
 			}
 			if r.computeDoneAt > now+tEps {
 				next = math.Min(next, r.computeDoneAt)
+			}
+			if fs != nil && !math.IsInf(fs.deathAt[r.pe], 1) && fs.deathAt[r.pe] > now+tEps {
+				next = math.Min(next, fs.deathAt[r.pe])
+			}
+		}
+		if fs != nil && fs.brown != nil {
+			for _, b := range []float64{fs.brown.StartCycle, fs.brown.StartCycle + fs.brown.Duration} {
+				if b > now+tEps {
+					next = math.Min(next, b)
+				}
 			}
 		}
 		if math.IsInf(next, 1) {
@@ -330,8 +429,7 @@ func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent), fs *fa
 			next = now + tEps
 		}
 
-		// Advance streaming progress to the event time. Steps never cross
-		// a startup boundary: memStartAt times are event candidates.
+		// Advance streaming progress to the event time.
 		dt := next - now
 		for _, r := range active {
 			if now+tEps >= r.memStartAt && r.memLeft > memEps {
@@ -345,5 +443,19 @@ func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent), fs *fa
 	for _, b := range peBusy {
 		busy += b
 	}
-	return Result{Cycles: now, BusyPECycles: busy, NumTasks: nTasks, FaultedTasks: faulted, PEBusy: peBusy}
+	res := Result{Cycles: now, BusyPECycles: busy, NumTasks: nTasks, FaultedTasks: faulted, PEBusy: peBusy}
+	if fs != nil {
+		res.StrandedTasks = fs.stranded
+		res.DeadPEs = fs.deadPEs()
+		for _, n := range fs.peFaults {
+			if n > 0 {
+				res.PEFaults = append([]int(nil), fs.peFaults...)
+				break
+			}
+		}
+		if fs.brown != nil && fs.brown.StartCycle < now {
+			res.BandwidthDerate = fs.brown.Factor
+		}
+	}
+	return res
 }

@@ -62,7 +62,31 @@ type Result struct {
 
 	// PEBusy is the per-PE busy time; its spread reveals load imbalance.
 	PEBusy []float64
+
+	// PEFaults counts faulted tasks per PE (nil when no task faulted). A
+	// concentration of faults on few PEs is the health registry's signal
+	// that the hardware — not the workload — is degrading.
+	PEFaults []int
+
+	// DeadPEs lists PEs that died mid-run (Faults.PEDeathCycle), sorted.
+	// Work in flight on a dying PE is lost and counted in FaultedTasks.
+	DeadPEs []int
+
+	// StrandedTasks counts tasks that never ran because their PE died:
+	// statically assigned residual lists, or (if every PE died) the shared
+	// queue's leftovers. Stranded work, like faulted work, invalidates the
+	// run's output.
+	StrandedTasks int
+
+	// BandwidthDerate is the brownout factor if a brownout window
+	// overlapped the run (0 when none did) — surfaced so the health layer
+	// can distinguish bandwidth degradation from compute faults.
+	BandwidthDerate float64
 }
+
+// Clean reports whether the run produced a trustworthy result: no faulted
+// and no stranded tasks.
+func (r Result) Clean() bool { return r.FaultedTasks == 0 && r.StrandedTasks == 0 }
 
 // Efficiency is the fraction of PE-time spent busy until the makespan — the
 // analog of the sm_efficiency counter in the paper's Table 9.

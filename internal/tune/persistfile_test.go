@@ -1,0 +1,111 @@
+package tune
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mikpoly/internal/hw"
+)
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	orig, err := Generate(hw.A100(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lib.json")
+	if err := SaveFile(orig, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.HW.Name != orig.HW.Name || len(loaded.Kernels) != len(orig.Kernels) {
+		t.Fatal("library lost in round trip")
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after save, want just the library", len(entries))
+	}
+}
+
+func TestSaveFileAtomicallyReplaces(t *testing.T) {
+	lib, err := Generate(hw.A100(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lib.json")
+	if err := os.WriteFile(path, []byte("stale garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(lib, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("replaced artifact unreadable: %v", err)
+	}
+}
+
+func TestLoadFileRejectsCorruption(t *testing.T) {
+	lib, err := Generate(hw.A100(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lib.json")
+	if err := SaveFile(lib, path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, data []byte, wantMsg string) {
+		t.Run(name, func(t *testing.T) {
+			p := filepath.Join(t.TempDir(), "bad.json")
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadFile(p)
+			if err == nil {
+				t.Fatal("corrupted library accepted")
+			}
+			if !strings.Contains(err.Error(), wantMsg) {
+				t.Fatalf("error %q does not mention %q", err, wantMsg)
+			}
+		})
+	}
+
+	// A single flipped bit in the payload fails the checksum.
+	flipped := bytes.Clone(good)
+	flipped[len(flipped)/2] ^= 0x40
+	corrupt("bit flip", flipped, "checksum mismatch")
+
+	// Truncation loses the trailer entirely (the common crash artifact
+	// before SaveFile existed).
+	corrupt("truncated", good[:len(good)/2], "missing integrity trailer")
+
+	// Truncation inside the trailer corrupts the recorded hash.
+	corrupt("torn trailer", good[:len(good)-10], "checksum mismatch")
+
+	// A forged trailer over tampered JSON still fails: the checksum is
+	// over the payload bytes, not the document semantics.
+	tampered := bytes.Replace(good, []byte(`"format_version": 1`), []byte(`"format_version": 9`), 1)
+	if bytes.Equal(tampered, good) {
+		t.Fatal("tamper target not found")
+	}
+	corrupt("tampered payload", tampered, "checksum mismatch")
+}
+
+func TestLoadFileMissingFile(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -79,6 +79,19 @@ type Library struct {
 // library.
 func (l *Library) Model(k kernel.MicroKernel) *perfmodel.Model { return l.models[k] }
 
+// WithHardware returns a view of the library re-targeted at hardware h,
+// sharing the kernels and fitted models (the offline stage is not redone).
+// This is how the online stage plans against a *degraded* abstraction
+// H' = (P_multi − quarantined, M_local, derated M_global): per-PE tile
+// feasibility and the g_predict fits depend on the PE itself, which
+// quarantining does not change — only the PE count and global bandwidth the
+// wave/cost terms see. The receiver is not modified.
+func (l *Library) WithHardware(h hw.Hardware) *Library {
+	out := *l
+	out.HW = h
+	return &out
+}
+
 // PredictTask returns g_predict(t, K̃, H) for a kernel in the library,
 // falling back to the analytic fair-share cost for foreign kernels so that
 // cost-model variants remain total functions.
