@@ -1,12 +1,21 @@
 # Verification gate for the MikPoly reproduction. `make verify` is the
-# one-command CI check: static analysis, full build, and the complete test
-# suite under the race detector.
+# one-command CI check: formatting, static analysis, full build, and the
+# complete test suite under the race detector. `make perf` runs the planner
+# benchmark suite against the committed baseline (the CI perf gate).
 
 GO ?= go
 
-.PHONY: verify vet build test race fuzz bench clean
+.PHONY: verify fmtcheck fmt vet build test race fuzz bench perf baseline clean
 
-verify: vet build race
+verify: fmtcheck vet build race
+
+# Formatting drift fails the build: gofmt -l must print nothing.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt required on:"; echo "$$out"; exit 1; fi
+
+fmt:
+	gofmt -w .
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +36,16 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Planner perf gate: measure the pinned shape suite and compare against the
+# committed baseline. Fails on >15% latency growth, any alloc increase, or
+# any change to the chosen programs / cycle-cost bits.
+perf:
+	$(GO) run ./cmd/mikbench -baseline BENCH_planner.json -out bench-current.json
+
+# Refresh the committed baseline (run on a quiet machine; commit the result).
+baseline:
+	$(GO) run ./cmd/mikbench -out BENCH_planner.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,104 @@
+// Command mikbench measures the online planner over a pinned suite of
+// BERT-style dynamic-sequence-length and Llama-decode GEMM shapes and gates
+// the result against a committed baseline. It is the CI perf job's engine and
+// the local tool for refreshing BENCH_planner.json.
+//
+// Run the suite and write a fresh baseline:
+//
+//	go run ./cmd/mikbench -out BENCH_planner.json
+//
+// Gate a working tree against the committed baseline (CI does this):
+//
+//	go run ./cmd/mikbench -baseline BENCH_planner.json -out bench-current.json
+//
+// Exit status: 0 = suite ran and (if -baseline) the gate passed; 1 = the gate
+// found regressions; 2 = the suite itself failed to run.
+//
+// Latency is compared with -tolerance (default +15%); allocation counts may
+// never increase; chosen programs, candidate counts and cycle costs must be
+// bitwise identical to the baseline — those fields are machine-independent,
+// so any drift means the planner's decisions changed, not that the runner was
+// noisy. -slowdown N plans every shape N times per measured op, which exists
+// to prove the gate trips (a -slowdown 2 run must fail a clean baseline).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mikpoly/internal/bench"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the measured report to this file (JSON, schema "+bench.PlannerBenchSchema+")")
+		baseline  = flag.String("baseline", "", "compare against this baseline report and exit 1 on regression")
+		quick     = flag.Bool("quick", false, "run the subsampled suite (tests and smoke runs)")
+		minTime   = flag.Duration("mintime", 150*time.Millisecond, "minimum sampling window per repetition")
+		repeats   = flag.Int("repeats", 3, "sampling repetitions per case (minimum ns/op is reported)")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional ns/op growth vs baseline")
+		slowdown  = flag.Int("slowdown", 1, "plan each shape this many times per op (gate-trip injection; >1 must fail a clean baseline)")
+	)
+	flag.Parse()
+
+	opts := bench.PlannerMeasureOpts{MinTime: *minTime, Repeats: *repeats, Slowdown: *slowdown}
+	cases := bench.PlannerSuite(*quick)
+	fmt.Fprintf(os.Stderr, "mikbench: measuring %d planner cases (mintime=%v repeats=%d slowdown=%d)\n",
+		len(cases), *minTime, *repeats, *slowdown)
+	start := time.Now()
+	rep, err := bench.RunPlannerSuite(cases, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mikbench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "mikbench: suite done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("%-24s %12s %10s %10s %8s  %s\n", "case", "ns/op", "allocs/op", "bytes/op", "cands", "pattern")
+	for _, c := range rep.Cases {
+		fmt.Printf("%-24s %12.0f %10d %10d %8d  %s\n",
+			c.Name, c.NsPerOp, c.AllocsPerOp, c.BytesPerOp, c.Candidates, c.Pattern)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mikbench: marshal: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mikbench: write %s: %v\n", *out, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "mikbench: wrote %s\n", *out)
+	}
+
+	if *baseline == "" {
+		return
+	}
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mikbench: read baseline: %v\n", err)
+		os.Exit(2)
+	}
+	var base bench.PlannerBenchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "mikbench: parse baseline %s: %v\n", *baseline, err)
+		os.Exit(2)
+	}
+	regs, notes := bench.ComparePlanner(&base, rep, bench.PlannerCompareOpts{LatencyTolerance: *tolerance})
+	for _, n := range notes {
+		fmt.Fprintf(os.Stderr, "mikbench: note: %s\n", n)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "mikbench: FAIL — %d regression(s) vs %s:\n", len(regs), *baseline)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  - %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mikbench: PASS — within tolerances of %s (%d cases, latency tolerance %.0f%%)\n",
+		*baseline, len(base.Cases), *tolerance*100)
+}

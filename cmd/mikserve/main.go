@@ -58,6 +58,7 @@ func main() {
 		library     = flag.String("library", "", "load the micro-kernel library from this file instead of tuning (falls back to tuning if unreadable)")
 		saveLibrary = flag.String("save-library", "", "after tuning, save the micro-kernel library to this file")
 		planAhead   = flag.Int("plan-ahead", 2, "graph-runtime plan-ahead depth for /model (<= 0 = sequential inline planning)")
+		planWorkers = flag.Int("plan-workers", 0, "online-search candidate-evaluation goroutines per plan (<= 1 = sequential; chosen programs are identical either way)")
 		decodeBatch = flag.Bool("decode-batch", true, "continuously batch concurrent llama2-decode /model requests")
 		withTrace   = flag.Bool("trace", true, "record execution spans, served at GET /trace")
 		traceCap    = flag.Int("trace-cap", obs.DefaultTraceCapacity, "span ring-buffer capacity for -trace")
@@ -135,7 +136,8 @@ func main() {
 	go func() {
 		lib := loadOrTune(h, *library, *saveLibrary, *cacheCap)
 		srv.SetCompiler(core.NewCompilerFromLibrary(lib,
-			core.WithCacheCapacity(*cacheCap), core.WithObs(o)))
+			core.WithCacheCapacity(*cacheCap), core.WithObs(o),
+			core.WithPlannerWorkers(*planWorkers)))
 		log.Printf("mikserve: ready (%d kernels for %s)", len(lib.Kernels), lib.HW.Name)
 	}()
 

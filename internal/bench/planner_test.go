@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mikpoly/internal/tune"
+)
+
+// testMeasureOpts keeps the offline stage tiny (shared with other package
+// tests through core.SharedLibrary) and the sampling windows short: these
+// tests exercise the gate logic, not the numbers.
+func testMeasureOpts() PlannerMeasureOpts {
+	return PlannerMeasureOpts{
+		MinTime: 3 * time.Millisecond,
+		Repeats: 1,
+		Tune:    tune.Options{NGen: 6, NSyn: 9, NMik: 10, NPred: 256},
+	}
+}
+
+// testCases is a two-case slice of the pinned suite — one GPU, one NPU — so
+// the gate tests cover both pattern sets without paying the full sweep.
+func testCases() []PlannerCase {
+	return []PlannerCase{
+		{Name: "a100-bert-qkv-s128", HW: "a100", M: 128, N: 768, K: 768},
+		{Name: "a910-npu-bert-s128", HW: "ascend910", M: 128, N: 768, K: 768},
+	}
+}
+
+// TestPlannerSuiteDeterministicAndSelfConsistent: two independent runs of the
+// same cases must choose bitwise-identical programs (same cycle-cost bits,
+// same program fingerprints, same candidate counts), and comparing a run
+// against itself must pass the gate with zero regressions.
+func TestPlannerSuiteDeterministicAndSelfConsistent(t *testing.T) {
+	a, err := RunPlannerSuite(testCases(), testMeasureOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPlannerSuite(testCases(), testMeasureOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cases {
+		ca, cb := a.Cases[i], b.Cases[i]
+		if ca.CycleCostBits != cb.CycleCostBits || ca.SimCyclesBits != cb.SimCyclesBits {
+			t.Fatalf("%s: cost bits differ across runs: %s/%s vs %s/%s",
+				ca.Name, ca.CycleCostBits, ca.SimCyclesBits, cb.CycleCostBits, cb.SimCyclesBits)
+		}
+		if ca.Program != cb.Program {
+			t.Fatalf("%s: program differs across runs:\n%s\n%s", ca.Name, ca.Program, cb.Program)
+		}
+		if ca.Candidates != cb.Candidates {
+			t.Fatalf("%s: candidates %d != %d", ca.Name, ca.Candidates, cb.Candidates)
+		}
+		if ca.AllocsPerOp > 8 {
+			t.Fatalf("%s: %d allocs/op on the steady-state hot path", ca.Name, ca.AllocsPerOp)
+		}
+	}
+	if regs, _ := ComparePlanner(a, a, PlannerCompareOpts{}); len(regs) != 0 {
+		t.Fatalf("self-comparison reported regressions: %v", regs)
+	}
+	// Cross-run comparison only risks latency jitter; with two identical
+	// back-to-back runs the deterministic fields must all pass.
+	regs, _ := ComparePlanner(a, b, PlannerCompareOpts{LatencyTolerance: 10})
+	if len(regs) != 0 {
+		t.Fatalf("cross-run comparison reported regressions: %v", regs)
+	}
+}
+
+// TestPlannerGateFailsOnInjectedSlowdown is the acceptance check that the CI
+// perf gate actually trips: re-running the suite with a 2x planner slowdown
+// injected must fail the 15%-latency comparison against the clean baseline.
+func TestPlannerGateFailsOnInjectedSlowdown(t *testing.T) {
+	baseline, err := RunPlannerSuite(testCases(), testMeasureOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowOpts := testMeasureOpts()
+	slowOpts.Slowdown = 2
+	slow, err := RunPlannerSuite(testCases(), slowOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, _ := ComparePlanner(baseline, slow, PlannerCompareOpts{LatencyTolerance: 0.15})
+	if len(regs) == 0 {
+		t.Fatal("2x injected slowdown passed the 15% latency gate")
+	}
+	found := false
+	for _, r := range regs {
+		if strings.Contains(r, "ns/op") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("slowdown regressions lack a latency entry: %v", regs)
+	}
+}
+
+// TestPlannerGateFailsOnDeterministicDrift mutates the deterministic fields
+// one at a time and asserts each mutation alone fails the gate.
+func TestPlannerGateFailsOnDeterministicDrift(t *testing.T) {
+	baseline, err := RunPlannerSuite(testCases(), testMeasureOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := func() *PlannerBenchReport {
+		c := *baseline
+		c.Cases = append([]PlannerCaseResult(nil), baseline.Cases...)
+		return &c
+	}
+	mutations := []struct {
+		name   string
+		mutate func(r *PlannerBenchReport)
+		want   string
+	}{
+		{"alloc-increase", func(r *PlannerBenchReport) { r.Cases[0].AllocsPerOp += 1 }, "allocs/op"},
+		{"cost-bit-flip", func(r *PlannerBenchReport) { r.Cases[0].CycleCostBits = "dead" + r.Cases[0].CycleCostBits[4:] }, "cycle cost bits"},
+		{"sim-bit-flip", func(r *PlannerBenchReport) { r.Cases[1].SimCyclesBits = "beef" + r.Cases[1].SimCyclesBits[4:] }, "simulated cycles"},
+		{"program-change", func(r *PlannerBenchReport) { r.Cases[0].Program = "mutated" }, "chosen program"},
+		{"candidate-drift", func(r *PlannerBenchReport) { r.Cases[1].Candidates++ }, "candidates"},
+		{"case-removed", func(r *PlannerBenchReport) { r.Cases = r.Cases[:1] }, "missing"},
+		{"latency-regression", func(r *PlannerBenchReport) { r.Cases[0].NsPerOp *= 1.5 }, "ns/op"},
+	}
+	for _, m := range mutations {
+		mutated := clone()
+		m.mutate(mutated)
+		regs, _ := ComparePlanner(baseline, mutated, PlannerCompareOpts{LatencyTolerance: 0.15})
+		if len(regs) == 0 {
+			t.Fatalf("%s: mutation passed the gate", m.name)
+		}
+		hit := false
+		for _, r := range regs {
+			if strings.Contains(r, m.want) {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Fatalf("%s: regressions %v lack %q", m.name, regs, m.want)
+		}
+	}
+	// A run with a new case the baseline lacks must also fail (the suite
+	// changed; the baseline needs an explicit refresh).
+	extra := clone()
+	extra.Cases = append(extra.Cases, PlannerCaseResult{PlannerCase: PlannerCase{Name: "new-case"}})
+	if regs, _ := ComparePlanner(baseline, extra, PlannerCompareOpts{}); len(regs) == 0 {
+		t.Fatal("new unbaselined case passed the gate")
+	}
+}

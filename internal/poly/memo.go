@@ -1,0 +1,57 @@
+package poly
+
+import (
+	"sync"
+
+	"mikpoly/internal/kernel"
+)
+
+// skelKey identifies one memoized skeleton enumeration. Boundaries depend
+// only on the output-plane extents, the anchor's output tile (uK never moves
+// a split point) and the PE count — so kernels differing only in uK or
+// schedule share an entry, and a shape bucket seen once is free for every
+// later plan on any planner.
+type skelKey struct {
+	pat    PatternID
+	um, un int
+	m, n   int
+	pes    int
+}
+
+// skelCacheCap bounds the memo so an unbounded shape stream cannot grow it
+// without limit; on overflow the map is reset (entries are derived state and
+// deterministically recomputable).
+const skelCacheCap = 8192
+
+var (
+	skelMu    sync.RWMutex
+	skelCache = make(map[skelKey][][]rect)
+)
+
+// cachedBoundaryCandidates is boundaryCandidates behind the skeleton memo.
+// The returned slices are shared across plans and goroutines and must be
+// treated as immutable.
+func cachedBoundaryCandidates(pat PatternID, M, N int, anchor kernel.MicroKernel, pes int) [][]rect {
+	key := skelKey{pat: pat, um: anchor.UM, un: anchor.UN, m: M, n: N, pes: pes}
+	skelMu.RLock()
+	v, ok := skelCache[key]
+	skelMu.RUnlock()
+	if ok {
+		return v
+	}
+	v = boundaryCandidates(pat, M, N, anchor, pes)
+	skelMu.Lock()
+	if len(skelCache) >= skelCacheCap {
+		skelCache = make(map[skelKey][][]rect, skelCacheCap/4)
+	}
+	skelCache[key] = v
+	skelMu.Unlock()
+	return v
+}
+
+// skelCacheLen reports the memo population (tests and diagnostics).
+func skelCacheLen() int {
+	skelMu.RLock()
+	defer skelMu.RUnlock()
+	return len(skelCache)
+}

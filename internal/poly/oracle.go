@@ -1,0 +1,69 @@
+package poly
+
+import (
+	"context"
+	"fmt"
+
+	"mikpoly/internal/tensor"
+)
+
+// planOracle is the CostOracle search: every candidate program is
+// materialized and simulated on the substrate — the reference point for
+// cost-model quality, far too slow for runtime use (§5.3.2). It never prunes
+// (its score scale is simulated cycles, not comparable to the cost-model
+// bound) and is exempt from the allocation-free fast path by design.
+func (p *Planner) planOracle(ctx context.Context, shape tensor.GemmShape, stats *PlanStats) (*Program, error) {
+	var best *Program
+	bestCost := 0.0
+	consider := func(prog *Program, cost float64) {
+		stats.Candidates++
+		if best == nil || cost < bestCost {
+			bestCost = cost
+			best = prog
+		}
+	}
+
+	for _, pat := range p.patterns() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("poly: planning aborted: %w", err)
+		}
+		_, psp := p.Trace.Start(ctx, patternSpanName(pat))
+		before := stats.Candidates
+		for _, anchor := range p.Lib.Kernels {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("poly: planning aborted: %w", err)
+			}
+			for _, geoms := range cachedBoundaryCandidates(pat, shape.M, shape.N, anchor, p.Lib.HW.NumPEs) {
+				prog := &Program{Shape: shape, Pattern: pat}
+				for gi, g := range geoms {
+					var reg Region
+					// The oracle enumerates the primary kernel explicitly
+					// even for Pattern I, so every single-kernel program
+					// is simulated.
+					if gi == 0 {
+						reg = Region{M0: g.m0, N0: g.n0, M: g.m, N: g.n, K: shape.K, Kern: anchor}
+					} else {
+						reg, _ = p.bestKernelFor(g, shape.K)
+					}
+					prog.Regions = append(prog.Regions, reg)
+				}
+				total := prog.Simulate(p.Lib.HW).Cycles
+				prog.EstimatedCost = total
+				consider(prog, total)
+			}
+		}
+		psp.Attr("candidates", float64(stats.Candidates-before)).End()
+	}
+
+	if p.EnableSplitK {
+		_, ksp := p.Trace.Start(ctx, "poly.pattern.split-K")
+		before := stats.Candidates
+		for _, prog := range p.splitKCandidates(shape) {
+			cost := prog.Simulate(p.Lib.HW).Cycles
+			prog.EstimatedCost = cost
+			consider(prog, cost)
+		}
+		ksp.Attr("candidates", float64(stats.Candidates-before)).End()
+	}
+	return best, nil
+}

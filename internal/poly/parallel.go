@@ -1,0 +1,139 @@
+package poly
+
+import (
+	"fmt"
+	"sync"
+
+	"context"
+
+	"mikpoly/internal/tensor"
+)
+
+// searchUnit is one independently evaluable slice of the candidate space: all
+// boundary candidates of one (pattern, anchor) pair. patIdx is the pattern's
+// index in the planner's pattern list, so unit order equals sequential
+// enumeration order.
+type searchUnit struct {
+	patIdx    int
+	pat       PatternID
+	anchorIdx int
+}
+
+// workerResult is one worker's local argmin plus its search statistics.
+type workerResult struct {
+	win        winner
+	winPatIdx  int
+	candidates int
+	pruned     int
+}
+
+// maxPlanWorkers caps the fan-out: beyond a handful of goroutines the
+// per-plan spawn cost dominates the microsecond-scale search itself.
+const maxPlanWorkers = 16
+
+// planParallel evaluates (pattern, anchor) units across p.Workers goroutines
+// and merges per-worker argmins by (cost, enumeration ordinal). Because every
+// candidate's cost is computed by exactly the arithmetic the sequential
+// search uses, and the merge prefers the earliest-enumerated candidate among
+// equal costs — the same program the sequential first-strict-improvement rule
+// keeps — the chosen program is bitwise identical to planSequential's.
+// Branch-and-bound prunes against per-worker bounds, which are never tighter
+// than the sequential bound at the same point, so pruning can only skip
+// candidates that provably lose (or tie later in enumeration order) — never
+// the merged winner.
+func (p *Planner) planParallel(ctx context.Context, shape tensor.GemmShape, stats *PlanStats) (*Program, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	pipe := p.pipeTable(sc, shape.K)
+	pes := p.Lib.HW.NumPEs
+
+	pats := p.patterns()
+	units := make([]searchUnit, 0, len(pats)*len(p.Lib.Kernels))
+	for pi, pat := range pats {
+		if pat == PatternI {
+			// Pattern I ignores the anchor beyond region kernel choice;
+			// one unit covers all kernels (the sequential break).
+			units = append(units, searchUnit{patIdx: pi, pat: pat, anchorIdx: 0})
+			continue
+		}
+		for ai := range p.Lib.Kernels {
+			units = append(units, searchUnit{patIdx: pi, pat: pat, anchorIdx: ai})
+		}
+	}
+
+	workers := p.Workers
+	if workers > maxPlanWorkers {
+		workers = maxPlanWorkers
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]workerResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			res.winPatIdx = -1
+			// Strided assignment keeps each worker's units in increasing
+			// enumeration order, so its local strict-improvement argmin is
+			// already (cost, ordinal)-minimal over the units it saw.
+			for ui := w; ui < len(units); ui += workers {
+				if ctx.Err() != nil {
+					return
+				}
+				u := units[ui]
+				if !p.DisablePruning && res.win.valid && u.pat != PatternI {
+					if p.anchorLowerBoundAt(pipe, u.anchorIdx) >= res.win.cost {
+						res.pruned++
+						continue
+					}
+				}
+				for ci, geoms := range p.skeletons(u.pat, shape, u.anchorIdx) {
+					total := p.evalCandidate(pipe, geoms, u.anchorIdx, u.pat != PatternI, pes)
+					res.candidates++
+					if !res.win.valid || total < res.win.cost {
+						res.win = winner{valid: true, cost: total, pat: u.pat, anchorIdx: u.anchorIdx, candIdx: ci}
+						res.winPatIdx = u.patIdx
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("poly: planning aborted: %w", err)
+	}
+
+	var win winner
+	winPatIdx := -1
+	for _, res := range results {
+		stats.Candidates += res.candidates
+		stats.PrunedAnchors += res.pruned
+		if !res.win.valid {
+			continue
+		}
+		switch {
+		case !win.valid, res.win.cost < win.cost:
+			win, winPatIdx = res.win, res.winPatIdx
+		case res.win.cost == win.cost &&
+			ordinalLess(res.winPatIdx, res.win.anchorIdx, res.win.candIdx, winPatIdx, win.anchorIdx, win.candIdx):
+			win, winPatIdx = res.win, res.winPatIdx
+		}
+	}
+
+	if p.EnableSplitK {
+		// Split-K enumerates after every output-plane pattern, so scoring
+		// it sequentially against the merged bound preserves order.
+		p.evalSplitK(shape, stats, &win)
+	}
+	if !win.valid {
+		return nil, nil
+	}
+	return p.buildWinner(pipe, shape, win), nil
+}

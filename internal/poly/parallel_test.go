@@ -1,0 +1,184 @@
+package poly
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mikpoly/internal/tensor"
+)
+
+// determinismShapes is the pinned suite plus seeded random shapes the
+// parallel-equivalence tests sweep. Run under -race in CI, this doubles as
+// the planner's concurrency test.
+func determinismShapes(seed int64, extra int) []tensor.GemmShape {
+	shapes := []tensor.GemmShape{
+		{M: 1, N: 1, K: 1},
+		{M: 384, N: 768, K: 768},
+		{M: 1, N: 4096, K: 4096},
+		{M: 100, N: 60, K: 40},
+		{M: 4000, N: 1024, K: 512},
+		{M: 17, N: 4096, K: 11008},
+		{M: 509, N: 3072, K: 768},
+		{M: 105, N: 1024, K: 12544},
+		{M: 33, N: 17, K: 129},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < extra; i++ {
+		shapes = append(shapes, tensor.GemmShape{
+			M: 1 + rng.Intn(4096), N: 1 + rng.Intn(4096), K: 1 + rng.Intn(16384),
+		})
+	}
+	return shapes
+}
+
+// samePlan asserts two programs are bitwise identical: pattern, every region
+// (geometry and kernel), and the estimated cost down to the float bits.
+func samePlan(t *testing.T, tag string, seq, par *Program) {
+	t.Helper()
+	if seq.Pattern != par.Pattern {
+		t.Fatalf("%s: pattern %v != %v", tag, seq.Pattern, par.Pattern)
+	}
+	if !reflect.DeepEqual(seq.Regions, par.Regions) {
+		t.Fatalf("%s: regions differ:\nseq: %v\npar: %v", tag, seq, par)
+	}
+	if math.Float64bits(seq.EstimatedCost) != math.Float64bits(par.EstimatedCost) {
+		t.Fatalf("%s: cost bits %x != %x", tag, math.Float64bits(seq.EstimatedCost), math.Float64bits(par.EstimatedCost))
+	}
+}
+
+// TestParallelPlanMatchesSequential is the planner-determinism gate: across
+// the pinned suite, several seeds and several worker counts, the parallel
+// candidate search must return the exact program — same regions, same kernel
+// choices, same cost bits — the sequential search returns.
+func TestParallelPlanMatchesSequential(t *testing.T) {
+	gpu, npu := libs(t)
+	for _, lib := range []*struct {
+		name string
+		p    func() *Planner
+	}{
+		{"gpu", func() *Planner { return NewPlanner(gpu) }},
+		{"npu", func() *Planner { return NewPlanner(npu) }},
+		{"npu-splitk", func() *Planner { p := NewPlanner(npu); p.EnableSplitK = true; return p }},
+		{"gpu-noprune", func() *Planner { p := NewPlanner(gpu); p.DisablePruning = true; return p }},
+		{"npu-wave", func() *Planner { p := NewPlanner(npu); p.Cost = CostWaveOnly; return p }},
+		{"npu-pipe", func() *Planner { p := NewPlanner(npu); p.Cost = CostPipeOnly; return p }},
+	} {
+		for _, seed := range []int64{1, 7, 42} {
+			shapes := determinismShapes(seed, 20)
+			seqPlanner := lib.p()
+			for _, s := range shapes {
+				seqProg, _, err := seqPlanner.Plan(s)
+				if err != nil {
+					t.Fatalf("%s seq %v: %v", lib.name, s, err)
+				}
+				for _, workers := range []int{2, 3, 4, 8} {
+					parPlanner := lib.p()
+					parPlanner.Workers = workers
+					parProg, _, err := parPlanner.Plan(s)
+					if err != nil {
+						t.Fatalf("%s w=%d %v: %v", lib.name, workers, s, err)
+					}
+					samePlan(t, lib.name, seqProg, parProg)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelPlanConcurrentSameShape drives many goroutines through one
+// parallel planner at once (the compiler's singleflight dedupes per shape,
+// not across shapes), asserting every result matches the sequential plan.
+func TestParallelPlanConcurrentSameShape(t *testing.T) {
+	_, npu := libs(t)
+	seq := NewPlanner(npu)
+	shapes := determinismShapes(3, 6)
+	want := make([]*Program, len(shapes))
+	for i, s := range shapes {
+		prog, _, err := seq.Plan(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = prog
+	}
+	par := NewPlanner(npu)
+	par.Workers = 4
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i, s := range shapes {
+				prog, _, err := par.Plan(s)
+				if err != nil {
+					done <- err
+					return
+				}
+				if !reflect.DeepEqual(prog.Regions, want[i].Regions) {
+					done <- errMismatch
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = errString("parallel plan diverged from sequential")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// TestParallelPlanCancellation: a cancelled context aborts the parallel
+// search with the context error, like the sequential path.
+func TestParallelPlanCancellation(t *testing.T) {
+	_, npu := libs(t)
+	p := NewPlanner(npu)
+	p.Workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := p.PlanContext(ctx, tensor.GemmShape{M: 1000, N: 1000, K: 1000}); err == nil {
+		t.Fatal("cancelled parallel plan must fail")
+	}
+}
+
+// TestPlanAllocationBudget pins the allocation count of the steady-state
+// sequential hot path: after warmup (memo and pools populated), a plan may
+// materialize the winning program and essentially nothing else. The pre-
+// optimization planner spent 211 (GPU) / 1854 (NPU) allocs per plan; the
+// budget leaves headroom over the measured 2 while still failing on any
+// reintroduced per-candidate churn.
+func TestPlanAllocationBudget(t *testing.T) {
+	gpu, npu := libs(t)
+	shapes := determinismShapes(9, 10)
+	for _, tc := range []struct {
+		name string
+		p    *Planner
+	}{
+		{"gpu", NewPlanner(gpu)},
+		{"npu", NewPlanner(npu)},
+	} {
+		for _, s := range shapes { // warm the skeleton memo
+			if _, _, err := tc.p.Plan(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		avg := testing.AllocsPerRun(20, func() {
+			for _, s := range shapes {
+				if _, _, err := tc.p.Plan(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		perPlan := avg / float64(len(shapes))
+		if perPlan > 8 {
+			t.Fatalf("%s: %0.1f allocs per plan, budget 8", tc.name, perPlan)
+		}
+	}
+}

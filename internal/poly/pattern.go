@@ -45,28 +45,75 @@ const (
 	PatternSplitK
 )
 
-// GPUPatterns is the pattern subset used on dynamically scheduled devices.
-func GPUPatterns() []PatternID { return []PatternID{PatternI, PatternII} }
-
-// NPUPatterns is the full pattern set used on statically scheduled devices.
-func NPUPatterns() []PatternID {
-	return []PatternID{
+// gpuPatternSet and npuPatternSet are the platform-default pattern lists the
+// planner iterates directly; the exported accessors return copies so callers
+// cannot mutate the defaults out from under the hot path.
+var (
+	gpuPatternSet = []PatternID{PatternI, PatternII}
+	npuPatternSet = []PatternID{
 		PatternI, PatternII, PatternIII, PatternIV, PatternV,
 		PatternVI, PatternVII, PatternVIII, PatternIX,
 	}
-}
+)
+
+// GPUPatterns is the pattern subset used on dynamically scheduled devices.
+func GPUPatterns() []PatternID { return append([]PatternID(nil), gpuPatternSet...) }
+
+// NPUPatterns is the full pattern set used on statically scheduled devices.
+func NPUPatterns() []PatternID { return append([]PatternID(nil), npuPatternSet...) }
 
 func (p PatternID) String() string {
-	names := map[PatternID]string{
-		PatternI: "I", PatternII: "II", PatternIII: "III",
-		PatternIV: "IV", PatternV: "V", PatternVI: "VI",
-		PatternVII: "VII", PatternVIII: "VIII", PatternIX: "IX",
-		PatternSplitK: "split-K",
+	switch p {
+	case PatternI:
+		return "I"
+	case PatternII:
+		return "II"
+	case PatternIII:
+		return "III"
+	case PatternIV:
+		return "IV"
+	case PatternV:
+		return "V"
+	case PatternVI:
+		return "VI"
+	case PatternVII:
+		return "VII"
+	case PatternVIII:
+		return "VIII"
+	case PatternIX:
+		return "IX"
+	case PatternSplitK:
+		return "split-K"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
 	}
-	if s, ok := names[p]; ok {
-		return s
+}
+
+// patternSpanName returns the trace-span name for a pattern enumeration
+// without concatenating strings on the hot path.
+func patternSpanName(p PatternID) string {
+	switch p {
+	case PatternI:
+		return "poly.pattern.I"
+	case PatternII:
+		return "poly.pattern.II"
+	case PatternIII:
+		return "poly.pattern.III"
+	case PatternIV:
+		return "poly.pattern.IV"
+	case PatternV:
+		return "poly.pattern.V"
+	case PatternVI:
+		return "poly.pattern.VI"
+	case PatternVII:
+		return "poly.pattern.VII"
+	case PatternVIII:
+		return "poly.pattern.VIII"
+	case PatternIX:
+		return "poly.pattern.IX"
+	default:
+		return "poly.pattern." + p.String()
 	}
-	return fmt.Sprintf("Pattern(%d)", int(p))
 }
 
 // rect is a candidate region geometry before kernel assignment.

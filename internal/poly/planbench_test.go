@@ -1,0 +1,44 @@
+package poly
+
+import (
+	"testing"
+
+	"mikpoly/internal/tensor"
+)
+
+// planBenchShapes is a small pinned sweep exercising ragged BERT-style and
+// Llama-decode GEMM shapes.
+var planBenchShapes = []tensor.GemmShape{
+	{M: 384, N: 768, K: 768},
+	{M: 1, N: 4096, K: 4096},
+	{M: 100, N: 60, K: 40},
+	{M: 4000, N: 1024, K: 512},
+	{M: 17, N: 4096, K: 11008},
+	{M: 509, N: 3072, K: 768},
+}
+
+func BenchmarkPlanGPU(b *testing.B) {
+	gpu, _ := libs(b)
+	p := NewPlanner(gpu)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := planBenchShapes[i%len(planBenchShapes)]
+		if _, _, err := p.Plan(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanNPU(b *testing.B) {
+	_, npu := libs(b)
+	p := NewPlanner(npu)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := planBenchShapes[i%len(planBenchShapes)]
+		if _, _, err := p.Plan(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -94,9 +94,19 @@ type Planner struct {
 	// for skinny outputs with deep reductions.
 	EnableSplitK bool
 
+	// Workers > 1 evaluates candidate (pattern, anchor) units across that
+	// many goroutines. The chosen program is identical to the sequential
+	// search — workers merge by (cost, enumeration-ordinal), matching the
+	// sequential first-strict-improvement rule — but PlanStats.Candidates
+	// and PrunedAnchors may differ, because branch-and-bound prunes
+	// against per-worker bounds. Ignored under CostOracle.
+	Workers int
+
 	// Trace, when non-nil and enabled, records hierarchical spans for the
 	// search (poly.plan → per-pattern enumeration → validate). It never
-	// affects which program is chosen.
+	// affects which program is chosen. Per-pattern spans are recorded only
+	// by the sequential search; the parallel search records the outer
+	// poly.plan span alone.
 	Trace *obs.Tracer
 }
 
@@ -108,9 +118,9 @@ func (p *Planner) patterns() []PatternID {
 		return p.Patterns
 	}
 	if p.Lib.HW.Scheduler == hw.ScheduleStaticMaxMin {
-		return NPUPatterns()
+		return npuPatternSet
 	}
-	return GPUPatterns()
+	return gpuPatternSet
 }
 
 // regionCost evaluates one (R_i, K̃_i) term of Eq. 2 under the active cost
@@ -153,6 +163,11 @@ func (p *Planner) Plan(shape tensor.GemmShape) (*Program, PlanStats, error) {
 // between anchor kernels and aborts with ctx's error once it is done, so a
 // serving layer can impose a planning deadline and fall back to the
 // always-legal single-kernel program (FallbackProgram) instead of blocking.
+//
+// The search itself is allocation-free on the hot path: candidates are costed
+// from pooled scratch tables and memoized pattern skeletons, and only the
+// winning program is materialized (the losing candidates — including the
+// single-kernel fallback-shaped Pattern-I ones — are never built).
 func (p *Planner) PlanContext(ctx context.Context, shape tensor.GemmShape) (*Program, PlanStats, error) {
 	start := time.Now()
 	var stats PlanStats
@@ -173,97 +188,23 @@ func (p *Planner) PlanContext(ctx context.Context, shape tensor.GemmShape) (*Pro
 	}()
 
 	var best *Program
-	bestCost := math.Inf(1)
-	consider := func(prog *Program, cost float64) {
-		stats.Candidates++
-		if cost < bestCost {
-			bestCost = cost
-			best = prog
-		}
+	var err error
+	switch {
+	case p.Cost == CostOracle:
+		best, err = p.planOracle(ctx, shape, &stats)
+	case p.Workers > 1:
+		best, err = p.planParallel(ctx, shape, &stats)
+	default:
+		best, err = p.planSequential(ctx, shape, &stats)
 	}
-
-	for _, pat := range p.patterns() {
-		if err := ctx.Err(); err != nil {
-			return nil, stats, fmt.Errorf("poly: planning aborted: %w", err)
-		}
-		// One strategy-search span per pattern enumeration; a span cut
-		// short by cancellation is simply never recorded.
-		_, psp := p.Trace.Start(ctx, "poly.pattern."+pat.String())
-		before := stats.Candidates
-		for _, anchor := range p.Lib.Kernels {
-			if err := ctx.Err(); err != nil {
-				return nil, stats, fmt.Errorf("poly: planning aborted: %w", err)
-			}
-			// Branch-and-bound: if the anchor's best possible main
-			// region alone already exceeds the current best program,
-			// every strategy built on this anchor loses too (§3.5).
-			// Oracle mode never prunes: its score scale (simulated
-			// cycles) is not comparable to the bound.
-			if !p.DisablePruning && p.Cost != CostOracle && best != nil && pat != PatternI {
-				lower := p.anchorLowerBound(shape, anchor)
-				if lower >= bestCost {
-					stats.PrunedAnchors++
-					continue
-				}
-			}
-			for _, geoms := range boundaryCandidates(pat, shape.M, shape.N, anchor, p.Lib.HW.NumPEs) {
-				prog := &Program{Shape: shape, Pattern: pat}
-				total := 0.0
-				for gi, g := range geoms {
-					var reg Region
-					var c float64
-					anchored := gi == 0 && pat != PatternI
-					if p.Cost == CostOracle && gi == 0 {
-						// Oracle enumerates the primary kernel explicitly
-						// even for Pattern I, so every single-kernel
-						// program is simulated.
-						anchored = true
-					}
-					if anchored {
-						// The primary region is anchored: its boundary
-						// was derived from this kernel's tile.
-						reg = Region{M0: g.m0, N0: g.n0, M: g.m, N: g.n, K: shape.K, Kern: anchor}
-						c = p.regionCost(reg)
-					} else {
-						reg, c = p.bestKernelFor(g, shape.K)
-					}
-					prog.Regions = append(prog.Regions, reg)
-					total += c
-				}
-				if p.Cost == CostOracle {
-					total = prog.Simulate(p.Lib.HW).Cycles
-				}
-				prog.EstimatedCost = total
-				consider(prog, total)
-			}
-			if pat == PatternI && p.Cost != CostOracle {
-				// Pattern I ignores the anchor beyond region kernel
-				// choice; a single argmin pass covers all kernels.
-				break
-			}
-		}
-		psp.Attr("candidates", float64(stats.Candidates-before)).End()
+	if err != nil {
+		return nil, stats, err
 	}
-
-	if p.EnableSplitK {
-		_, ksp := p.Trace.Start(ctx, "poly.pattern."+PatternSplitK.String())
-		before := stats.Candidates
-		for _, prog := range p.splitKCandidates(shape) {
-			cost := p.splitKCost(prog)
-			if p.Cost == CostOracle {
-				cost = prog.Simulate(p.Lib.HW).Cycles
-			}
-			prog.EstimatedCost = cost
-			consider(prog, cost)
-		}
-		ksp.Attr("candidates", float64(stats.Candidates-before)).End()
-	}
-
 	if best == nil {
 		return nil, stats, fmt.Errorf("poly: no candidate programs for %v", shape)
 	}
 	_, vsp := p.Trace.Start(ctx, "poly.validate")
-	err := best.Validate()
+	err = best.Validate()
 	vsp.End()
 	if err != nil {
 		return nil, stats, fmt.Errorf("poly: planned program invalid: %w", err)
@@ -273,9 +214,77 @@ func (p *Planner) PlanContext(ctx context.Context, shape tensor.GemmShape) (*Pro
 	return best, stats, nil
 }
 
-// anchorLowerBound is an optimistic cost for any program whose primary
-// region uses the anchor kernel: at least one wave of one pipelined task
-// with a single reduction instance.
+// planSequential is the default online search: one pass over the pattern ×
+// anchor × boundary space, scoring candidates in place and materializing only
+// the winner.
+func (p *Planner) planSequential(ctx context.Context, shape tensor.GemmShape, stats *PlanStats) (*Program, error) {
+	sc := getScratch()
+	defer putScratch(sc)
+	pipe := p.pipeTable(sc, shape.K)
+	pes := p.Lib.HW.NumPEs
+
+	var win winner
+	for _, pat := range p.patterns() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("poly: planning aborted: %w", err)
+		}
+		// One strategy-search span per pattern enumeration; a span cut
+		// short by cancellation is simply never recorded.
+		_, psp := p.Trace.Start(ctx, patternSpanName(pat))
+		before := stats.Candidates
+		for ai := range p.Lib.Kernels {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("poly: planning aborted: %w", err)
+			}
+			// Branch-and-bound: if the anchor's best possible main
+			// region alone already exceeds the current best program,
+			// every strategy built on this anchor loses too (§3.5).
+			if !p.DisablePruning && win.valid && pat != PatternI {
+				if p.anchorLowerBoundAt(pipe, ai) >= win.cost {
+					stats.PrunedAnchors++
+					continue
+				}
+			}
+			for ci, geoms := range p.skeletons(pat, shape, ai) {
+				total := p.evalCandidate(pipe, geoms, ai, pat != PatternI, pes)
+				stats.Candidates++
+				if !win.valid || total < win.cost {
+					win = winner{valid: true, cost: total, pat: pat, anchorIdx: ai, candIdx: ci}
+				}
+			}
+			if pat == PatternI {
+				// Pattern I ignores the anchor beyond region kernel
+				// choice; a single argmin pass covers all kernels.
+				break
+			}
+		}
+		psp.Attr("candidates", float64(stats.Candidates-before)).End()
+	}
+
+	if p.EnableSplitK {
+		_, ksp := p.Trace.Start(ctx, "poly.pattern.split-K")
+		before := stats.Candidates
+		p.evalSplitK(shape, stats, &win)
+		ksp.Attr("candidates", float64(stats.Candidates-before)).End()
+	}
+	if !win.valid {
+		return nil, nil
+	}
+	return p.buildWinner(pipe, shape, win), nil
+}
+
+// anchorLowerBoundAt is an optimistic cost for any program whose primary
+// region uses anchor i: at least one wave of one pipelined task with a single
+// reduction instance.
+func (p *Planner) anchorLowerBoundAt(pipe []float64, i int) float64 {
+	if p.Cost == CostWaveOnly {
+		return 1
+	}
+	return pipe[i]
+}
+
+// anchorLowerBound is the kernel-keyed form of anchorLowerBoundAt, kept for
+// the oracle path and tests.
 func (p *Planner) anchorLowerBound(shape tensor.GemmShape, anchor kernel.MicroKernel) float64 {
 	if p.Cost == CostWaveOnly {
 		return 1
@@ -284,41 +293,99 @@ func (p *Planner) anchorLowerBound(shape tensor.GemmShape, anchor kernel.MicroKe
 	return p.Lib.PredictTask(anchor, t3)
 }
 
-// splitKCandidates builds PatternSplitK programs: the full output computed
-// ks times over contiguous reduction slices, with partial products
-// accumulated into the shared output. Splitting only helps when the
-// output-plane grid underfills the device, so candidates are generated only
-// while the split grid still gains occupancy.
-func (p *Planner) splitKCandidates(shape tensor.GemmShape) []*Program {
-	var out []*Program
+// splitKFactors is the reduction-split fan the split-K extension explores.
+var splitKFactors = [...]int{2, 4, 8, 16, 32}
+
+// evalSplitK scores PatternSplitK candidates against the current winner
+// without materializing programs: the full output computed ks times over
+// contiguous reduction slices. Splitting only helps when the output-plane
+// grid underfills the device, so candidates are generated only while the
+// split grid still gains occupancy.
+func (p *Planner) evalSplitK(shape tensor.GemmShape, stats *PlanStats, win *winner) {
 	pes := p.Lib.HW.NumPEs
-	for _, k := range p.Lib.Kernels {
+	for ki := range p.Lib.Kernels {
+		k := &p.Lib.Kernels[ki]
 		baseTasks := ((shape.M + k.UM - 1) / k.UM) * ((shape.N + k.UN - 1) / k.UN)
 		if baseTasks >= pes {
 			continue // already a full wave; splitting only adds traffic
 		}
-		for _, ks := range []int{2, 4, 8, 16, 32} {
+		for _, ks := range splitKFactors {
 			if (ks-1)*baseTasks >= pes || ks > shape.K {
 				break
 			}
-			prog := &Program{Shape: shape, Pattern: PatternSplitK}
-			for i := 0; i < ks; i++ {
-				k0 := i * shape.K / ks
-				k1 := (i + 1) * shape.K / ks
-				prog.Regions = append(prog.Regions, Region{
-					M0: 0, N0: 0, M: shape.M, N: shape.N,
-					KOff: k0, K: k1 - k0, Kern: k,
-				})
+			cost := p.splitKEval(ki, ks, baseTasks, shape)
+			stats.Candidates++
+			if !win.valid || cost < win.cost {
+				*win = winner{valid: true, cost: cost, pat: PatternSplitK, anchorIdx: ki, candIdx: ks}
 			}
-			out = append(out, prog)
+		}
+	}
+}
+
+// splitKEval scores one (kernel, split-count) split-K candidate. Unlike
+// output-plane regions, split-K slices co-run over the same output, so the
+// wave term covers the combined grid rather than summing per-region waves.
+func (p *Planner) splitKEval(ki, ks, baseTasks int, shape tensor.GemmShape) float64 {
+	k := &p.Lib.Kernels[ki]
+	total := 0
+	maxPipe := 0.0
+	for i := 0; i < ks; i++ {
+		k0 := i * shape.K / ks
+		k1 := (i + 1) * shape.K / ks
+		total += baseTasks
+		t3 := (k1 - k0 + k.UK - 1) / k.UK
+		if c := p.Lib.PredictAt(ki, t3); c > maxPipe {
+			maxPipe = c
+		}
+	}
+	waves := WaveCount(total, p.Lib.HW.NumPEs)
+	switch p.Cost {
+	case CostWaveOnly:
+		return waves
+	case CostPipeOnly:
+		return maxPipe
+	default:
+		return waves * maxPipe
+	}
+}
+
+// splitKCandidates builds PatternSplitK programs for the oracle path, which
+// must simulate every candidate and therefore needs them materialized.
+func (p *Planner) splitKCandidates(shape tensor.GemmShape) []*Program {
+	var out []*Program
+	pes := p.Lib.HW.NumPEs
+	for ki := range p.Lib.Kernels {
+		k := p.Lib.Kernels[ki]
+		baseTasks := ((shape.M + k.UM - 1) / k.UM) * ((shape.N + k.UN - 1) / k.UN)
+		if baseTasks >= pes {
+			continue
+		}
+		for _, ks := range splitKFactors {
+			if (ks-1)*baseTasks >= pes || ks > shape.K {
+				break
+			}
+			out = append(out, p.buildSplitK(shape, ki, ks))
 		}
 	}
 	return out
 }
 
-// splitKCost scores a split-K program. Unlike output-plane regions, split-K
-// slices co-run over the same output, so the wave term covers the combined
-// grid rather than summing per-region waves.
+// buildSplitK materializes the (kernel, split-count) split-K program.
+func (p *Planner) buildSplitK(shape tensor.GemmShape, ki, ks int) *Program {
+	k := p.Lib.Kernels[ki]
+	prog := &Program{Shape: shape, Pattern: PatternSplitK, Regions: make([]Region, 0, ks)}
+	for i := 0; i < ks; i++ {
+		k0 := i * shape.K / ks
+		k1 := (i + 1) * shape.K / ks
+		prog.Regions = append(prog.Regions, Region{
+			M0: 0, N0: 0, M: shape.M, N: shape.N,
+			KOff: k0, K: k1 - k0, Kern: k,
+		})
+	}
+	return prog
+}
+
+// splitKCost scores a materialized split-K program (oracle path and tests).
 func (p *Planner) splitKCost(prog *Program) float64 {
 	total := 0
 	maxPipe := 0.0

@@ -19,7 +19,7 @@ var (
 	npuLib  *tune.Library
 )
 
-func libs(t *testing.T) (*tune.Library, *tune.Library) {
+func libs(t testing.TB) (*tune.Library, *tune.Library) {
 	t.Helper()
 	libOnce.Do(func() {
 		opts := tune.Options{NGen: 12, NSyn: 12, NMik: 16, NPred: 1024}

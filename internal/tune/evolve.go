@@ -182,5 +182,6 @@ func Refine(lib *Library, opt EvolveOptions) (*Library, RefineStats, error) {
 			return MeasureTaskCost(lib.HW, k, t)
 		}, lib.Opts.NPred)
 	}
+	out.buildIndex()
 	return out, stats, nil
 }

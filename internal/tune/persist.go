@@ -86,5 +86,6 @@ func Load(r io.Reader) (*Library, error) {
 		}
 		lib.models[k] = raw.Models[i]
 	}
+	lib.buildIndex()
 	return lib, nil
 }

@@ -73,11 +73,47 @@ type Library struct {
 	Opts    Options
 	Kernels []kernel.MicroKernel
 	models  map[kernel.MicroKernel]*perfmodel.Model
+
+	// modelList is models re-indexed to align with Kernels, so the online
+	// planner's inner loop resolves g_predict by array indexing instead of
+	// hashing a 6-field struct key. Built by buildIndex at every library
+	// construction site (Generate, Load, Evolve).
+	modelList []*perfmodel.Model
 }
 
 // Model returns the fitted g_predict model for k, or nil if k is not in the
 // library.
 func (l *Library) Model(k kernel.MicroKernel) *perfmodel.Model { return l.models[k] }
+
+// ModelAt returns the fitted model for Kernels[i], or nil when the index is
+// out of range or the library predates indexing.
+func (l *Library) ModelAt(i int) *perfmodel.Model {
+	if i < 0 || i >= len(l.modelList) {
+		return nil
+	}
+	return l.modelList[i]
+}
+
+// PredictAt is PredictTask for Kernels[i] by index — the planner hot path.
+// It falls back to the map path (and from there to the analytic cost) when
+// the index carries no model, so it stays a total function.
+func (l *Library) PredictAt(i, t int) float64 {
+	if m := l.ModelAt(i); m != nil {
+		return m.Predict(t)
+	}
+	if i >= 0 && i < len(l.Kernels) {
+		return l.PredictTask(l.Kernels[i], t)
+	}
+	panic(fmt.Sprintf("tune: PredictAt index %d outside library of %d kernels", i, len(l.Kernels)))
+}
+
+// buildIndex (re)derives modelList from Kernels and models.
+func (l *Library) buildIndex() {
+	l.modelList = make([]*perfmodel.Model, len(l.Kernels))
+	for i, k := range l.Kernels {
+		l.modelList[i] = l.models[k]
+	}
+}
 
 // WithHardware returns a view of the library re-targeted at hardware h,
 // sharing the kernels and fitted models (the offline stage is not redone).
@@ -340,5 +376,6 @@ func Generate(h hw.Hardware, opt Options) (*Library, error) {
 			return MeasureTaskCost(h, k, t)
 		}, opt.NPred)
 	}
+	lib.buildIndex()
 	return lib, nil
 }
