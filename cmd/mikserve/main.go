@@ -32,10 +32,12 @@ import (
 	_ "net/http/pprof" // profiling handlers, mounted only under -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"mikpoly/internal/core"
+	"mikpoly/internal/fleet"
 	"mikpoly/internal/hw"
 	"mikpoly/internal/obs"
 	"mikpoly/internal/serve"
@@ -63,6 +65,8 @@ func main() {
 		withTrace   = flag.Bool("trace", true, "record execution spans, served at GET /trace")
 		traceCap    = flag.Int("trace-cap", obs.DefaultTraceCapacity, "span ring-buffer capacity for -trace")
 		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		fleetSpec   = flag.String("fleet", "", `device-fleet spec, JSON or @file: [{"hw":"a100","replicas":2},{"hw":"ascend910","replicas":1}]; enables POST /gemm and fleet-routed /model`)
+		fleetChaos  = flag.Uint64("fleet-chaos-seed", 0, "run the fleet under a seeded device-level chaos schedule (crash, hang, brownout, slow replica); 0 disables")
 	)
 	flag.Parse()
 
@@ -134,6 +138,12 @@ func main() {
 	}
 
 	go func() {
+		if *fleetSpec != "" {
+			if err := bindFleet(srv, o, *fleetSpec, *fleetChaos, *cacheCap, *planWorkers); err != nil {
+				log.Fatalf("mikserve: -fleet: %v", err)
+			}
+			return
+		}
 		lib := loadOrTune(h, *library, *saveLibrary, *cacheCap)
 		srv.SetCompiler(core.NewCompilerFromLibrary(lib,
 			core.WithCacheCapacity(*cacheCap), core.WithObs(o),
@@ -156,7 +166,57 @@ func main() {
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	// HTTP connections are drained; now stop the background machinery (the
+	// decode-batch loop and, when -fleet is set, the device workers and
+	// prober) so the process exits with no work in flight.
+	srv.Close()
 	log.Print("mikserve: drained and stopped")
+}
+
+// bindFleet parses the -fleet spec (raw JSON or @file), builds and starts the
+// device fleet, and binds it to the server. The first device class's library
+// also backs the single-device endpoints (/plan, /execute), so the server
+// goes fully ready in one step.
+func bindFleet(srv *serve.Server, o *obs.Obs, spec string, chaosSeed uint64, cacheCap, planWorkers int) error {
+	raw := []byte(spec)
+	if strings.HasPrefix(spec, "@") {
+		data, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return err
+		}
+		raw = data
+	}
+	entries, err := fleet.ParseSpec(raw)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, e := range entries {
+		total += e.Replicas
+	}
+	var devFaults []sim.DeviceFaults
+	if chaosSeed != 0 {
+		devFaults = sim.FleetChaosSchedule(chaosSeed, total, 64)
+		log.Printf("mikserve: fleet chaos schedule enabled (seed=%d over %d devices)", chaosSeed, total)
+	}
+	log.Printf("mikserve: tuning libraries for %d fleet devices ...", total)
+	devices, err := fleet.BuildDevices(entries, tune.DefaultOptions(), fleet.DeviceConfig{Obs: o}, devFaults)
+	if err != nil {
+		return err
+	}
+	f := fleet.NewDispatcher(devices, fleet.Config{
+		ProbeInterval: time.Second,
+		Obs:           o,
+	})
+	f.Start()
+	srv.SetFleet(f)
+	// The fleet shares one library per class; reuse the first device's for
+	// the classic endpoints.
+	srv.SetCompiler(core.NewCompilerFromLibrary(devices[0].Library(),
+		core.WithCacheCapacity(cacheCap), core.WithObs(o),
+		core.WithPlannerWorkers(planWorkers)))
+	log.Printf("mikserve: fleet ready (%d devices)", total)
+	return nil
 }
 
 // loadOrTune produces the micro-kernel library: from libPath when given and

@@ -144,3 +144,47 @@ func TestPlanOrFallbackTargetsDegradedView(t *testing.T) {
 		t.Fatalf("fallback HW has %d PEs, want %d", fb.HW.NumPEs, lib.HW.NumPEs-1)
 	}
 }
+
+// TestPlanningSurvivesMaximallyDegradedView quarantines every PE the
+// registry will give up (all but one) and proves the planner still answers:
+// no panic, a legal program targeting the 1-PE H', and the fallback path
+// intact under an expired deadline.
+func TestPlanningSurvivesMaximallyDegradedView(t *testing.T) {
+	lib, err := SharedLibrary(hw.A100(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := health.NewRegistry(lib.HW.NumPEs, health.Config{})
+	c := NewCompilerFromLibrary(lib, WithHealth(reg))
+
+	// Kill view-PE 0 repeatedly: each observation quarantines the next
+	// surviving base PE until only one remains (the registry refuses the
+	// last), plus a few extra rounds that must be no-ops.
+	for i := 0; i < lib.HW.NumPEs+2; i++ {
+		reg.ObserveResult(reg.View(), sim.Result{FaultedTasks: 1, DeadPEs: []int{0}})
+	}
+	if q := len(reg.View().Quarantined); q != lib.HW.NumPEs-1 {
+		t.Fatalf("quarantined %d PEs, want %d", q, lib.HW.NumPEs-1)
+	}
+
+	shape := tensor.GemmShape{M: 192, N: 160, K: 96}
+	prog, err := c.Plan(shape)
+	if err != nil {
+		t.Fatalf("planning on a 1-PE view: %v", err)
+	}
+	if prog.HW.NumPEs != 1 {
+		t.Fatalf("degraded program targets %d PEs, want 1", prog.HW.NumPEs)
+	}
+
+	// The deadline-expired path must degrade to the fallback program, not
+	// panic, even on the maximally degraded view.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	fb, degraded, err := c.PlanOrFallback(ctx, tensor.GemmShape{M: 37, N: 29, K: 131})
+	if err != nil || fb == nil {
+		t.Fatalf("PlanOrFallback on 1-PE view: prog=%v err=%v", fb, err)
+	}
+	if !degraded {
+		t.Fatal("expired deadline did not take the fallback path")
+	}
+}

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the per-device three-state circuit automaton, the
+// device-level generalization of the serving layer's per-model breaker.
+// Where the serve breaker admits its own half-open probe from live traffic,
+// the fleet breaker keeps live traffic off open devices entirely: only the
+// dispatcher's prober sends canary work, so a recovering device is never
+// rediscovered at a user request's expense.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// deviceBreaker tracks one device's consecutive-failure streak.
+type deviceBreaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	openedAt  time.Time
+	threshold int
+	now       func() time.Time // seam for deterministic tests
+}
+
+func newDeviceBreaker(threshold int) *deviceBreaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	return &deviceBreaker{threshold: threshold, now: time.Now}
+}
+
+// allows reports whether live traffic may be routed to the device.
+func (b *deviceBreaker) allows() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == BreakerClosed
+}
+
+// current returns the state for summaries and metrics.
+func (b *deviceBreaker) current() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// record feeds one attempt outcome. Returns true when this outcome tripped
+// the breaker open. Outcomes observed while half-open belong to the prober
+// and are ignored here.
+func (b *deviceBreaker) record(ok bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		return false
+	}
+	if ok {
+		b.state = BreakerClosed
+		b.failures = 0
+		return false
+	}
+	b.failures++
+	if b.state == BreakerClosed && b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.failures = 0
+		return true
+	}
+	return false
+}
+
+// beginProbe transitions open → half-open when the cooldown has elapsed,
+// claiming the single probe slot. Returns false if the breaker is not open
+// or still cooling down.
+func (b *deviceBreaker) beginProbe(cooldown time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen || b.now().Sub(b.openedAt) < cooldown {
+		return false
+	}
+	b.state = BreakerHalfOpen
+	return true
+}
+
+// probeResult settles a half-open probe: success re-closes (readmitting the
+// device), failure re-opens with a fresh cooldown.
+func (b *deviceBreaker) probeResult(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerHalfOpen {
+		return
+	}
+	if ok {
+		b.state = BreakerClosed
+		b.failures = 0
+	} else {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// forceOpen trips the breaker regardless of streak (used when a device
+// crashes outright: no point counting to the threshold). Returns true if the
+// state actually changed.
+func (b *deviceBreaker) forceOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		return false
+	}
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	return true
+}

@@ -1,0 +1,218 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mikpoly/internal/core"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/sim"
+	"mikpoly/internal/tensor"
+	"mikpoly/internal/tune"
+)
+
+func testOpts() tune.Options {
+	return tune.Options{NGen: 6, NSyn: 9, NMik: 10, NPred: 256}
+}
+
+func testLib(t *testing.T, h hw.Hardware) *tune.Library {
+	t.Helper()
+	lib, err := core.SharedLibrary(h, testOpts())
+	if err != nil {
+		t.Fatalf("tuning library for %s: %v", h.Name, err)
+	}
+	return lib
+}
+
+func newTestDevice(t *testing.T, h hw.Hardware, cfg DeviceConfig) *Device {
+	t.Helper()
+	d := NewDevice(testLib(t, h), cfg)
+	d.Start()
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestDeviceLifecycle(t *testing.T) {
+	d := NewDevice(testLib(t, hw.A100()), DeviceConfig{Name: "dev"})
+	if d.State() != StateStarting {
+		t.Fatalf("fresh device state = %s, want starting", d.State())
+	}
+	if _, err := d.ExecGemm(context.Background(), tensor.GemmShape{M: 64, N: 64, K: 64}, 1, 2, 0); !errors.Is(err, ErrDeviceDown) {
+		t.Fatalf("submit before Start: err = %v, want ErrDeviceDown", err)
+	}
+	d.Start()
+	defer d.Close()
+	if d.State() != StateHealthy {
+		t.Fatalf("started device state = %s, want healthy", d.State())
+	}
+	res, err := d.ExecGemm(context.Background(), tensor.GemmShape{M: 96, N: 96, K: 64}, 1, 2, 0)
+	if err != nil {
+		t.Fatalf("ExecGemm: %v", err)
+	}
+	if res.Checksum == 0 || len(res.Sample) != 4 {
+		t.Fatalf("ExecGemm returned empty digest: %+v", res)
+	}
+
+	if !d.StartDrain() {
+		t.Fatal("StartDrain on a healthy idle device must succeed")
+	}
+	if d.State() != StateDead {
+		t.Fatalf("idle drained device state = %s, want dead", d.State())
+	}
+	if _, err := d.ExecGemm(context.Background(), tensor.GemmShape{M: 64, N: 64, K: 64}, 1, 2, 0); !errors.Is(err, ErrDeviceDown) {
+		t.Fatalf("submit after drain: err = %v, want ErrDeviceDown", err)
+	}
+	if d.StartDrain() {
+		t.Fatal("StartDrain on a dead device must fail")
+	}
+}
+
+func TestDeviceCrashKillsPermanently(t *testing.T) {
+	d := newTestDevice(t, hw.A100(), DeviceConfig{Name: "crash", DevFaults: sim.DeviceFaults{CrashAtOp: 2}})
+	shape := tensor.GemmShape{M: 96, N: 96, K: 64}
+	if _, err := d.ExecGemm(context.Background(), shape, 1, 2, 0); err != nil {
+		t.Fatalf("op 1 (before crash): %v", err)
+	}
+	if _, err := d.ExecGemm(context.Background(), shape, 1, 2, 1); !errors.Is(err, ErrDeviceCrashed) {
+		t.Fatalf("op 2: err = %v, want ErrDeviceCrashed", err)
+	}
+	if d.State() != StateDead {
+		t.Fatalf("post-crash state = %s, want dead", d.State())
+	}
+	if _, err := d.ExecGemm(context.Background(), shape, 1, 2, 2); !errors.Is(err, ErrDeviceDown) {
+		t.Fatalf("op after crash: err = %v, want ErrDeviceDown", err)
+	}
+}
+
+func TestDeviceHangReleasesOnContextCancel(t *testing.T) {
+	d := newTestDevice(t, hw.A100(), DeviceConfig{Name: "hang", DevFaults: sim.DeviceFaults{HangAtOp: 1}})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := d.ExecGemm(ctx, tensor.GemmShape{M: 64, N: 64, K: 64}, 1, 2, 0)
+	if !errors.Is(err, ErrDeviceHung) {
+		t.Fatalf("hung op: err = %v, want ErrDeviceHung", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hang held the caller %v past its context", elapsed)
+	}
+	// The hang window has passed: the next op must succeed and the device
+	// must still be routable (a recoverable fault, unlike a crash).
+	if _, err := d.ExecGemm(context.Background(), tensor.GemmShape{M: 64, N: 64, K: 64}, 1, 2, 1); err != nil {
+		t.Fatalf("op after hang window: %v", err)
+	}
+	if !d.Routable() {
+		t.Fatalf("post-hang state = %s, want routable", d.State())
+	}
+}
+
+func TestDeviceSlowFactorStretchesCycles(t *testing.T) {
+	shape := tensor.GemmShape{M: 192, N: 160, K: 96}
+	fast := newTestDevice(t, hw.A100(), DeviceConfig{Name: "fast"})
+	slow := newTestDevice(t, hw.A100(), DeviceConfig{Name: "slow", DevFaults: sim.DeviceFaults{SlowFactor: 2}})
+	rf, err := fast.ExecGemm(context.Background(), shape, 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := slow.ExecGemm(context.Background(), shape, 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Cycles < 1.9*rf.Cycles {
+		t.Fatalf("slow replica cycles %.0f not ~2x fast replica %.0f", rs.Cycles, rf.Cycles)
+	}
+	if rs.Checksum != rf.Checksum {
+		t.Fatalf("slow replica changed numerics: %g vs %g", rs.Checksum, rf.Checksum)
+	}
+}
+
+func TestDeviceBrownoutDegradesAndRecovers(t *testing.T) {
+	d := newTestDevice(t, hw.A100(), DeviceConfig{
+		Name:      "brown",
+		DevFaults: sim.DeviceFaults{BrownoutFromOp: 1, BrownoutToOp: 12, BrownoutFactor: 0.5},
+	})
+	shape := tensor.GemmShape{M: 192, N: 160, K: 96}
+	for i := 0; i < 11; i++ {
+		if _, err := d.ExecGemm(context.Background(), shape, 1, 2, uint64(i)); err != nil {
+			t.Fatalf("brownout op %d: %v", i, err)
+		}
+	}
+	// Repeated derated observations should push the device degraded via the
+	// health registry's bandwidth hysteresis.
+	if d.State() != StateDegraded {
+		t.Fatalf("state after sustained brownout = %s, want degraded (fp %q)", d.State(), d.reg.View().Fingerprint())
+	}
+	// Past the window, clean observations lift the derate eventually.
+	for i := 0; i < 40 && d.State() != StateHealthy; i++ {
+		if _, err := d.ExecGemm(context.Background(), shape, 1, 2, uint64(100+i)); err != nil {
+			t.Fatalf("recovery op %d: %v", i, err)
+		}
+	}
+	if d.State() != StateHealthy {
+		t.Fatalf("state after brownout cleared = %s (fp %q), want healthy", d.State(), d.reg.View().Fingerprint())
+	}
+}
+
+// TestGemmBitwiseAcrossDeviceClasses pins the invariant transparent failover
+// rests on: the same GEMM planned and executed on different device classes
+// (GPU vs NPU H, different PE counts and schedulers) produces bitwise-equal
+// results, because every program partitions the same iteration space with
+// sequential-K accumulation.
+func TestGemmBitwiseAcrossDeviceClasses(t *testing.T) {
+	gpu := newTestDevice(t, hw.A100(), DeviceConfig{Name: "gpu"})
+	npu := newTestDevice(t, hw.Ascend910(), DeviceConfig{Name: "npu"})
+	shapes := []tensor.GemmShape{
+		{M: 96, N: 96, K: 64},
+		{M: 192, N: 160, K: 96},
+		{M: 300, N: 300, K: 300},
+		{M: 37, N: 29, K: 131},
+	}
+	for _, shape := range shapes {
+		a, err := gpu.ExecGemm(context.Background(), shape, 11, 22, 0)
+		if err != nil {
+			t.Fatalf("%v on gpu: %v", shape, err)
+		}
+		b, err := npu.ExecGemm(context.Background(), shape, 11, 22, 0)
+		if err != nil {
+			t.Fatalf("%v on npu: %v", shape, err)
+		}
+		if a.Checksum != b.Checksum {
+			t.Fatalf("%v: checksum differs across classes: %g vs %g", shape, a.Checksum, b.Checksum)
+		}
+		for i := range a.Sample {
+			if a.Sample[i] != b.Sample[i] {
+				t.Fatalf("%v: sample[%d] differs across classes: %g vs %g", shape, i, a.Sample[i], b.Sample[i])
+			}
+		}
+	}
+}
+
+func TestDeviceDegradedStateFromPEFaults(t *testing.T) {
+	// A sticky per-PE fault streak should quarantine the PE and flip the
+	// device healthy -> degraded; planning keeps working against H'.
+	d := newTestDevice(t, hw.A100(), DeviceConfig{
+		Name:   "sick",
+		Faults: &sim.Faults{Seed: 7, StickyFaults: map[int]int{3: 50}},
+	})
+	shape := tensor.GemmShape{M: 192, N: 160, K: 96}
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; d.State() != StateDegraded; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("device never went degraded (fp %q)", d.reg.View().Fingerprint())
+		}
+		// Faulted runs surface as ErrExecFaulted until the registry
+		// quarantines the flaky PE; both outcomes advance the streak.
+		_, err := d.ExecGemm(context.Background(), shape, 1, 2, uint64(i))
+		if err != nil && !errors.Is(err, ErrExecFaulted) {
+			t.Fatalf("op %d: unexpected error %v", i, err)
+		}
+	}
+	if fp := d.reg.View().Fingerprint(); fp == "" {
+		t.Fatal("degraded device must expose a health fingerprint")
+	}
+	if _, err := d.ExecGemm(context.Background(), shape, 1, 2, 999); err != nil {
+		t.Fatalf("degraded device must keep serving: %v", err)
+	}
+}

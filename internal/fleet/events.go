@@ -1,0 +1,95 @@
+// Package fleet generalizes the single simulated accelerator into a cluster
+// of heterogeneous replicas: each Device wraps its own hardware model,
+// compiler + fingerprint-keyed plan cache, health registry and graph runtime
+// behind a serialized command queue with a lifecycle state machine, and a
+// Dispatcher routes requests across them with health- and load-aware
+// balancing, failover, hedging, and per-device circuit breaking.
+//
+// The design premise is the paper's: online polymerization makes planning
+// cheap enough (microseconds) that a request which fails over to a different
+// device class can be re-planned against that device's H' on the request
+// path — no pre-tuned per-device plan set needed. Numerics are preserved
+// across failover because every program partitions the same iteration space
+// with sequential-K accumulation, so results are bitwise-identical across
+// device classes.
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one entry in the fleet's append-only operational log: lifecycle
+// transitions, failovers, hedges, breaker trips, probes, and drains. The
+// chaos harness dumps the log as a CI artifact when an invariant fails.
+type Event struct {
+	Seq    int       `json:"seq"`
+	Time   time.Time `json:"time"`
+	Device string    `json:"device"`
+	Kind   string    `json:"kind"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// EventLog is a bounded append-only event buffer, safe for concurrent use.
+// When full it drops the oldest half, keeping the tail — the recent events
+// are the ones a post-mortem needs.
+type EventLog struct {
+	mu     sync.Mutex
+	events []Event
+	seq    int
+	cap    int
+}
+
+// NewEventLog returns a log bounded to capacity events (<= 0 selects 4096).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &EventLog{cap: capacity}
+}
+
+// Append records one event. A nil log is a no-op, so devices and dispatchers
+// can log unconditionally.
+func (l *EventLog) Append(device, kind, detail string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	if len(l.events) >= l.cap {
+		half := len(l.events) / 2
+		l.events = append(l.events[:0], l.events[half:]...)
+	}
+	l.events = append(l.events, Event{
+		Seq: l.seq, Time: time.Now(), Device: device, Kind: kind, Detail: detail,
+	})
+}
+
+// Snapshot returns a copy of the buffered events.
+func (l *EventLog) Snapshot() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// WriteTo dumps the log as one line per event, oldest first.
+func (l *EventLog) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, e := range l.Snapshot() {
+		n, err := fmt.Fprintf(w, "%6d %s %-14s %-12s %s\n",
+			e.Seq, e.Time.UTC().Format("15:04:05.000"), e.Device, e.Kind, e.Detail)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mikpoly/internal/core"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/sim"
+	"mikpoly/internal/tune"
+)
+
+// SpecEntry is one line of a fleet spec: a hardware class and a replica
+// count. The JSON form is what `mikserve -fleet` accepts, e.g.
+//
+//	[{"hw":"a100","replicas":2},{"hw":"ascend910","replicas":1}]
+type SpecEntry struct {
+	// Name prefixes the replica names (default: the hw class name);
+	// replicas are named "<name>-<i>".
+	Name string `json:"name,omitempty"`
+	// HW is the hardware class: a100, a100cuda, or ascend910.
+	HW string `json:"hw"`
+	// Replicas is the device count for this class (default 1).
+	Replicas int `json:"replicas,omitempty"`
+}
+
+// HardwareByName resolves the hardware-class names a fleet spec accepts.
+func HardwareByName(name string) (hw.Hardware, error) {
+	switch name {
+	case "a100", "A100":
+		return hw.A100(), nil
+	case "a100cuda", "a100-cuda":
+		return hw.A100CUDACores(), nil
+	case "ascend910", "npu":
+		return hw.Ascend910(), nil
+	default:
+		return hw.Hardware{}, fmt.Errorf("fleet: unknown hardware class %q (want a100, a100cuda, or ascend910)", name)
+	}
+}
+
+// ParseSpec decodes and validates a JSON fleet spec.
+func ParseSpec(data []byte) ([]SpecEntry, error) {
+	var entries []SpecEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("fleet: bad spec: %w", err)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("fleet: spec lists no devices")
+	}
+	total := 0
+	for i := range entries {
+		if _, err := HardwareByName(entries[i].HW); err != nil {
+			return nil, err
+		}
+		if entries[i].Replicas == 0 {
+			entries[i].Replicas = 1
+		}
+		if entries[i].Replicas < 0 {
+			return nil, fmt.Errorf("fleet: negative replica count for %q", entries[i].HW)
+		}
+		if entries[i].Name == "" {
+			entries[i].Name = entries[i].HW
+		}
+		total += entries[i].Replicas
+	}
+	const maxDevices = 64
+	if total > maxDevices {
+		return nil, fmt.Errorf("fleet: %d devices exceeds the %d-device limit", total, maxDevices)
+	}
+	return entries, nil
+}
+
+// BuildDevices materializes a spec into devices: one tuned micro-kernel
+// library per hardware class (shared by its replicas through the process-wide
+// library cache), one compiler + plan cache + health registry + runtime per
+// replica. devFaults, when non-nil, assigns per-replica device-level fault
+// domains by fleet index (the chaos knob); extra entries are ignored, missing
+// ones default to healthy.
+func BuildDevices(entries []SpecEntry, opt tune.Options, base DeviceConfig, devFaults []sim.DeviceFaults) ([]*Device, error) {
+	var out []*Device
+	k := 0
+	for _, e := range entries {
+		h, err := HardwareByName(e.HW)
+		if err != nil {
+			return nil, err
+		}
+		lib, err := core.SharedLibrary(h, opt)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: tuning library for %s: %w", e.HW, err)
+		}
+		for i := 0; i < e.Replicas; i++ {
+			cfg := base
+			cfg.Name = fmt.Sprintf("%s-%d", e.Name, i)
+			if k < len(devFaults) {
+				if err := devFaults[k].Validate(); err != nil {
+					return nil, err
+				}
+				cfg.DevFaults = devFaults[k]
+			}
+			out = append(out, NewDevice(lib, cfg))
+			k++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package health
+
+import (
+	"reflect"
+	"testing"
+
+	"mikpoly/internal/hw"
+	"mikpoly/internal/sim"
+)
+
+// TestMassDeathNeverEmptiesDevice drives the registry through a cascade that
+// kills every PE it is shown, across successive (shrinking) views: the
+// registry must stop at n-1 quarantined, the view must always apply to a
+// plannable >= 1-PE device, and further death reports must be no-ops rather
+// than panics.
+func TestMassDeathNeverEmptiesDevice(t *testing.T) {
+	const n = 8
+	reg := NewRegistry(n, Config{})
+	for i := 0; i < n+3; i++ { // several more rounds than PEs
+		v := reg.View()
+		live := n - len(v.Quarantined)
+		r := res(live)
+		for pe := 0; pe < live; pe++ {
+			r.DeadPEs = append(r.DeadPEs, pe)
+		}
+		r.FaultedTasks = live
+		reg.ObserveResult(v, r)
+	}
+	v := reg.View()
+	if len(v.Quarantined) != n-1 {
+		t.Fatalf("quarantined %d PEs, want %d (all but one)", len(v.Quarantined), n-1)
+	}
+	dev := hw.A100()
+	dev.NumPEs = n
+	if h := v.Apply(dev); h.NumPEs != 1 {
+		t.Fatalf("maximally degraded view applies to %d PEs, want 1", h.NumPEs)
+	}
+	if v.Fingerprint() == "" {
+		t.Fatal("maximally degraded view has no fingerprint")
+	}
+	// A hand-built view claiming every PE dead (which the registry itself
+	// never produces) must still clamp to a 1-PE device.
+	all := View{NumPEs: n, Quarantined: []int{0, 1, 2, 3, 4, 5, 6, 7}}
+	if h := all.Apply(dev); h.NumPEs != 1 {
+		t.Fatalf("all-quarantined view applies to %d PEs, want 1", h.NumPEs)
+	}
+}
+
+// TestZeroViewIsHealthyAndInert pins the zero value's semantics: callers
+// (the runtime without a registry) pass View{} around freely, so it must be
+// healthy, fingerprintless, and an identity for Apply and RemapFaults.
+func TestZeroViewIsHealthyAndInert(t *testing.T) {
+	var v View
+	if !v.Healthy() {
+		t.Fatal("zero view is not healthy")
+	}
+	if fp := v.Fingerprint(); fp != "" {
+		t.Fatalf("zero view fingerprint = %q, want empty", fp)
+	}
+	h := hw.A100()
+	if got := v.Apply(h); !reflect.DeepEqual(got, h) {
+		t.Fatalf("zero view changed the hardware: %+v", got)
+	}
+	f := sim.Faults{
+		Seed:          7,
+		TaskFaultRate: 0.25,
+		DropPEs:       []int{2, 5},
+		StickyFaults:  map[int]int{3: 4},
+		SlowPE:        map[int]float64{1: 2},
+	}
+	if got := v.RemapFaults(f); !reflect.DeepEqual(got, f) {
+		t.Fatalf("zero view rewrote the fault config:\n got %+v\nwant %+v", got, f)
+	}
+}
+
+// TestFingerprintStableUnderObservationOrder: two registries reaching the
+// same degraded state through different observation orders must agree on the
+// fingerprint — the compiler's (shape, fingerprint) cache key depends on it.
+func TestFingerprintStableUnderObservationOrder(t *testing.T) {
+	kill := func(reg *Registry, basePEs ...int) {
+		for _, pe := range basePEs {
+			v := reg.View()
+			// Translate the base id into the current view's index.
+			idx, seen := 0, 0
+			for b := 0; b < 8; b++ {
+				q := false
+				for _, qp := range v.Quarantined {
+					if qp == b {
+						q = true
+					}
+				}
+				if q {
+					continue
+				}
+				if b == pe {
+					idx = seen
+					break
+				}
+				seen++
+			}
+			r := res(8 - len(v.Quarantined))
+			r.DeadPEs = []int{idx}
+			r.FaultedTasks = 1
+			reg.ObserveResult(v, r)
+		}
+	}
+	a := NewRegistry(8, Config{})
+	kill(a, 1, 3, 6)
+	b := NewRegistry(8, Config{})
+	kill(b, 6, 1, 3)
+	if fa, fb := a.View().Fingerprint(), b.View().Fingerprint(); fa != fb || fa == "" {
+		t.Fatalf("fingerprints diverge by observation order: %q vs %q", fa, fb)
+	}
+}
+
+// TestFingerprintIsPureAndRepeatable: Fingerprint must neither depend on the
+// input slice's order nor mutate it, and repeated computation must be
+// byte-identical — it is a cache key, and Go map iteration order must never
+// leak into it via callers that assembled Quarantined from a map.
+func TestFingerprintIsPureAndRepeatable(t *testing.T) {
+	v := View{NumPEs: 16, Quarantined: []int{5, 2, 9}, BandwidthFactor: 0.6}
+	want := "q2,5,9|bw0.60"
+	for i := 0; i < 100; i++ {
+		if got := v.Fingerprint(); got != want {
+			t.Fatalf("iteration %d: fingerprint %q, want %q", i, got, want)
+		}
+	}
+	if !reflect.DeepEqual(v.Quarantined, []int{5, 2, 9}) {
+		t.Fatalf("Fingerprint mutated its input slice: %v", v.Quarantined)
+	}
+}

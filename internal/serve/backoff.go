@@ -45,9 +45,18 @@ func (b *backoff) delay(attempt int) time.Duration {
 }
 
 // sleep waits for the attempt's delay or until ctx expires, reporting ctx's
-// error in the latter case.
+// error in the latter case. A delay that cannot complete before ctx's
+// deadline fails fast instead of burning the request's remaining budget
+// asleep: the caller learns immediately that its retry budget is gone.
 func (b *backoff) sleep(ctx context.Context, attempt int) error {
-	t := time.NewTimer(b.delay(attempt))
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	d := b.delay(attempt)
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+		return context.DeadlineExceeded
+	}
+	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:

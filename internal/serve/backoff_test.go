@@ -125,3 +125,33 @@ func TestBackoffSleepHonorsContext(t *testing.T) {
 		t.Fatal("sleep ignored the dead context")
 	}
 }
+
+// TestBackoffSleepFailsFastNearDeadline pins the retry-budget audit: when
+// the computed delay cannot complete before ctx's deadline, sleep must
+// return immediately with DeadlineExceeded instead of burning the request's
+// remaining budget asleep and timing out mid-wait.
+func TestBackoffSleepFailsFastNearDeadline(t *testing.T) {
+	b := newBackoff(time.Hour, time.Hour, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := b.sleep(ctx, 5); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// The whole point: the caller learns *before* the deadline, not at it.
+	if elapsed := time.Since(start); elapsed >= 20*time.Millisecond {
+		t.Fatalf("sleep held the caller %v, past the 20ms deadline", elapsed)
+	}
+}
+
+// TestBackoffSleepCompletesUnderGenerousDeadline guards the fail-fast check
+// against false positives: a delay that fits the deadline still sleeps it
+// out and returns nil.
+func TestBackoffSleepCompletesUnderGenerousDeadline(t *testing.T) {
+	b := newBackoff(time.Millisecond, 2*time.Millisecond, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b.sleep(ctx, 0); err != nil {
+		t.Fatalf("sleep under a generous deadline: %v", err)
+	}
+}

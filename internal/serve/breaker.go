@@ -86,9 +86,9 @@ func (bs *breakerSet) record(model string, ok bool) bool {
 	defer bs.mu.Unlock()
 	b := bs.byModel[model]
 	if b == nil {
-		if ok {
-			return false
-		}
+		// Register the model either way: the /metrics state gauge exports a
+		// series per model seen, and a closed series is what makes a later
+		// open transition legible as 0→1.
 		b = &breaker{}
 		bs.byModel[model] = b
 	}
@@ -106,6 +106,19 @@ func (bs *breakerSet) record(model string, ok bool) bool {
 		return tripped
 	}
 	return false
+}
+
+// states lists every model the breaker set has seen with its current state,
+// closed included — the /metrics gauge needs the full series so a breaker
+// re-closing is visible as a 1→0 transition, not a vanished series.
+func (bs *breakerSet) states() map[string]breakerState {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	out := make(map[string]breakerState, len(bs.byModel))
+	for name, b := range bs.byModel {
+		out[name] = b.state
+	}
+	return out
 }
 
 // snapshot lists the non-closed breakers for /healthz.

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"sort"
+
+	"mikpoly/internal/fleet"
+	"mikpoly/internal/obs"
+	"mikpoly/internal/tensor"
+)
+
+// SetFleet binds a device fleet to the server: POST /gemm and (when bound)
+// /model requests route across its replicas with health-aware balancing,
+// failover, and hedging instead of running on the single local compiler.
+// The dispatcher must already be started; the server owns it from here and
+// Close tears it down.
+func (s *Server) SetFleet(f *fleet.Dispatcher) {
+	s.fleet.Store(f)
+}
+
+// fleetD returns the bound dispatcher, or nil when the server runs
+// single-device.
+func (s *Server) fleetD() *fleet.Dispatcher { return s.fleet.Load() }
+
+// fleetStatus maps a dispatcher error onto an HTTP status: capacity
+// exhaustion and cancellation are 503 (retryable), everything else 500.
+func fleetStatus(err error) int {
+	if errors.Is(err, fleet.ErrNoDevices) || errors.Is(err, fleet.ErrDeviceBusy) ||
+		errors.Is(err, fleet.ErrDeviceDraining) || errors.Is(err, fleet.ErrDeviceDown) ||
+		errors.Is(err, fleet.ErrDeviceHung) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// handleGemm is the fleet-backed sibling of /execute: same request wire
+// format, but the work is dispatched across the fleet (failover, hedging,
+// per-device breakers) rather than run on the local compiler.
+func (s *Server) handleGemm(w http.ResponseWriter, r *http.Request) {
+	f := s.fleetD()
+	if f == nil {
+		httpError(w, http.StatusServiceUnavailable, "fleet not configured")
+		return
+	}
+	var req execRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	shape := tensor.GemmShape{M: req.M, N: req.N, K: req.K}
+	if status, err := s.checkShape(shape); err != nil {
+		httpError(w, status, err.Error())
+		return
+	}
+	if status, err := s.checkExecOperands(shape); err != nil {
+		httpError(w, status, err.Error())
+		return
+	}
+	if req.SeedA == 0 {
+		req.SeedA = 1
+	}
+	if req.SeedB == 0 {
+		req.SeedB = 2
+	}
+	res, err := f.ExecGemm(r.Context(), shape, req.SeedA, req.SeedB)
+	if err != nil {
+		httpError(w, fleetStatus(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, execResponse{
+		Shape:     shape.String(),
+		Degraded:  res.Degraded,
+		Attempts:  res.Attempts,
+		SimCycles: res.Cycles,
+		Checksum:  res.Checksum,
+		Sample:    res.Sample,
+		Device:    res.Device,
+	})
+}
+
+// fleetResponse is the GET /fleet wire format.
+type fleetResponse struct {
+	Devices []fleet.DeviceSummary `json:"devices"`
+	Stats   fleet.Stats           `json:"stats"`
+}
+
+func (s *Server) handleFleetSummary(w http.ResponseWriter, r *http.Request) {
+	f := s.fleetD()
+	if f == nil {
+		httpError(w, http.StatusNotFound, "fleet not configured")
+		return
+	}
+	writeJSON(w, http.StatusOK, fleetResponse{Devices: f.Summaries(), Stats: f.DispatchStats()})
+}
+
+// handleFleetDrain is the admin endpoint: POST /fleet/drain?device=NAME
+// flips the named replica to draining (no new work, dead once its queue runs
+// dry). It sits outside the admission guard so operators can drain a replica
+// out of an overloaded fleet.
+func (s *Server) handleFleetDrain(w http.ResponseWriter, r *http.Request) {
+	f := s.fleetD()
+	if f == nil {
+		httpError(w, http.StatusNotFound, "fleet not configured")
+		return
+	}
+	name := r.URL.Query().Get("device")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "missing device query parameter")
+		return
+	}
+	if err := f.Drain(name); err != nil {
+		status := http.StatusConflict
+		if f.Device(name) == nil {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "draining", "device": name})
+}
+
+// stateValue encodes a device lifecycle state as a stable gauge value.
+func stateValue(state string) float64 {
+	switch state {
+	case "starting":
+		return 0
+	case "healthy":
+		return 1
+	case "degraded":
+		return 2
+	case "draining":
+		return 3
+	default: // dead
+		return 4
+	}
+}
+
+// registerFleetObs exports fleet routing and per-device health into the
+// metrics registry. All callbacks re-resolve the dispatcher through the
+// atomic pointer at scrape time, so they are nil-safe before SetFleet and
+// pick up a later binding automatically.
+func (s *Server) registerFleetObs() {
+	m := s.o.M()
+	if m == nil {
+		return
+	}
+
+	perDevice := func(value func(d fleet.DeviceSummary) float64) func() []obs.Sample {
+		return func() []obs.Sample {
+			f := s.fleetD()
+			if f == nil {
+				return nil
+			}
+			sums := f.Summaries()
+			sort.Slice(sums, func(i, j int) bool { return sums[i].Name < sums[j].Name })
+			samples := make([]obs.Sample, len(sums))
+			for i, d := range sums {
+				samples[i] = obs.Sample{
+					Labels: [][2]string{{"device", d.Name}, {"class", d.Class}},
+					Value:  value(d),
+				}
+			}
+			return samples
+		}
+	}
+
+	m.Collect("mik_fleet_device_state", "Device lifecycle state (0=starting 1=healthy 2=degraded 3=draining 4=dead).", "gauge",
+		perDevice(func(d fleet.DeviceSummary) float64 { return stateValue(d.State) }))
+	m.Collect("mik_fleet_device_outstanding", "Commands queued or running on the device.", "gauge",
+		perDevice(func(d fleet.DeviceSummary) float64 { return float64(d.Outstanding) }))
+	m.Collect("mik_fleet_device_weight", "Health- and capacity-derived routing weight.", "gauge",
+		perDevice(func(d fleet.DeviceSummary) float64 { return d.Weight }))
+	m.Collect("mik_fleet_served_total", "Commands completed successfully, per device.", "counter",
+		perDevice(func(d fleet.DeviceSummary) float64 { return float64(d.Completed) }))
+	m.Collect("mik_fleet_failed_total", "Commands failed, per device.", "counter",
+		perDevice(func(d fleet.DeviceSummary) float64 { return float64(d.Failed) }))
+
+	m.Collect("mik_fleet_requests_total", "Requests dispatched across the fleet.", "counter",
+		func() []obs.Sample {
+			f := s.fleetD()
+			if f == nil {
+				return nil
+			}
+			return []obs.Sample{{Value: float64(f.DispatchStats().Requests)}}
+		})
+	m.Collect("mik_fleet_events_total", "Fleet routing events by kind.", "counter",
+		func() []obs.Sample {
+			f := s.fleetD()
+			if f == nil {
+				return nil
+			}
+			st := f.DispatchStats()
+			return []obs.Sample{
+				{Labels: [][2]string{{"event", "failover"}}, Value: float64(st.Failovers)},
+				{Labels: [][2]string{{"event", "hedge"}}, Value: float64(st.Hedges)},
+				{Labels: [][2]string{{"event", "hedge_win"}}, Value: float64(st.HedgeWins)},
+				{Labels: [][2]string{{"event", "breaker_trip"}}, Value: float64(st.BreakerTrips)},
+				{Labels: [][2]string{{"event", "readmission"}}, Value: float64(st.Readmissions)},
+				{Labels: [][2]string{{"event", "probe"}}, Value: float64(st.Probes)},
+				{Labels: [][2]string{{"event", "no_device"}}, Value: float64(st.NoDevice)},
+			}
+		})
+}

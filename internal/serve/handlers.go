@@ -10,6 +10,7 @@ import (
 
 	"mikpoly/internal/core"
 	"mikpoly/internal/engine"
+	"mikpoly/internal/fleet"
 	"mikpoly/internal/health"
 	"mikpoly/internal/hw"
 	"mikpoly/internal/poly"
@@ -60,7 +61,8 @@ type execRequest struct {
 }
 
 // execResponse reports the numeric digest and the (possibly fault-injected)
-// simulated execution.
+// simulated execution. Device is set only on the fleet-backed /gemm path:
+// the replica that served the winning attempt.
 type execResponse struct {
 	Shape        string    `json:"shape"`
 	Degraded     bool      `json:"degraded"`
@@ -69,6 +71,7 @@ type execResponse struct {
 	SimCycles    float64   `json:"sim_cycles"`
 	Checksum     float64   `json:"checksum"`
 	Sample       []float32 `json:"sample"`
+	Device       string    `json:"device,omitempty"`
 }
 
 // errorResponse is the wire format of every non-2xx answer.
@@ -116,6 +119,18 @@ func (s *Server) checkShape(shape tensor.GemmShape) (int, error) {
 	if vol := int64(shape.M) * int64(shape.N) * int64(shape.K); vol > s.cfg.MaxPlanElems {
 		return http.StatusRequestEntityTooLarge,
 			fmt.Errorf("shape %v volume %d exceeds limit %d", shape, vol, s.cfg.MaxPlanElems)
+	}
+	return 0, nil
+}
+
+// checkExecOperands bounds the materialized operand sizes for endpoints that
+// run real arithmetic (/execute and the fleet-backed /gemm).
+func (s *Server) checkExecOperands(shape tensor.GemmShape) (int, error) {
+	for _, operand := range [][2]int{{shape.M, shape.K}, {shape.K, shape.N}, {shape.M, shape.N}} {
+		if elems := int64(operand[0]) * int64(operand[1]); elems > s.cfg.MaxExecElems {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("operand %dx%d exceeds execute limit %d elements", operand[0], operand[1], s.cfg.MaxExecElems)
+		}
 	}
 	return 0, nil
 }
@@ -206,12 +221,9 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, err.Error())
 		return
 	}
-	for _, operand := range [][2]int{{shape.M, shape.K}, {shape.K, shape.N}, {shape.M, shape.N}} {
-		if elems := int64(operand[0]) * int64(operand[1]); elems > s.cfg.MaxExecElems {
-			httpError(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("operand %dx%d exceeds execute limit %d elements", operand[0], operand[1], s.cfg.MaxExecElems))
-			return
-		}
+	if status, err := s.checkExecOperands(shape); err != nil {
+		httpError(w, status, err.Error())
+		return
 	}
 	if req.SeedA == 0 {
 		req.SeedA = 1
@@ -341,6 +353,10 @@ type healthResponse struct {
 	BandwidthFactor float64           `json:"bandwidth_factor,omitempty"`
 	Fingerprint     string            `json:"health_fingerprint,omitempty"`
 	Breakers        map[string]string `json:"breakers,omitempty"`
+
+	// Devices summarizes the fleet when one is bound: per-replica lifecycle
+	// state, breaker state, health fingerprint, and routing weight.
+	Devices []fleet.DeviceSummary `json:"devices,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -365,6 +381,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(resp.Breakers) > 0 {
 		resp.Status = "degraded"
+	}
+	if f := s.fleetD(); f != nil {
+		resp.Devices = f.Summaries()
+		for _, d := range resp.Devices {
+			if d.State != "healthy" || d.Breaker != "closed" {
+				resp.Status = "degraded"
+				break
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -52,6 +52,10 @@ type modelResponse struct {
 	Tokens      int  `json:"tokens,omitempty"`
 	SharedSteps int  `json:"shared_steps,omitempty"`
 
+	// Device names the fleet replica that served the winning attempt
+	// (fleet-backed path only).
+	Device string `json:"device,omitempty"`
+
 	PeakMemBytes    int64   `json:"peak_mem_bytes,omitempty"`
 	WorkingSetBytes int64   `json:"working_set_bytes,omitempty"`
 	SpilledBuffers  int     `json:"spilled_buffers,omitempty"`
@@ -109,7 +113,9 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 
 	// llama2-decode rides the continuous batcher when enabled: concurrent
 	// requests with nearby KV lengths share shape-bucketed step graphs.
-	if req.Model == "llama2-decode" && req.Batch <= 1 {
+	// Fleet-backed servers skip it — batching is a single-runtime loop,
+	// while the fleet wants each request individually routable.
+	if req.Model == "llama2-decode" && req.Batch <= 1 && s.fleetD() == nil {
 		if b := s.batcher.Load(); b != nil {
 			s.handleBatchedDecode(w, r, b, req)
 			return
@@ -126,6 +132,53 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if len(g.Ops) > s.cfg.MaxModelOps {
 		httpError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("graph %s has %d ops, exceeds limit %d", g.Name, len(g.Ops), s.cfg.MaxModelOps))
+		return
+	}
+
+	// Fleet-backed execution: the dispatcher owns retries (failover across
+	// replicas with per-attempt fault salts), so the whole-graph retry loop
+	// below would be redundant. Breaker accounting still applies — a model
+	// no replica can run should be shed just like on a single device.
+	if f := s.fleetD(); f != nil {
+		rep, device, attempts, err := f.ExecModel(r.Context(), g)
+		if err != nil {
+			s.nUnrecoverable.Add(1)
+			if s.breakers.record(req.Model, false) {
+				s.nBreakerTrips.Add(1)
+			}
+			httpError(w, fleetStatus(err), err.Error())
+			return
+		}
+		s.breakers.record(req.Model, true)
+		if rep.FaultedTasks > 0 {
+			s.nFaults.Add(1)
+		}
+		if rep.Degraded > 0 {
+			s.nDegraded.Add(1)
+		}
+		s.nModels.Add(1)
+		writeJSON(w, http.StatusOK, modelResponse{
+			Graph:           rep.Graph,
+			Ops:             rep.Ops,
+			Stages:          rep.Stages,
+			SimCycles:       rep.Cycles,
+			Plans:           rep.Plans,
+			Stalls:          rep.Stalls,
+			PlanMs:          ms(rep.PlanWall),
+			StallMs:         ms(rep.StallWall),
+			HiddenMs:        ms(rep.HiddenWall),
+			HiddenFrac:      rep.HiddenFraction(),
+			Degraded:        rep.Degraded,
+			Attempts:        attempts,
+			FaultedTasks:    rep.FaultedTasks,
+			RecoveredStages: rep.RecoveredStages,
+			RecoveredFaults: rep.RecoveredFaults,
+			PeakMemBytes:    rep.Mem.PeakBytes,
+			WorkingSetBytes: rep.Mem.WorkingSetBytes,
+			SpilledBuffers:  rep.Mem.SpilledBuffers,
+			SpillBytes:      rep.Mem.SpillBytes,
+			Device:          device,
+		})
 		return
 	}
 

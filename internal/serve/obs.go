@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sort"
 	"strconv"
 	"time"
 
@@ -195,4 +196,23 @@ func (s *Server) registerObs() {
 				{Labels: [][2]string{{"event", "drop"}}, Value: float64(s.nBreakerDrops.Load())},
 			}
 		})
+	m.Collect("mik_serve_breaker_state", "Per-model circuit-breaker state (0=closed 1=open 2=half-open).", "gauge",
+		func() []obs.Sample {
+			states := s.breakers.states()
+			names := make([]string, 0, len(states))
+			for name := range states {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			samples := make([]obs.Sample, len(names))
+			for i, name := range names {
+				samples[i] = obs.Sample{
+					Labels: [][2]string{{"model", name}},
+					Value:  float64(states[name]),
+				}
+			}
+			return samples
+		})
+
+	s.registerFleetObs()
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"mikpoly/internal/core"
+	"mikpoly/internal/fleet"
 	"mikpoly/internal/graphrt"
 	"mikpoly/internal/health"
 	"mikpoly/internal/hw"
@@ -203,6 +204,7 @@ type Server struct {
 	runtime  atomic.Pointer[graphrt.Runtime]
 	batcher  atomic.Pointer[graphrt.DecodeBatcher]
 	health   atomic.Pointer[health.Registry]
+	fleet    atomic.Pointer[fleet.Dispatcher]
 	cfg      Config
 	o        *obs.Obs
 	sem      chan struct{}
@@ -276,10 +278,14 @@ func (s *Server) SetCompiler(c *core.Compiler) {
 // comp returns the bound compiler, or nil while the server is not ready.
 func (s *Server) comp() *core.Compiler { return s.compiler.Load() }
 
-// Close releases background resources (the decode batching loop).
+// Close releases background resources: the decode batching loop and, when a
+// fleet is bound, its device workers and prober.
 func (s *Server) Close() {
 	if b := s.batcher.Load(); b != nil {
 		b.Stop()
+	}
+	if f := s.fleet.Load(); f != nil {
+		f.Close()
 	}
 }
 
@@ -290,8 +296,13 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /plan", s.guard(http.HandlerFunc(s.handlePlan)))
 	mux.Handle("POST /execute", s.guard(http.HandlerFunc(s.handleExecute)))
 	mux.Handle("POST /model", s.guard(http.HandlerFunc(s.handleModel)))
+	mux.Handle("POST /gemm", s.guard(http.HandlerFunc(s.handleGemm)))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	// Fleet admin endpoints bypass admission: an operator must be able to
+	// inspect and drain replicas while the work endpoints shed load.
+	mux.HandleFunc("GET /fleet", s.handleFleetSummary)
+	mux.HandleFunc("POST /fleet/drain", s.handleFleetDrain)
 	// Observability endpoints bypass admission like the probes: a scrape
 	// must succeed while the work endpoints shed load.
 	if m := s.o.M(); m != nil {

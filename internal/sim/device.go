@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// BrownoutAllRun is a brownout duration long enough to cover any simulated
+// run: a device-level brownout derates bandwidth for whole operations, not
+// cycle windows, so the fleet layer stretches one PE-level Brownout across
+// the entire run of each affected op.
+const BrownoutAllRun = 1e18
+
+// DeviceFaults is a device-level fault domain: where Faults degrades PEs
+// inside one device, DeviceFaults takes out (or derates) the device as a
+// whole, which is what a fleet dispatcher must route around. Triggers are
+// keyed on the device's op ordinal — the 1-based count of operations the
+// device has started — rather than wall time, so a seeded schedule replays
+// identically regardless of host speed.
+//
+// The four domains mirror how real replicas fail:
+//
+//   - crash: the op at CrashAtOp fails and the device is dead for good —
+//     only failover to another replica helps;
+//   - hang: ops inside [HangAtOp, HangAtOp+HangOps) never complete; the
+//     caller's context (a hedge or deadline) is the only way out, and the
+//     device recovers once the window passes — a prober can readmit it;
+//   - brownout: ops inside [BrownoutFromOp, BrownoutToOp) run with global
+//     bandwidth scaled by BrownoutFactor — the device still answers, just
+//     degraded, and should be derated rather than shed;
+//   - slow replica: every op's simulated cycles are multiplied by
+//     SlowFactor — a uniformly slower device that load balancing should
+//     send proportionally less work.
+type DeviceFaults struct {
+	// CrashAtOp kills the device permanently at the given op ordinal: that
+	// op and everything after it fail. 0 means never.
+	CrashAtOp int
+
+	// HangAtOp starts a hang window at the given op ordinal (0 = never);
+	// HangOps is the window length in ops (<= 0 means 1). Ops inside the
+	// window block until their context is cancelled.
+	HangAtOp int
+	HangOps  int
+
+	// BrownoutFromOp/BrownoutToOp bound a half-open op window inside which
+	// global bandwidth is scaled by BrownoutFactor (in (0, 1)).
+	BrownoutFromOp int
+	BrownoutToOp   int
+	BrownoutFactor float64
+
+	// SlowFactor >= 1 stretches every op's simulated cycles (0 and 1 both
+	// mean full speed).
+	SlowFactor float64
+}
+
+// Validate checks the fault domain for internal consistency.
+func (f DeviceFaults) Validate() error {
+	if f.CrashAtOp < 0 {
+		return fmt.Errorf("sim: crash op must be >= 0, got %d", f.CrashAtOp)
+	}
+	if f.HangAtOp < 0 {
+		return fmt.Errorf("sim: hang op must be >= 0, got %d", f.HangAtOp)
+	}
+	if f.BrownoutFromOp < 0 || f.BrownoutToOp < f.BrownoutFromOp {
+		return fmt.Errorf("sim: brownout op window [%d,%d) is invalid", f.BrownoutFromOp, f.BrownoutToOp)
+	}
+	if f.BrownoutToOp > f.BrownoutFromOp {
+		if !(f.BrownoutFactor > 0 && f.BrownoutFactor < 1) || math.IsNaN(f.BrownoutFactor) {
+			return fmt.Errorf("sim: brownout factor must be in (0,1), got %g", f.BrownoutFactor)
+		}
+	}
+	if f.SlowFactor != 0 && (f.SlowFactor < 1 || math.IsNaN(f.SlowFactor) || math.IsInf(f.SlowFactor, 0)) {
+		return fmt.Errorf("sim: slow factor must be >= 1 and finite, got %g", f.SlowFactor)
+	}
+	return nil
+}
+
+// Any reports whether the domain injects anything at all.
+func (f DeviceFaults) Any() bool {
+	return f.CrashAtOp > 0 || f.HangAtOp > 0 || f.BrownoutToOp > f.BrownoutFromOp || f.SlowFactor > 1
+}
+
+// CrashesAt reports whether the device is dead at op ordinal op.
+func (f DeviceFaults) CrashesAt(op int64) bool {
+	return f.CrashAtOp > 0 && op >= int64(f.CrashAtOp)
+}
+
+// HangsAt reports whether op ordinal op falls inside the hang window.
+func (f DeviceFaults) HangsAt(op int64) bool {
+	if f.HangAtOp <= 0 {
+		return false
+	}
+	n := f.HangOps
+	if n <= 0 {
+		n = 1
+	}
+	return op >= int64(f.HangAtOp) && op < int64(f.HangAtOp+n)
+}
+
+// BrownoutAt reports whether op ordinal op falls inside the brownout window.
+func (f DeviceFaults) BrownoutAt(op int64) bool {
+	return f.BrownoutToOp > f.BrownoutFromOp &&
+		op >= int64(f.BrownoutFromOp) && op < int64(f.BrownoutToOp)
+}
+
+// Slowdown returns the effective cycle multiplier (>= 1).
+func (f DeviceFaults) Slowdown() float64 {
+	if f.SlowFactor > 1 {
+		return f.SlowFactor
+	}
+	return 1
+}
+
+// FleetChaosSchedule derives a deterministic per-device fault schedule for a
+// fleet of n devices from a seed: one device crashes mid-run, a second hangs
+// for a short op window, a third browns out, and a fourth runs slow — as far
+// as n allows; smaller fleets get a prefix of those roles, and victims are
+// always distinct devices so at least one replica survives every schedule.
+// opsHint is the expected per-device op count, used to place triggers
+// mid-run. Two calls with the same (seed, n, opsHint) return identical
+// schedules — the reproducibility contract the fleet chaos harness rests on.
+func FleetChaosSchedule(seed uint64, n, opsHint int) []DeviceFaults {
+	out := make([]DeviceFaults, n)
+	if n < 2 {
+		// A single device has no failover target: injecting a crash or hang
+		// would make every schedule unrecoverable, so keep it healthy.
+		return out
+	}
+	if opsHint < 4 {
+		opsHint = 4
+	}
+	r := func(i uint64) uint64 { return splitmix64(seed ^ splitmix64(i+0xf1ee7)) }
+	u01 := func(i uint64) float64 { return float64(r(i)>>11) / (1 << 53) }
+	// midOp picks an op ordinal in the middle half of the expected run.
+	midOp := func(i uint64) int { return 1 + opsHint/4 + int(u01(i)*float64(opsHint)/2) }
+
+	// Assign distinct victims by walking a seeded starting offset: victim k
+	// is device (start + k) mod n, so roles never collide.
+	start := int(r(1) % uint64(n))
+	victim := func(k int) int { return (start + k) % n }
+
+	out[victim(0)].CrashAtOp = midOp(2)
+	if n >= 2 {
+		out[victim(1)].HangAtOp = midOp(3)
+		out[victim(1)].HangOps = 1 + int(r(4)%3)
+	}
+	if n >= 3 {
+		from := midOp(5)
+		out[victim(2)].BrownoutFromOp = from
+		out[victim(2)].BrownoutToOp = from + 2 + int(r(6)%uint64(opsHint/2+1))
+		out[victim(2)].BrownoutFactor = 0.4 + u01(7)*0.5
+	}
+	if n >= 4 {
+		out[victim(3)].SlowFactor = 1.5 + u01(8)*2
+	}
+	return out
+}

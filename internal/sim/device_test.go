@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDeviceFaultsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		f    DeviceFaults
+		ok   bool
+	}{
+		{"zero", DeviceFaults{}, true},
+		{"crash", DeviceFaults{CrashAtOp: 5}, true},
+		{"negative crash", DeviceFaults{CrashAtOp: -1}, false},
+		{"hang", DeviceFaults{HangAtOp: 3, HangOps: 2}, true},
+		{"negative hang", DeviceFaults{HangAtOp: -2}, false},
+		{"brownout", DeviceFaults{BrownoutFromOp: 2, BrownoutToOp: 5, BrownoutFactor: 0.5}, true},
+		{"brownout bad window", DeviceFaults{BrownoutFromOp: 5, BrownoutToOp: 2, BrownoutFactor: 0.5}, false},
+		{"brownout bad factor", DeviceFaults{BrownoutFromOp: 2, BrownoutToOp: 5, BrownoutFactor: 1.5}, false},
+		{"slow", DeviceFaults{SlowFactor: 2}, true},
+		{"slow below one", DeviceFaults{SlowFactor: 0.5}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.f.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestDeviceFaultsTriggers(t *testing.T) {
+	f := DeviceFaults{CrashAtOp: 10, HangAtOp: 3, HangOps: 2, BrownoutFromOp: 5, BrownoutToOp: 7, BrownoutFactor: 0.5, SlowFactor: 2}
+	if f.CrashesAt(9) || !f.CrashesAt(10) || !f.CrashesAt(11) {
+		t.Error("crash trigger must fire at and after CrashAtOp")
+	}
+	if f.HangsAt(2) || !f.HangsAt(3) || !f.HangsAt(4) || f.HangsAt(5) {
+		t.Error("hang window must be [HangAtOp, HangAtOp+HangOps)")
+	}
+	if f.BrownoutAt(4) || !f.BrownoutAt(5) || !f.BrownoutAt(6) || f.BrownoutAt(7) {
+		t.Error("brownout window must be [from, to)")
+	}
+	if f.Slowdown() != 2 {
+		t.Errorf("Slowdown() = %g, want 2", f.Slowdown())
+	}
+	if (DeviceFaults{}).Any() || !f.Any() {
+		t.Error("Any() misclassifies fault domains")
+	}
+	// HangOps <= 0 defaults to a single-op window.
+	one := DeviceFaults{HangAtOp: 4}
+	if !one.HangsAt(4) || one.HangsAt(5) {
+		t.Error("HangOps <= 0 must mean a one-op window")
+	}
+}
+
+func TestFleetChaosScheduleDeterministicAndSurvivable(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1234} {
+		for _, n := range []int{2, 3, 4, 8} {
+			a := FleetChaosSchedule(seed, n, 10)
+			b := FleetChaosSchedule(seed, n, 10)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("seed %d n %d: schedule is not deterministic", seed, n)
+			}
+			crashes, hangs := 0, 0
+			for i, f := range a {
+				if err := f.Validate(); err != nil {
+					t.Fatalf("seed %d n %d device %d: invalid schedule: %v", seed, n, i, err)
+				}
+				if f.CrashAtOp > 0 {
+					crashes++
+					if f.HangAtOp > 0 || f.SlowFactor > 1 || f.BrownoutToOp > f.BrownoutFromOp {
+						t.Fatalf("seed %d n %d device %d: crash victim has extra roles", seed, n, i)
+					}
+				}
+				if f.HangAtOp > 0 {
+					hangs++
+				}
+			}
+			if crashes != 1 {
+				t.Fatalf("seed %d n %d: want exactly 1 crash victim, got %d", seed, n, crashes)
+			}
+			if hangs != 1 {
+				t.Fatalf("seed %d n %d: want exactly 1 hang victim, got %d", seed, n, hangs)
+			}
+		}
+	}
+	// Different seeds must differ somewhere (not a constant schedule).
+	if reflect.DeepEqual(FleetChaosSchedule(1, 4, 10), FleetChaosSchedule(2, 4, 10)) {
+		t.Error("schedules for seeds 1 and 2 are identical — seed is not mixed in")
+	}
+}
+
+func TestFleetChaosScheduleSingleDeviceIsHealthy(t *testing.T) {
+	for _, f := range FleetChaosSchedule(99, 1, 10) {
+		if f.Any() {
+			t.Fatal("a 1-device fleet has no failover target; the schedule must stay healthy")
+		}
+	}
+}
