@@ -1,25 +1,40 @@
-// Command mikbench measures the online planner over a pinned suite of
-// BERT-style dynamic-sequence-length and Llama-decode GEMM shapes and gates
-// the result against a committed baseline. It is the CI perf job's engine and
-// the local tool for refreshing BENCH_planner.json.
+// Command mikbench measures a pinned benchmark suite and gates the result
+// against a committed baseline. It is the CI perf jobs' engine and the local
+// tool for refreshing the BENCH_*.json baselines.
 //
-// Run the suite and write a fresh baseline:
+// Two suites are available via -suite:
+//
+//   - planner (default): online-planner latency over BERT-style dynamic-
+//     sequence-length and Llama-decode GEMM shapes → BENCH_planner.json;
+//   - serve: goodput-under-SLO on synthetic multi-tenant LLM traffic through
+//     the paged KV cache and scheduler → BENCH_serve.json.
+//
+// Run a suite and write a fresh baseline:
 //
 //	go run ./cmd/mikbench -out BENCH_planner.json
+//	go run ./cmd/mikbench -suite serve -out BENCH_serve.json
 //
 // Gate a working tree against the committed baseline (CI does this):
 //
 //	go run ./cmd/mikbench -baseline BENCH_planner.json -out bench-current.json
+//	go run ./cmd/mikbench -suite serve -baseline BENCH_serve.json -out serve-current.json
 //
 // Exit status: 0 = suite ran and (if -baseline) the gate passed; 1 = the gate
 // found regressions; 2 = the suite itself failed to run.
 //
-// Latency is compared with -tolerance (default +15%); allocation counts may
-// never increase; chosen programs, candidate counts and cycle costs must be
-// bitwise identical to the baseline — those fields are machine-independent,
-// so any drift means the planner's decisions changed, not that the runner was
-// noisy. -slowdown N plans every shape N times per measured op, which exists
-// to prove the gate trips (a -slowdown 2 run must fail a clean baseline).
+// Planner gate: latency is compared with -tolerance (default +15%);
+// allocation counts may never increase; chosen programs, candidate counts and
+// cycle costs must be bitwise identical to the baseline — those fields are
+// machine-independent, so any drift means the planner's decisions changed,
+// not that the runner was noisy. -slowdown N plans every shape N times per
+// measured op, which exists to prove the gate trips (a -slowdown 2 run must
+// fail a clean baseline).
+//
+// Serve gate: the replay clock is virtual (executed device cycles), so every
+// gated field is exact. Decode digests must be bitwise identical to the
+// baseline and between reuse-on/off runs, KV pages may never leak, p99
+// decode-step latency must sit within each case's SLO bound, and
+// goodput-under-SLO may drop at most -tolerance (default -10% for serve).
 package main
 
 import (
@@ -34,16 +49,30 @@ import (
 
 func main() {
 	var (
-		out       = flag.String("out", "", "write the measured report to this file (JSON, schema "+bench.PlannerBenchSchema+")")
+		suite     = flag.String("suite", "planner", "benchmark suite to run: planner or serve")
+		out       = flag.String("out", "", "write the measured report to this file (JSON)")
 		baseline  = flag.String("baseline", "", "compare against this baseline report and exit 1 on regression")
 		quick     = flag.Bool("quick", false, "run the subsampled suite (tests and smoke runs)")
-		minTime   = flag.Duration("mintime", 150*time.Millisecond, "minimum sampling window per repetition")
-		repeats   = flag.Int("repeats", 3, "sampling repetitions per case (minimum ns/op is reported)")
-		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional ns/op growth vs baseline")
-		slowdown  = flag.Int("slowdown", 1, "plan each shape this many times per op (gate-trip injection; >1 must fail a clean baseline)")
+		minTime   = flag.Duration("mintime", 150*time.Millisecond, "minimum sampling window per repetition (planner)")
+		repeats   = flag.Int("repeats", 3, "sampling repetitions per case (planner; minimum ns/op is reported)")
+		tolerance = flag.Float64("tolerance", 0, "allowed fractional regression vs baseline (default 0.15 planner ns/op, 0.10 serve goodput)")
+		slowdown  = flag.Int("slowdown", 1, "plan each shape this many times per op (planner gate-trip injection)")
 	)
 	flag.Parse()
 
+	switch *suite {
+	case "serve":
+		runServe(*out, *baseline, *quick, *tolerance)
+		return
+	case "planner":
+	default:
+		fmt.Fprintf(os.Stderr, "mikbench: unknown -suite %q (want planner or serve)\n", *suite)
+		os.Exit(2)
+	}
+
+	if *tolerance == 0 {
+		*tolerance = 0.15
+	}
 	opts := bench.PlannerMeasureOpts{MinTime: *minTime, Repeats: *repeats, Slowdown: *slowdown}
 	cases := bench.PlannerSuite(*quick)
 	fmt.Fprintf(os.Stderr, "mikbench: measuring %d planner cases (mintime=%v repeats=%d slowdown=%d)\n",
@@ -101,4 +130,65 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mikbench: PASS — within tolerances of %s (%d cases, latency tolerance %.0f%%)\n",
 		*baseline, len(base.Cases), *tolerance*100)
+}
+
+// runServe measures the serving suite and (if baseline is set) gates
+// goodput-under-SLO, decode digests, KV leaks and step-latency SLOs.
+func runServe(out, baseline string, quick bool, tolerance float64) {
+	cases := bench.ServeSuite(quick)
+	fmt.Fprintf(os.Stderr, "mikbench: replaying %d serve cases (quick=%v)\n", len(cases), quick)
+	start := time.Now()
+	rep, err := bench.RunServeSuite(cases, bench.ServeMeasureOpts{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mikbench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "mikbench: suite done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("%-20s %12s %8s %6s %10s %10s %10s %8s %6s\n",
+		"case", "goodput_tps", "slo_ok", "done", "p99step_ms", "p99ttft_ms", "reused_tok", "cow", "leaks")
+	for _, c := range rep.Cases {
+		fmt.Printf("%-20s %12.1f %7.0f%% %6d %10.3f %10.1f %10d %8d %6d\n",
+			c.Name, c.GoodputTPS, c.SLOGoodFrac*100, c.Completed,
+			c.P99StepMs, c.P99TTFTMs, c.ReusedTokens, c.COWCopies, c.LeakedPages)
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mikbench: marshal: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mikbench: write %s: %v\n", out, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "mikbench: wrote %s\n", out)
+	}
+
+	if baseline == "" {
+		return
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mikbench: read baseline: %v\n", err)
+		os.Exit(2)
+	}
+	var base bench.ServeBenchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "mikbench: parse baseline %s: %v\n", baseline, err)
+		os.Exit(2)
+	}
+	regs, notes := bench.CompareServe(&base, rep, bench.ServeCompareOpts{GoodputTolerance: tolerance})
+	for _, n := range notes {
+		fmt.Fprintf(os.Stderr, "mikbench: note: %s\n", n)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "mikbench: FAIL — %d regression(s) vs %s:\n", len(regs), baseline)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  - %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mikbench: PASS — within tolerances of %s (%d cases)\n", baseline, len(base.Cases))
 }

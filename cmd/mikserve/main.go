@@ -6,6 +6,7 @@
 //	curl -s localhost:8097/plan -d '{"m":4096,"n":1024,"k":4096}'
 //	curl -s localhost:8097/execute -d '{"m":128,"n":96,"k":64}'
 //	curl -s localhost:8097/model -d '{"model":"bert-base","seq":384}'
+//	curl -s -H 'X-Tenant: acme' localhost:8097/generate -d '{"prompt_len":512,"steps":32}'
 //	curl -s localhost:8097/healthz
 //	curl -s localhost:8097/stats
 //	curl -s localhost:8097/metrics
@@ -16,7 +17,10 @@
 // degradation to an always-legal fallback program, and — when fault injection
 // is enabled — re-planning with exponential backoff. Model graphs run with
 // asynchronous plan-ahead (-plan-ahead) and, for llama2-decode, continuous
-// batching (-decode-batch).
+// batching (-decode-batch). With -sched, POST /generate runs requests through
+// the SLO-aware generation scheduler: paged KV cache with prefix reuse,
+// chunked prefill interleaved with decode waves, and token-budget admission
+// (429 + Retry-After when the in-flight token budget is exhausted).
 //
 // The socket binds immediately; the micro-kernel library loads (-library)
 // or tunes in the background, and /healthz answers 503 until it is ready.
@@ -67,6 +71,13 @@ func main() {
 		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		fleetSpec   = flag.String("fleet", "", `device-fleet spec, JSON or @file: [{"hw":"a100","replicas":2},{"hw":"ascend910","replicas":1}]; enables POST /gemm and fleet-routed /model`)
 		fleetChaos  = flag.Uint64("fleet-chaos-seed", 0, "run the fleet under a seeded device-level chaos schedule (crash, hang, brownout, slow replica); 0 disables")
+		schedOn     = flag.Bool("sched", false, "enable the SLO-aware generation scheduler and POST /generate (paged KV cache, prefix reuse, chunked prefill)")
+		kvPages     = flag.Int("kv-pages", 0, "KV-cache capacity in pages for -sched (0 = default)")
+		prefillChk  = flag.Int("prefill-chunk", 0, "largest prefill chunk in tokens for -sched (0 = default)")
+		stepSLO     = flag.Float64("slo-ms", 0, "decode-step latency SLO in milliseconds for -sched (0 = default)")
+		ttftSLO     = flag.Float64("ttft-slo-ms", 0, "time-to-first-token SLO in milliseconds for -sched (0 = default)")
+		schedBudget = flag.Int64("sched-tokens", 0, "in-flight token budget for -sched admission; over-budget requests get 429 + Retry-After (0 = default)")
+		tenants     = flag.String("tenants", "", "comma-separated X-Tenant allowlist for /generate (empty = any tenant admitted)")
 	)
 	flag.Parse()
 
@@ -97,6 +108,24 @@ func main() {
 		cfg.PlanAhead = -1 // sequential
 	} else {
 		cfg.PlanAhead = *planAhead
+	}
+	// Any scheduler-specific flag implies -sched so `-kv-pages 4096` alone
+	// does what it reads like.
+	if *schedOn || *kvPages > 0 || *prefillChk > 0 || *stepSLO > 0 || *ttftSLO > 0 || *schedBudget > 0 {
+		cfg.SchedDecode = true
+		cfg.KVPages = *kvPages
+		cfg.PrefillChunk = *prefillChk
+		cfg.StepSLOMs = *stepSLO
+		cfg.TTFTSLOMs = *ttftSLO
+		cfg.SchedInFlightTokens = *schedBudget
+		log.Printf("mikserve: generation scheduler enabled (POST /generate)")
+	}
+	if *tenants != "" {
+		for _, t := range strings.Split(*tenants, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				cfg.Tenants = append(cfg.Tenants, t)
+			}
+		}
 	}
 	switch {
 	case *chaosSeed != 0:

@@ -31,9 +31,12 @@ import (
 	"time"
 
 	"mikpoly/internal/hw"
+	"mikpoly/internal/kvcache"
 	"mikpoly/internal/nn"
+	"mikpoly/internal/sched"
 	"mikpoly/internal/sim"
 	"mikpoly/internal/tensor"
+	"mikpoly/internal/workload"
 )
 
 // chaosRecord is one request's outcome, reduced to the fields that must be
@@ -294,5 +297,101 @@ func TestFleetChaosDrainDuringChaos(t *testing.T) {
 			t.Fatalf("drained device %s state = %s, want dead", victim, d.State())
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFleetChaosKVNoLeakNoStrandedTenants drives the SLO-aware generation
+// scheduler (internal/sched) through a chaos fleet: prefill chunks route to
+// the A100 pool and decode waves to the NPU pool via class-restricted
+// dispatch, while the seed's fault schedule crashes and hangs devices
+// mid-stream. Invariants, per seed:
+//
+//  1. no leaked KV pages — every request that dies mid-decode (device crash
+//     surfacing as an executor error) must release its pages, so after the
+//     replay drains the KV manager is quiescent and LeakedPages == 0;
+//  2. no stranded tenant queue — every trace request resolves as completed
+//     or failed; no tenant keeps undrained work after the replay returns.
+func TestFleetChaosKVNoLeakNoStrandedTenants(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			faults := sim.FleetChaosSchedule(seed, 4, 2+chaosRequests/4)
+			f := buildChaosFleet(t, faults)
+			defer f.Close()
+
+			// Pool separation over the heterogeneous fleet: prefill prefers
+			// the A100 class, decode the NPU class. ExecModelClass crosses
+			// pools rather than failing when a whole class is down, so a
+			// crash only surfaces as an error once no capable device is
+			// routable at all.
+			exec := sched.ExecutorFunc(func(ctx context.Context, g nn.Graph, pool string) (float64, error) {
+				class := hw.A100().Name
+				if pool == sched.PoolDecode {
+					class = hw.Ascend910().Name
+				}
+				rep, _, _, err := f.ExecModelClass(ctx, g, class)
+				if err != nil {
+					return 0, err
+				}
+				return rep.Cycles, nil
+			})
+			s := sched.New(exec, sched.Config{
+				HW:            hw.A100(),
+				KV:            kvcache.Config{NumPages: 512},
+				SeparatePools: true,
+				// Generous bounds: chaos probes liveness and accounting,
+				// not latency; the serve bench owns the SLO numbers.
+				StepSLOMs: 500, TTFTSLOMs: 10000,
+			})
+			trace := workload.GenerateTrace(workload.TraceConfig{
+				Seed:      seed,
+				Requests:  20,
+				Tenants:   3,
+				PromptMin: 32, PromptMax: 256,
+				DecodeMin: 4, DecodeMax: 24,
+			})
+			perTenant := make(map[string]int)
+			for _, tr := range trace {
+				perTenant[tr.Tenant]++
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+			rep, results, err := s.Replay(ctx, trace)
+			if err != nil {
+				dumpFleet(t, f, "kv-replay-error")
+				t.Fatalf("seed %d: replay: %v", seed, err)
+			}
+
+			// Invariant 2: every request resolved, per tenant.
+			if rep.Completed+rep.Failed != len(trace) {
+				dumpFleet(t, f, "kv-stranded")
+				t.Fatalf("seed %d: %d completed + %d failed != %d submitted: stranded requests",
+					seed, rep.Completed, rep.Failed, len(trace))
+			}
+			gotTenant := make(map[string]int)
+			for _, r := range results {
+				gotTenant[r.Tenant]++
+			}
+			if !reflect.DeepEqual(gotTenant, perTenant) {
+				dumpFleet(t, f, "kv-stranded-tenant")
+				t.Fatalf("seed %d: per-tenant resolution %v, want %v (stranded tenant queue)",
+					seed, gotTenant, perTenant)
+			}
+			if rep.Completed == 0 {
+				dumpFleet(t, f, "kv-all-failed")
+				t.Fatalf("seed %d: no request completed under chaos; failover is not absorbing faults", seed)
+			}
+
+			// Invariant 1: crash mid-decode must not leak KV pages.
+			if rep.LeakedPages != 0 {
+				dumpFleet(t, f, "kv-leak")
+				t.Fatalf("seed %d: %d leaked KV pages after drain", seed, rep.LeakedPages)
+			}
+			if qerr := s.KV().Quiescent(); qerr != nil {
+				dumpFleet(t, f, "kv-not-quiescent")
+				t.Fatalf("seed %d: KV manager not quiescent after replay: %v", seed, qerr)
+			}
+		})
 	}
 }

@@ -126,14 +126,15 @@ type Dispatcher struct {
 
 	probeMu sync.Mutex // one probe sweep at a time
 
-	nRequests     atomic.Int64
-	nFailovers    atomic.Int64
-	nHedges       atomic.Int64
-	nHedgeWins    atomic.Int64
-	nBreakerTrips atomic.Int64
-	nReadmissions atomic.Int64
-	nProbes       atomic.Int64
-	nNoDevice     atomic.Int64
+	nRequests       atomic.Int64
+	nFailovers      atomic.Int64
+	nHedges         atomic.Int64
+	nHedgeWins      atomic.Int64
+	nBreakerTrips   atomic.Int64
+	nReadmissions   atomic.Int64
+	nProbes         atomic.Int64
+	nNoDevice       atomic.Int64
+	nClassFallbacks atomic.Int64
 }
 
 // NewDispatcher builds a dispatcher over the devices. Call Start to launch
@@ -261,28 +262,48 @@ func (f *Dispatcher) weight(d *Device) float64 {
 // pass admits routable devices with open breakers — quarantining the whole
 // fleet at once would serve nobody, and "no request with a surviving capable
 // device fails" outranks quarantine.
-func (f *Dispatcher) pick(exclude map[*Device]bool) *Device {
+//
+// A non-empty class restricts routing to devices of that class (pool
+// separation: prefill and decode waves on disjoint replicas) with the same
+// survival clause: when no device of the class is routable, the class
+// constraint is dropped rather than failing the request, and the fallback is
+// counted and logged.
+func (f *Dispatcher) pick(exclude map[*Device]bool, class string) *Device {
 	n := len(f.devices)
 	if n == 0 {
 		return nil
 	}
 	rot := int(f.rr.Add(1)) % n
-	for _, ignoreBreakers := range []bool{false, true} {
-		var best *Device
-		bestScore := math.Inf(1)
-		for i := 0; i < n; i++ {
-			k := (rot + i) % n
-			d := f.devices[k]
-			if exclude[d] || !d.Routable() || (!ignoreBreakers && !f.brk[k].allows()) {
-				continue
+	classes := []string{class}
+	if class != "" {
+		classes = append(classes, "")
+	}
+	for _, cl := range classes {
+		for _, ignoreBreakers := range []bool{false, true} {
+			var best *Device
+			bestScore := math.Inf(1)
+			for i := 0; i < n; i++ {
+				k := (rot + i) % n
+				d := f.devices[k]
+				if exclude[d] || !d.Routable() || (!ignoreBreakers && !f.brk[k].allows()) {
+					continue
+				}
+				if cl != "" && d.class != cl {
+					continue
+				}
+				score := float64(d.Outstanding()+1) / f.weight(d)
+				if score < bestScore-1e-12 {
+					best, bestScore = d, score
+				}
 			}
-			score := float64(d.Outstanding()+1) / f.weight(d)
-			if score < bestScore-1e-12 {
-				best, bestScore = d, score
+			if best != nil {
+				if cl == "" && class != "" {
+					f.nClassFallbacks.Add(1)
+					f.events.Append(best.name, "class-fallback",
+						"no routable "+class+" device; crossing pools")
+				}
+				return best
 			}
-		}
-		if best != nil {
-			return best
 		}
 	}
 	return nil
@@ -330,7 +351,7 @@ type outcome struct {
 // attempt runs one request attempt on primary, hedging onto a second
 // replica if the primary exceeds its latency estimate. It returns the
 // winning value and device plus the number of attempts launched.
-func (f *Dispatcher) attempt(ctx context.Context, primary *Device, tried map[*Device]bool,
+func (f *Dispatcher) attempt(ctx context.Context, primary *Device, tried map[*Device]bool, class string,
 	run func(ctx context.Context, d *Device, salt uint64) (any, error), baseSalt uint64,
 ) (any, *Device, int, error) {
 	actx, cancel := context.WithCancel(ctx)
@@ -395,7 +416,7 @@ func (f *Dispatcher) attempt(ctx context.Context, primary *Device, tried map[*De
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			h := f.pick(tried)
+			h := f.pick(tried, class)
 			if h == nil {
 				continue
 			}
@@ -433,7 +454,8 @@ func (f *Dispatcher) hedgeDelay(d *Device) time.Duration {
 // do routes one request: pick, attempt (with hedging), and fail over to
 // other replicas on device-local failure, bounded by MaxAttempts. Each
 // attempt carries a distinct salt so transient injected faults can clear.
-func (f *Dispatcher) do(ctx context.Context, kind string,
+// A non-empty class prefers devices of that class (see pick).
+func (f *Dispatcher) do(ctx context.Context, kind, class string,
 	run func(ctx context.Context, d *Device, salt uint64) (any, error),
 ) (any, *Device, int, error) {
 	ctx, sp := f.o.T().Start(ctx, "fleet.dispatch")
@@ -443,7 +465,7 @@ func (f *Dispatcher) do(ctx context.Context, kind string,
 	attempts := 0
 	var lastErr error
 	for attempts < f.cfg.MaxAttempts {
-		d := f.pick(tried)
+		d := f.pick(tried, class)
 		if d == nil {
 			if len(tried) == 0 {
 				f.nNoDevice.Add(1)
@@ -454,14 +476,14 @@ func (f *Dispatcher) do(ctx context.Context, kind string,
 			// allow re-tries (a fresh salt can clear transient faults on
 			// an otherwise healthy device).
 			clear(tried)
-			d = f.pick(tried)
+			d = f.pick(tried, class)
 			if d == nil {
 				f.nNoDevice.Add(1)
 				break
 			}
 		}
 		tried[d] = true
-		v, winner, n, err := f.attempt(ctx, d, tried, run, uint64(attempts))
+		v, winner, n, err := f.attempt(ctx, d, tried, class, run, uint64(attempts))
 		attempts += n
 		if err == nil {
 			sp.Attr("attempts", float64(attempts))
@@ -487,7 +509,7 @@ func (f *Dispatcher) do(ctx context.Context, kind string,
 
 // ExecGemm routes one GEMM execution across the fleet.
 func (f *Dispatcher) ExecGemm(ctx context.Context, shape tensor.GemmShape, seedA, seedB uint64) (GemmResult, error) {
-	v, d, attempts, err := f.do(ctx, "gemm", func(ctx context.Context, dev *Device, salt uint64) (any, error) {
+	v, d, attempts, err := f.do(ctx, "gemm", "", func(ctx context.Context, dev *Device, salt uint64) (any, error) {
 		res, err := dev.ExecGemm(ctx, shape, seedA, seedB, salt)
 		if err != nil {
 			return nil, err
@@ -506,7 +528,17 @@ func (f *Dispatcher) ExecGemm(ctx context.Context, shape tensor.GemmShape, seedA
 // ExecModel routes one model-graph execution across the fleet, returning the
 // runtime report, the serving device's name, and the attempt count.
 func (f *Dispatcher) ExecModel(ctx context.Context, g nn.Graph) (graphrt.Report, string, int, error) {
-	v, d, attempts, err := f.do(ctx, "model", func(ctx context.Context, dev *Device, salt uint64) (any, error) {
+	return f.ExecModelClass(ctx, g, "")
+}
+
+// ExecModelClass routes one model-graph execution preferring devices of the
+// given class — the pool-separation primitive: a serving scheduler sends
+// prefill chunks to one device class and decode waves to another, so long
+// prefills never stall a decode step. An empty class routes anywhere; a
+// class with no routable device falls back to the whole fleet (counted in
+// DispatchStats.ClassFallbacks) rather than failing the request.
+func (f *Dispatcher) ExecModelClass(ctx context.Context, g nn.Graph, class string) (graphrt.Report, string, int, error) {
+	v, d, attempts, err := f.do(ctx, "model", class, func(ctx context.Context, dev *Device, salt uint64) (any, error) {
 		rep, err := dev.ExecModel(ctx, g, salt)
 		if err != nil {
 			return nil, err
@@ -572,19 +604,23 @@ type Stats struct {
 	Readmissions int64 `json:"readmissions"`
 	Probes       int64 `json:"probes"`
 	NoDevice     int64 `json:"no_device"`
+	// ClassFallbacks counts class-restricted requests that crossed pools
+	// because no device of the requested class was routable.
+	ClassFallbacks int64 `json:"class_fallbacks"`
 }
 
 // DispatchStats snapshots the cumulative routing counters.
 func (f *Dispatcher) DispatchStats() Stats {
 	return Stats{
-		Requests:     f.nRequests.Load(),
-		Failovers:    f.nFailovers.Load(),
-		Hedges:       f.nHedges.Load(),
-		HedgeWins:    f.nHedgeWins.Load(),
-		BreakerTrips: f.nBreakerTrips.Load(),
-		Readmissions: f.nReadmissions.Load(),
-		Probes:       f.nProbes.Load(),
-		NoDevice:     f.nNoDevice.Load(),
+		Requests:       f.nRequests.Load(),
+		Failovers:      f.nFailovers.Load(),
+		Hedges:         f.nHedges.Load(),
+		HedgeWins:      f.nHedgeWins.Load(),
+		BreakerTrips:   f.nBreakerTrips.Load(),
+		Readmissions:   f.nReadmissions.Load(),
+		Probes:         f.nProbes.Load(),
+		NoDevice:       f.nNoDevice.Load(),
+		ClassFallbacks: f.nClassFallbacks.Load(),
 	}
 }
 

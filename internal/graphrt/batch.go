@@ -21,11 +21,23 @@ type BatchConfig struct {
 	// KV lengths share one step graph — legal because local padding
 	// (§3.4) makes any padded shape executable (default 64).
 	KVQuantum int
+	// PageTokens, when set, declares that KV lives in a paged cache with
+	// this page size. Padding then wastes real attention bandwidth only up
+	// to the page boundary — the pager never materializes tokens past the
+	// sequence's last page — so the bucket quantum is clamped down to the
+	// page size: finer buckets, strictly less padded work, and the step
+	// graphs stay shape-shareable because pages are uniform.
+	PageTokens int
+	// KVBytesPerToken converts padded tokens into wasted attention-read
+	// bytes for the PaddedKVBytes counter (default 5120, the per-token
+	// KV footprint of the llama2-13b reference model at fp16).
+	KVBytesPerToken int64
 }
 
 const (
-	defaultMaxBatch  = 8
-	defaultKVQuantum = 64
+	defaultMaxBatch        = 8
+	defaultKVQuantum       = 64
+	defaultKVBytesPerToken = 5120
 )
 
 func (c BatchConfig) withDefaults() BatchConfig {
@@ -34,6 +46,12 @@ func (c BatchConfig) withDefaults() BatchConfig {
 	}
 	if c.KVQuantum <= 0 {
 		c.KVQuantum = defaultKVQuantum
+	}
+	if c.PageTokens > 0 && c.KVQuantum > c.PageTokens {
+		c.KVQuantum = c.PageTokens
+	}
+	if c.KVBytesPerToken <= 0 {
+		c.KVBytesPerToken = defaultKVBytesPerToken
 	}
 	return c
 }
@@ -71,8 +89,12 @@ type BatchStats struct {
 	// subset carrying more than one request.
 	StepGraphs, SharedStepGraphs int64
 	// PaddedKVTokens sums the per-request KV padding introduced by
-	// bucketing (wasted attention work, the cost of sharing).
+	// bucketing (wasted attention work, the cost of sharing), and
+	// PaddedKVBytes the attention-read bandwidth that padding burned
+	// (PaddedKVTokens × KVBytesPerToken) — the exact price paid for
+	// shape-shared step graphs.
 	PaddedKVTokens int64
+	PaddedKVBytes  int64
 }
 
 // errStopped answers submissions to a stopped batcher.
@@ -294,7 +316,9 @@ func (b *DecodeBatcher) step(ctx context.Context, group []*decodeCall, paddedKV 
 		b.stats.SharedStepGraphs++
 	}
 	for _, c := range group {
-		b.stats.PaddedKVTokens += int64(paddedKV - c.kv)
+		pad := int64(paddedKV - c.kv)
+		b.stats.PaddedKVTokens += pad
+		b.stats.PaddedKVBytes += pad * b.cfg.KVBytesPerToken
 	}
 	b.mu.Unlock()
 	for _, c := range group {

@@ -56,8 +56,52 @@ func TestBucketSharing(t *testing.T) {
 	if st.PaddedKVTokens != (128-100)+(128-120) {
 		t.Fatalf("padded KV tokens %d, want 36", st.PaddedKVTokens)
 	}
+	if st.PaddedKVBytes != st.PaddedKVTokens*defaultKVBytesPerToken {
+		t.Fatalf("padded KV bytes %d, want tokens %d x %d bytes/token",
+			st.PaddedKVBytes, st.PaddedKVTokens, defaultKVBytesPerToken)
+	}
 	if st.Submitted != 2 || st.Completed != 2 {
 		t.Fatalf("stats %+v, want 2 submitted and completed", st)
+	}
+}
+
+// TestPagedQuantumShrinksPadding: with a paged KV cache declared, the bucket
+// quantum clamps down to the page size — the pager never reads past the last
+// page, so coarser padding buys nothing — and the accounted waste shrinks.
+func TestPagedQuantumShrinksPadding(t *testing.T) {
+	rt := fastRuntime(t, Config{PlanAhead: 2})
+	ctx := context.Background()
+
+	run := func(cfg BatchConfig) BatchStats {
+		b := NewDecodeBatcher(rt, cfg)
+		for _, kv := range []int{100, 120} {
+			if _, err := b.enqueue(ctx, DecodeRequest{KVLen: kv, Tokens: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b.RunStep(ctx, nil)
+		return b.Stats()
+	}
+
+	coarse := run(BatchConfig{})              // quantum 64: both pad to 128
+	paged := run(BatchConfig{PageTokens: 16}) // quantum 16: pad to 112 and 128
+	if coarse.PaddedKVTokens != 36 {
+		t.Fatalf("coarse padding %d tokens, want 36", coarse.PaddedKVTokens)
+	}
+	if want := int64((112 - 100) + (128 - 120)); paged.PaddedKVTokens != want {
+		t.Fatalf("paged padding %d tokens, want %d", paged.PaddedKVTokens, want)
+	}
+	if paged.PaddedKVTokens >= coarse.PaddedKVTokens {
+		t.Fatalf("page-granular buckets did not shrink padding: %d vs %d",
+			paged.PaddedKVTokens, coarse.PaddedKVTokens)
+	}
+	if paged.PaddedKVBytes != paged.PaddedKVTokens*defaultKVBytesPerToken {
+		t.Fatalf("paged bytes %d inconsistent with tokens %d", paged.PaddedKVBytes, paged.PaddedKVTokens)
+	}
+	// An explicit quantum below the page size is kept as-is (never raised).
+	b := NewDecodeBatcher(rt, BatchConfig{KVQuantum: 8, PageTokens: 16})
+	if b.cfg.KVQuantum != 8 {
+		t.Fatalf("quantum %d, want explicit 8 preserved", b.cfg.KVQuantum)
 	}
 }
 

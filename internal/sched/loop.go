@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"context"
+	"sync"
+)
+
+// Loop is the online driver: one goroutine runs waves whenever requests are
+// queued or running, and Submit hands results back over a channel. The
+// clock stays virtual (executed cycles), so online behavior matches replay
+// behavior for the same request stream.
+type Loop struct {
+	s      *Scheduler
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewLoop starts the wave loop over a scheduler.
+func NewLoop(s *Scheduler) *Loop {
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &Loop{s: s, ctx: ctx, cancel: cancel}
+	l.wg.Add(1)
+	go l.run()
+	return l
+}
+
+// Scheduler returns the underlying scheduler.
+func (l *Loop) Scheduler() *Scheduler { return l.s }
+
+// Submit enqueues a request and returns a channel delivering its single
+// Result. A request whose mass exceeds the configured token budget — one
+// that could never be admitted — fails fast with ErrRejected so the serve
+// layer can answer 429 instead of queueing it forever.
+func (l *Loop) Submit(req Request) <-chan Result {
+	ch := make(chan Result, 1)
+	s := l.s
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		ch <- Result{ID: req.ID, Tenant: req.Tenant, Err: ErrRejected}
+		return ch
+	case !s.CanAdmit(req.Mass()):
+		s.mu.Unlock()
+		ch <- Result{ID: req.ID, Tenant: req.Tenant, Err: ErrRejected}
+		return ch
+	}
+	st := &reqState{req: req, arrival: s.clock, deliver: func(r Result) { ch <- r }}
+	s.enqueueLocked(st)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return ch
+}
+
+// Close stops the loop, failing everything still queued or running.
+func (l *Loop) Close() {
+	l.cancel()
+	l.s.mu.Lock()
+	l.s.closed = true
+	l.s.cond.Signal()
+	l.s.mu.Unlock()
+	l.wg.Wait()
+}
+
+func (l *Loop) run() {
+	defer l.wg.Done()
+	s := l.s
+	for {
+		s.mu.Lock()
+		for !s.pendingLocked() && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.drainLocked()
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+
+		if _, worked := s.runWave(l.ctx); !worked {
+			// Queued work that cannot start (arena exhausted with nothing
+			// running): fail the head so the queue keeps moving.
+			s.failHeadQueued()
+		}
+		if l.ctx.Err() != nil {
+			s.mu.Lock()
+			s.closed = true
+			s.drainLocked()
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
+// drainLocked fails every queued and running request on shutdown, releasing
+// all KV pages.
+func (s *Scheduler) drainLocked() {
+	for _, tn := range s.tenants {
+		q := s.queues[tn]
+		for p := range q {
+			for _, st := range q[p] {
+				st.done = true
+				s.stats.Failed++
+				if st.deliver != nil {
+					st.deliver(Result{ID: st.req.ID, Tenant: st.req.Tenant, Err: ErrRejected})
+				}
+			}
+			q[p] = nil
+		}
+	}
+	for len(s.running) > 0 {
+		s.finishLocked(s.running[0], ErrRejected)
+	}
+}

@@ -1,0 +1,191 @@
+package sched
+
+import (
+	"context"
+	"sort"
+
+	"mikpoly/internal/kvcache"
+	"mikpoly/internal/workload"
+)
+
+// Report aggregates one trace replay. Every field is deterministic given
+// the trace and configuration: the clock is virtual (executed device
+// cycles), so two replays of the same trace produce identical bits.
+type Report struct {
+	Requests  int `json:"requests"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	SLOGood   int `json:"slo_good"`
+
+	// GoodputTokensPerSec counts decode tokens of SLO-good requests per
+	// virtual second — the headline metric the CI gate protects.
+	GoodputTokensPerSec float64 `json:"goodput_tokens_per_sec"`
+	GoodDecodeTokens    int64   `json:"good_decode_tokens"`
+	DecodeTokens        int64   `json:"decode_tokens"`
+
+	P50StepMs  float64 `json:"p50_step_ms"`
+	P99StepMs  float64 `json:"p99_step_ms"`
+	P99TTFTMs  float64 `json:"p99_ttft_ms"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+
+	PrefillCycles float64 `json:"prefill_cycles"`
+	DecodeCycles  float64 `json:"decode_cycles"`
+	CopyCycles    float64 `json:"copy_cycles"`
+	ReusedTokens  int64   `json:"reused_tokens"`
+
+	// DigestBits folds every completed request's decode digest in request
+	// order — the bitwise-equality handle for reuse-on vs reuse-off.
+	DigestBits uint64 `json:"-"`
+
+	KV kvcache.Stats `json:"kv"`
+	// LeakedPages must be zero after a drained replay.
+	LeakedPages int `json:"leaked_pages"`
+}
+
+// Replay runs a synthetic trace to completion in virtual time and returns
+// the aggregate report plus per-request results (in completion order).
+// Arrivals are injected when the virtual clock reaches them; when the
+// scheduler goes idle with arrivals still pending, the clock jumps forward.
+func (s *Scheduler) Replay(ctx context.Context, trace []workload.TraceRequest) (Report, []Result, error) {
+	reqs := make([]workload.TraceRequest, len(trace))
+	copy(reqs, trace)
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].ArrivalCycle < reqs[j].ArrivalCycle })
+
+	next := 0
+	inject := func() {
+		s.mu.Lock()
+		for next < len(reqs) && reqs[next].ArrivalCycle <= s.clock {
+			tr := reqs[next]
+			st := &reqState{req: traceToRequest(tr, uint64(next)), arrival: tr.ArrivalCycle}
+			s.enqueueLocked(st)
+			next++
+		}
+		s.mu.Unlock()
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return Report{}, nil, err
+		}
+		inject()
+		_, worked := s.runWave(ctx)
+		if worked {
+			continue
+		}
+		// Idle: jump to the next arrival, or finish.
+		s.mu.Lock()
+		pending := s.pendingLocked()
+		if !pending && next < len(reqs) {
+			if reqs[next].ArrivalCycle > s.clock {
+				s.clock = reqs[next].ArrivalCycle
+			}
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Unlock()
+		if pending {
+			// Queued work the wave could not start with nothing running
+			// to release pages or budget: the head request can never fit.
+			// Fail it and keep draining the rest.
+			s.failHeadQueued()
+			continue
+		}
+		break
+	}
+	return s.buildReport(), s.takeResults(), nil
+}
+
+// failHeadQueued fails the first queued request (admission order) with
+// ErrRejected — the drain path when a request can never fit the arena or
+// budget and everything runnable has already drained.
+func (s *Scheduler) failHeadQueued() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for p := 0; p < NumPriorities; p++ {
+		for _, tn := range s.tenants {
+			q := s.queues[tn]
+			if len(q[p]) == 0 {
+				continue
+			}
+			st := q[p][0]
+			q[p] = q[p][1:]
+			st.done = true
+			s.stats.Failed++
+			res := Result{ID: st.req.ID, Tenant: st.req.Tenant, Err: ErrRejected}
+			if st.deliver != nil {
+				st.deliver(res)
+			} else {
+				s.collected = append(s.collected, res)
+			}
+			return
+		}
+	}
+}
+
+func (s *Scheduler) takeResults() []Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.collected
+	s.collected = nil
+	return out
+}
+
+// buildReport snapshots the replay outcome.
+func (s *Scheduler) buildReport() Report {
+	s.mu.Lock()
+	results := append([]Result(nil), s.collected...)
+	st := s.stats
+	clock := s.clock
+	p50 := s.steps.quantile(0.50)
+	p99 := s.steps.quantile(0.99)
+	ttft99 := s.ttfts.quantile(0.99)
+	s.mu.Unlock()
+
+	h := s.cfg.HW
+	r := Report{
+		Requests:      len(results),
+		PrefillCycles: st.PrefillCycles,
+		DecodeCycles:  st.DecodeCycles,
+		CopyCycles:    st.CopyCycles,
+		ReusedTokens:  st.ReusedTokens,
+		P50StepMs:     h.CyclesToSeconds(p50) * 1e3,
+		P99StepMs:     h.CyclesToSeconds(p99) * 1e3,
+		P99TTFTMs:     h.CyclesToSeconds(ttft99) * 1e3,
+		ElapsedSec:    h.CyclesToSeconds(clock),
+		KV:            s.kv.Stats(),
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].ID < results[j].ID })
+	for _, res := range results {
+		r.DecodeTokens += int64(res.DecodeTokens)
+		switch {
+		case res.Err != nil:
+			r.Failed++
+		default:
+			r.Completed++
+			r.DigestBits = r.DigestBits*0x100000001b3 ^ res.Digest
+			if res.SLOGood {
+				r.SLOGood++
+				r.GoodDecodeTokens += int64(res.DecodeTokens)
+			}
+		}
+	}
+	if r.ElapsedSec > 0 {
+		r.GoodputTokensPerSec = float64(r.GoodDecodeTokens) / r.ElapsedSec
+	}
+	r.LeakedPages = r.KV.ActivePages
+	return r
+}
+
+// traceToRequest materializes a trace entry's deterministic prompt. Prompts
+// within a shared-prefix group start with the group's block, which is what
+// prefix reuse amortizes across requests.
+func traceToRequest(tr workload.TraceRequest, id uint64) Request {
+	return Request{
+		ID:       id,
+		Tenant:   tr.Tenant,
+		Priority: tr.Priority,
+		Prompt:   tr.PromptTokens(),
+		Decode:   tr.DecodeTokens,
+		Fanout:   tr.Fanout,
+	}
+}

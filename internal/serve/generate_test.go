@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// postTenant posts JSON with an X-Tenant header.
+func postTenant(t *testing.T, url, tenant string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestGenerateDisabledWithoutSched(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/generate", generateRequest{PromptLen: 64})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d without SchedDecode, want 503: %s", resp.StatusCode, data)
+	}
+}
+
+func TestGenerateHappyPathAndPrefixReuse(t *testing.T) {
+	_, ts := newTestServer(t, Config{SchedDecode: true})
+
+	gen := func(prefix int) generateResponse {
+		t.Helper()
+		resp, data := postTenant(t, ts.URL+"/generate", "acme", generateRequest{
+			PromptLen: 96, Group: 1, PrefixLen: prefix, Steps: 4,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		var gr generateResponse
+		if err := json.Unmarshal(data, &gr); err != nil {
+			t.Fatal(err)
+		}
+		return gr
+	}
+
+	first := gen(64)
+	if first.Tenant != "acme" {
+		t.Fatalf("tenant %q, want acme", first.Tenant)
+	}
+	if first.DecodeTokens != 4 {
+		t.Fatalf("decode_tokens %d, want 4", first.DecodeTokens)
+	}
+	if first.Mass != 96+4 {
+		t.Fatalf("mass %d, want 100", first.Mass)
+	}
+	if first.Digest == "" || first.Digest == "0000000000000000" {
+		t.Fatalf("empty digest %q", first.Digest)
+	}
+
+	// Same tenant+group+prefix: the second request must hit the sealed
+	// prefix pages, and reuse must not change the decoded bits.
+	second := gen(64)
+	if second.ReusedTokens == 0 {
+		t.Fatal("second request with shared prefix reused no tokens")
+	}
+	if second.Digest != first.Digest {
+		t.Fatalf("digest changed under prefix reuse: %s vs %s", second.Digest, first.Digest)
+	}
+
+	// Validation: prompt_len out of range.
+	resp, _ := postTenant(t, ts.URL+"/generate", "acme", generateRequest{PromptLen: 0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("prompt_len 0 status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestGenerateTenantAllowlist(t *testing.T) {
+	_, ts := newTestServer(t, Config{SchedDecode: true, Tenants: []string{"acme", "globex"}})
+
+	resp, data := postTenant(t, ts.URL+"/generate", "intruder", generateRequest{PromptLen: 32, Steps: 1})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unknown tenant status %d, want 403: %s", resp.StatusCode, data)
+	}
+	// No header resolves to "default", which the allowlist also rejects.
+	resp, _ = postTenant(t, ts.URL+"/generate", "", generateRequest{PromptLen: 32, Steps: 1})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("default tenant status %d, want 403", resp.StatusCode)
+	}
+	resp, data = postTenant(t, ts.URL+"/generate", "globex", generateRequest{PromptLen: 32, Steps: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("allowlisted tenant status %d, want 200: %s", resp.StatusCode, data)
+	}
+}
+
+// TestGenerateTokenBudget429 exercises token-counted admission: a request
+// whose mass exceeds the in-flight token budget is rejected with 429 and a
+// Retry-After header — distinct from the request-counted admitMW semaphore,
+// which would have admitted it.
+func TestGenerateTokenBudget429(t *testing.T) {
+	srv, ts := newTestServer(t, Config{SchedDecode: true, SchedInFlightTokens: 64})
+
+	resp, data := postTenant(t, ts.URL+"/generate", "acme", generateRequest{PromptLen: 128, Steps: 4})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget status %d, want 429: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After header")
+	}
+	if got := srv.nTokenRejected.Load(); got != 1 {
+		t.Fatalf("token_rejected counter %d, want 1", got)
+	}
+
+	// A request that fits the budget still goes through.
+	resp, data = postTenant(t, ts.URL+"/generate", "acme", generateRequest{PromptLen: 32, Steps: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-budget status %d, want 200: %s", resp.StatusCode, data)
+	}
+}

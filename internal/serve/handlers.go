@@ -13,7 +13,9 @@ import (
 	"mikpoly/internal/fleet"
 	"mikpoly/internal/health"
 	"mikpoly/internal/hw"
+	"mikpoly/internal/kvcache"
 	"mikpoly/internal/poly"
+	"mikpoly/internal/sched"
 	"mikpoly/internal/sim"
 	"mikpoly/internal/tensor"
 )
@@ -440,6 +442,17 @@ type batchStats struct {
 	StepGraphs       int64 `json:"step_graphs"`
 	SharedStepGraphs int64 `json:"shared_step_graphs"`
 	PaddedKVTokens   int64 `json:"padded_kv_tokens"`
+	PaddedKVBytes    int64 `json:"padded_kv_bytes"`
+}
+
+// schedStatsView is the /stats view of the generation scheduler: the
+// cumulative wave accounting plus the live step-latency quantiles.
+type schedStatsView struct {
+	sched.Stats
+	Generated     int64   `json:"generated"`
+	TokenRejected int64   `json:"token_rejected"` // 429s from the token budget
+	P50StepMs     float64 `json:"p50_step_ms"`
+	P99StepMs     float64 `json:"p99_step_ms"`
 }
 
 // statsResponse is the /stats wire format.
@@ -464,6 +477,8 @@ type statsResponse struct {
 	Graph           *graphStats     `json:"graph,omitempty"`
 	Batch           *batchStats     `json:"batch,omitempty"`
 	Health          *healthStats    `json:"health,omitempty"`
+	Sched           *schedStatsView `json:"sched,omitempty"`
+	KV              *kvcache.Stats  `json:"kv,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -541,7 +556,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			StepGraphs:       bs.StepGraphs,
 			SharedStepGraphs: bs.SharedStepGraphs,
 			PaddedKVTokens:   bs.PaddedKVTokens,
+			PaddedKVBytes:    bs.PaddedKVBytes,
 		}
+	}
+	if l := s.sched.Load(); l != nil {
+		sc := l.Scheduler()
+		resp.Sched = &schedStatsView{
+			Stats:         sc.Stats(),
+			Generated:     s.nGenerated.Load(),
+			TokenRejected: s.nTokenRejected.Load(),
+			P50StepMs:     sc.StepQuantileMs(0.50),
+			P99StepMs:     sc.StepQuantileMs(0.99),
+		}
+		kv := sc.KV().Stats()
+		resp.KV = &kv
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

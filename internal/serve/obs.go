@@ -214,5 +214,108 @@ func (s *Server) registerObs() {
 			return samples
 		})
 
+	m.Collect("mik_kv_pages", "Paged KV arena occupancy by page state.", "gauge",
+		func() []obs.Sample {
+			l := s.sched.Load()
+			if l == nil {
+				return nil
+			}
+			ks := l.Scheduler().KV().Stats()
+			return []obs.Sample{
+				{Labels: [][2]string{{"state", "active"}}, Value: float64(ks.ActivePages)},
+				{Labels: [][2]string{{"state", "cached"}}, Value: float64(ks.CachedPages)},
+				{Labels: [][2]string{{"state", "free"}}, Value: float64(ks.FreePages)},
+			}
+		})
+	m.Collect("mik_kv_prefix_hit_tokens_total", "Prompt tokens served from shared KV pages instead of recomputed.", "counter",
+		func() []obs.Sample {
+			l := s.sched.Load()
+			if l == nil {
+				return nil
+			}
+			return one(float64(l.Scheduler().KV().Stats().PrefixHitTokens))
+		})
+	m.Collect("mik_kv_cow_copies_total", "Copy-on-write page copies on shared-page divergence.", "counter",
+		func() []obs.Sample {
+			l := s.sched.Load()
+			if l == nil {
+				return nil
+			}
+			return one(float64(l.Scheduler().KV().Stats().COWCopies))
+		})
+	m.Collect("mik_kv_evictions_total", "Cached (refs==0) KV pages reclaimed under arena pressure.", "counter",
+		func() []obs.Sample {
+			l := s.sched.Load()
+			if l == nil {
+				return nil
+			}
+			return one(float64(l.Scheduler().KV().Stats().Evictions))
+		})
+	m.Collect("mik_kv_bytes_total", "Exact sharing economics: KV bytes saved by prefix reuse vs recomputed after eviction.", "counter",
+		func() []obs.Sample {
+			l := s.sched.Load()
+			if l == nil {
+				return nil
+			}
+			ks := l.Scheduler().KV().Stats()
+			return []obs.Sample{
+				{Labels: [][2]string{{"kind", "saved"}}, Value: float64(ks.SavedBytes)},
+				{Labels: [][2]string{{"kind", "recomputed"}}, Value: float64(ks.RecomputedBytes)},
+			}
+		})
+	m.Collect("mik_sched_requests_total", "Generation-scheduler request outcomes.", "counter",
+		func() []obs.Sample {
+			l := s.sched.Load()
+			if l == nil {
+				return nil
+			}
+			ss := l.Scheduler().Stats()
+			return []obs.Sample{
+				{Labels: [][2]string{{"outcome", "admitted"}}, Value: float64(ss.Admitted)},
+				{Labels: [][2]string{{"outcome", "completed"}}, Value: float64(ss.Completed)},
+				{Labels: [][2]string{{"outcome", "failed"}}, Value: float64(ss.Failed)},
+				{Labels: [][2]string{{"outcome", "slo_good"}}, Value: float64(ss.SLOGood)},
+				{Labels: [][2]string{{"outcome", "token_rejected"}}, Value: float64(s.nTokenRejected.Load())},
+			}
+		})
+	m.Collect("mik_sched_inflight_tokens", "Token-budget admission occupancy (prompt + generation tokens in flight).", "gauge",
+		func() []obs.Sample {
+			l := s.sched.Load()
+			if l == nil {
+				return nil
+			}
+			ss := l.Scheduler().Stats()
+			return []obs.Sample{
+				{Labels: [][2]string{{"state", "used"}}, Value: float64(ss.InFlightTokens)},
+				{Labels: [][2]string{{"state", "budget"}}, Value: float64(ss.BudgetTokens)},
+			}
+		})
+	m.Collect("mik_sched_tokens_total", "Scheduler token flow: prefill executed, prefix-reused, decode steps.", "counter",
+		func() []obs.Sample {
+			l := s.sched.Load()
+			if l == nil {
+				return nil
+			}
+			ss := l.Scheduler().Stats()
+			return []obs.Sample{
+				{Labels: [][2]string{{"kind", "prefill"}}, Value: float64(ss.PrefillTokens)},
+				{Labels: [][2]string{{"kind", "reused"}}, Value: float64(ss.ReusedTokens)},
+				{Labels: [][2]string{{"kind", "decode"}}, Value: float64(ss.DecodeSteps)},
+				{Labels: [][2]string{{"kind", "padded"}}, Value: float64(ss.PaddedKVTokens)},
+			}
+		})
+	m.Collect("mik_sched_step_latency_ms", "Decode-step latency quantiles on the virtual device clock.", "gauge",
+		func() []obs.Sample {
+			l := s.sched.Load()
+			if l == nil {
+				return nil
+			}
+			sc := l.Scheduler()
+			return []obs.Sample{
+				{Labels: [][2]string{{"q", "p50"}}, Value: sc.StepQuantileMs(0.50)},
+				{Labels: [][2]string{{"q", "p99"}}, Value: sc.StepQuantileMs(0.99)},
+			}
+		})
+
 	s.registerFleetObs()
 }

@@ -23,7 +23,9 @@ import (
 	"mikpoly/internal/graphrt"
 	"mikpoly/internal/health"
 	"mikpoly/internal/hw"
+	"mikpoly/internal/kvcache"
 	"mikpoly/internal/obs"
+	"mikpoly/internal/sched"
 	"mikpoly/internal/sim"
 )
 
@@ -104,6 +106,30 @@ type Config struct {
 	// long the breaker stays open before a half-open probe is admitted.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+
+	// SchedDecode enables the SLO-aware multi-tenant generation scheduler
+	// over a paged KV cache: POST /generate requests are admitted against
+	// a token budget (429 + Retry-After when exhausted), identical prompt
+	// prefixes share KV pages, and prefill runs in chunks sized to the
+	// decode waves' slack under the step SLO.
+	SchedDecode bool
+
+	// KVPages/KVPageTokens size the paged KV arena; PrefillChunk bounds
+	// one prefill slice; StepSLOMs/TTFTSLOMs are the latency bounds the
+	// scheduler packs against; SchedInFlightTokens is the token budget
+	// admission counts (prompt + generation across branches, not
+	// requests). Zero fields take the scheduler defaults.
+	KVPages             int
+	KVPageTokens        int
+	PrefillChunk        int
+	StepSLOMs           float64
+	TTFTSLOMs           float64
+	SchedInFlightTokens int64
+
+	// Tenants, when non-empty, is the accepted X-Tenant allowlist for
+	// /generate; requests naming an unknown tenant are answered 403.
+	// Empty admits any tenant name.
+	Tenants []string
 
 	// Obs optionally attaches the observability layer: the handler then
 	// serves GET /metrics (Prometheus text) and GET /trace (span dump),
@@ -203,6 +229,7 @@ type Server struct {
 	compiler atomic.Pointer[core.Compiler]
 	runtime  atomic.Pointer[graphrt.Runtime]
 	batcher  atomic.Pointer[graphrt.DecodeBatcher]
+	sched    atomic.Pointer[sched.Loop]
 	health   atomic.Pointer[health.Registry]
 	fleet    atomic.Pointer[fleet.Dispatcher]
 	cfg      Config
@@ -211,6 +238,7 @@ type Server struct {
 	bo       *backoff
 	breakers *breakerSet
 	started  time.Time
+	genSeq   atomic.Uint64 // /generate request IDs
 
 	// cumulative counters, exported by /stats
 	nRequests      atomic.Int64 // admitted plan/execute/model requests
@@ -223,6 +251,8 @@ type Server struct {
 	nUnrecoverable atomic.Int64 // /model requests failed with a StageError
 	nBreakerTrips  atomic.Int64 // circuit-breaker open transitions
 	nBreakerDrops  atomic.Int64 // requests rejected by an open breaker
+	nGenerated     atomic.Int64 // /generate requests completed
+	nTokenRejected atomic.Int64 // /generate 429s from the token budget
 }
 
 // New wraps a compiler in a serving layer. Zero Config fields take
@@ -266,10 +296,32 @@ func (s *Server) SetCompiler(c *core.Compiler) {
 	})
 	s.runtime.Store(rt)
 	if s.cfg.DecodeBatch {
-		b := graphrt.NewDecodeBatcher(rt, graphrt.BatchConfig{})
+		// With the paged generation scheduler on, KV is page-granular, so
+		// the batcher's buckets clamp down to the page size (less padding).
+		bc := graphrt.BatchConfig{}
+		if s.cfg.SchedDecode {
+			bc.PageTokens = kvcache.Config{TokensPerPage: s.cfg.KVPageTokens}.WithDefaults().TokensPerPage
+		}
+		b := graphrt.NewDecodeBatcher(rt, bc)
 		b.Start()
 		if old := s.batcher.Swap(b); old != nil {
 			old.Stop()
+		}
+	}
+	if s.cfg.SchedDecode {
+		loop := sched.NewLoop(sched.New(schedExecutor{rt}, sched.Config{
+			HW: c.Hardware(),
+			KV: kvcache.Config{
+				NumPages:      s.cfg.KVPages,
+				TokensPerPage: s.cfg.KVPageTokens,
+			},
+			PrefillChunk:      s.cfg.PrefillChunk,
+			StepSLOMs:         s.cfg.StepSLOMs,
+			TTFTSLOMs:         s.cfg.TTFTSLOMs,
+			MaxInFlightTokens: s.cfg.SchedInFlightTokens,
+		}))
+		if old := s.sched.Swap(loop); old != nil {
+			old.Close()
 		}
 	}
 	s.compiler.Store(c)
@@ -284,6 +336,9 @@ func (s *Server) Close() {
 	if b := s.batcher.Load(); b != nil {
 		b.Stop()
 	}
+	if l := s.sched.Load(); l != nil {
+		l.Close()
+	}
 	if f := s.fleet.Load(); f != nil {
 		f.Close()
 	}
@@ -297,6 +352,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /execute", s.guard(http.HandlerFunc(s.handleExecute)))
 	mux.Handle("POST /model", s.guard(http.HandlerFunc(s.handleModel)))
 	mux.Handle("POST /gemm", s.guard(http.HandlerFunc(s.handleGemm)))
+	mux.Handle("POST /generate", s.guard(http.HandlerFunc(s.handleGenerate)))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	// Fleet admin endpoints bypass admission: an operator must be able to

@@ -459,3 +459,13 @@ func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent), fs *fa
 	}
 	return res
 }
+
+// TransferCycles returns the M_global cycles needed to stream n bytes at
+// the device's full aggregate bandwidth — the cost model for KV page-copy
+// (copy-on-write) and spill traffic charged by the serving scheduler.
+func TransferCycles(h hw.Hardware, bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return bytes / h.GlobalBytesPerCycle
+}

@@ -1,0 +1,217 @@
+package workload
+
+import "math"
+
+// TraceRequest is one synthetic serving request: an arrival time in device
+// cycles, a tenant with a priority class, and a deterministic prompt built
+// from a shared-prefix group plus a request-unique suffix. Prompts within
+// the same group share their leading block — the structure KV prefix reuse
+// amortizes (system prompts, few-shot preambles).
+type TraceRequest struct {
+	// ArrivalCycle is the request's arrival on the virtual device clock.
+	ArrivalCycle float64
+	Tenant       string
+	Priority     int
+	// Group identifies the shared-prefix group within the tenant.
+	Group int
+	// PrefixLen leading tokens are the group's shared block; PromptLen is
+	// the full prompt length (PrefixLen <= PromptLen).
+	PrefixLen    int
+	PromptLen    int
+	DecodeTokens int
+	Fanout       int
+
+	// PromptSeed makes the request-unique prompt suffix deterministic;
+	// distinct seeds give distinct suffixes.
+	PromptSeed uint64
+}
+
+// PromptTokens materializes the deterministic prompt: the group block
+// first (a function of tenant and group only), then a request-unique tail.
+func (t TraceRequest) PromptTokens() []int32 {
+	out := make([]int32, t.PromptLen)
+	g := newRNG(t.groupSeed())
+	for i := 0; i < t.PrefixLen && i < t.PromptLen; i++ {
+		out[i] = int32(g.next() % 32000)
+	}
+	u := newRNG(t.PromptSeed)
+	for i := t.PrefixLen; i < t.PromptLen; i++ {
+		out[i] = int32(u.next() % 32000)
+	}
+	return out
+}
+
+func (t TraceRequest) groupSeed() uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, c := range []byte(t.Tenant) {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	return h ^ uint64(t.Group)*0xff51afd7ed558ccd
+}
+
+// TraceConfig shapes a synthetic serving trace. Zero fields take defaults.
+type TraceConfig struct {
+	Seed     uint64
+	Requests int // default 128
+	Tenants  int // default 4
+
+	// ArrivalsPerSec is the Poisson arrival rate (default 32). Inter-
+	// arrival gaps are exponential; ClockHz converts them to cycles.
+	ArrivalsPerSec float64
+	ClockHz        float64 // default 1e9
+
+	// ZipfS skews both the tenant mix and the prompt-length distribution
+	// (default 1.2; 0 < s, larger = more skew).
+	ZipfS float64
+
+	// PromptMin/PromptMax bound prompt lengths (defaults 32..1024); the
+	// Zipf rank picks long prompts rarely, short ones often.
+	PromptMin, PromptMax int
+
+	// GroupsPerTenant is the number of shared-prefix groups per tenant
+	// (default 3); SharedFrac of each prompt (default 0.5) is the group
+	// block. Zero groups disables prefix sharing in the trace.
+	GroupsPerTenant int
+	SharedFrac      float64
+
+	// DecodeMin/DecodeMax bound generation lengths (defaults 16..128).
+	DecodeMin, DecodeMax int
+
+	// FanoutEvery gives every k-th request parallel-sampling fanout 2
+	// (default 8; 0 disables). Fanout exercises fork + copy-on-write.
+	FanoutEvery int
+}
+
+func (c TraceConfig) withDefaults() TraceConfig {
+	if c.Requests <= 0 {
+		c.Requests = 128
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.ArrivalsPerSec <= 0 {
+		c.ArrivalsPerSec = 32
+	}
+	if c.ClockHz <= 0 {
+		c.ClockHz = 1e9
+	}
+	if c.ZipfS <= 0 {
+		c.ZipfS = 1.2
+	}
+	if c.PromptMin <= 0 {
+		c.PromptMin = 32
+	}
+	if c.PromptMax < c.PromptMin {
+		c.PromptMax = 1024
+		if c.PromptMax < c.PromptMin {
+			c.PromptMax = c.PromptMin
+		}
+	}
+	if c.GroupsPerTenant < 0 {
+		c.GroupsPerTenant = 0
+	} else if c.GroupsPerTenant == 0 {
+		c.GroupsPerTenant = 3
+	}
+	if c.SharedFrac <= 0 || c.SharedFrac > 1 {
+		c.SharedFrac = 0.5
+	}
+	if c.DecodeMin <= 0 {
+		c.DecodeMin = 16
+	}
+	if c.DecodeMax < c.DecodeMin {
+		c.DecodeMax = 128
+		if c.DecodeMax < c.DecodeMin {
+			c.DecodeMax = c.DecodeMin
+		}
+	}
+	if c.FanoutEvery < 0 {
+		c.FanoutEvery = 0
+	} else if c.FanoutEvery == 0 {
+		c.FanoutEvery = 8
+	}
+	return c
+}
+
+// zipfRank samples a rank in [0, n) with P(r) ∝ 1/(r+1)^s by inverting the
+// discrete CDF — deterministic, no allocation beyond the weight table.
+func zipfRank(r *rng, weights []float64, total float64) int {
+	u := float64(r.next()>>11) / float64(1<<53) * total
+	for i, w := range weights {
+		u -= w
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+func zipfWeights(n int, s float64) ([]float64, float64) {
+	w := make([]float64, n)
+	total := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		total += w[i]
+	}
+	return w, total
+}
+
+// GenerateTrace builds a deterministic synthetic serving trace: Poisson
+// arrivals, Zipf-skewed tenant mix and prompt lengths, shared-prefix groups
+// within each tenant, and periodic parallel-sampling fanout.
+func GenerateTrace(cfg TraceConfig) []TraceRequest {
+	cfg = cfg.withDefaults()
+	r := newRNG(cfg.Seed)
+	tenantW, tenantTotal := zipfWeights(cfg.Tenants, cfg.ZipfS)
+
+	// Prompt lengths: Zipf over log-spaced buckets between min and max, so
+	// short prompts dominate and the tail is long.
+	nBuckets := 1
+	for v := cfg.PromptMin; v < cfg.PromptMax; v *= 2 {
+		nBuckets++
+	}
+	bucketW, bucketTotal := zipfWeights(nBuckets, cfg.ZipfS)
+
+	cyclesPerArrival := cfg.ClockHz / cfg.ArrivalsPerSec
+	clock := 0.0
+	out := make([]TraceRequest, 0, cfg.Requests)
+	for i := 0; i < cfg.Requests; i++ {
+		// Exponential inter-arrival gap: -ln(U) · mean.
+		u := (float64(r.next()>>11) + 1) / float64(1<<53)
+		clock += -math.Log(u) * cyclesPerArrival
+
+		tenant := zipfRank(r, tenantW, tenantTotal)
+		b := zipfRank(r, bucketW, bucketTotal)
+		lo := cfg.PromptMin << b
+		hi := lo * 2
+		if hi > cfg.PromptMax {
+			hi = cfg.PromptMax
+		}
+		if lo > cfg.PromptMax {
+			lo = cfg.PromptMax
+		}
+		promptLen := r.intIn(lo, hi)
+
+		tr := TraceRequest{
+			ArrivalCycle: clock,
+			Tenant:       tenantName(tenant),
+			Priority:     tenant % 3, // heavy tenants get the urgent class
+			PromptLen:    promptLen,
+			DecodeTokens: r.intIn(cfg.DecodeMin, cfg.DecodeMax),
+			Fanout:       1,
+			PromptSeed:   r.next(),
+		}
+		if cfg.GroupsPerTenant > 0 {
+			tr.Group = r.intIn(0, cfg.GroupsPerTenant-1)
+			tr.PrefixLen = int(float64(promptLen) * cfg.SharedFrac)
+		}
+		if cfg.FanoutEvery > 0 && (i+1)%cfg.FanoutEvery == 0 {
+			tr.Fanout = 2
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+func tenantName(i int) string {
+	return string(rune('a'+i%26)) + "-tenant"
+}
