@@ -2,12 +2,14 @@
 // against a committed baseline. It is the CI perf jobs' engine and the local
 // tool for refreshing the BENCH_*.json baselines.
 //
-// Two suites are available via -suite:
+// Three suites are available via -suite:
 //
 //   - planner (default): online-planner latency over BERT-style dynamic-
 //     sequence-length and Llama-decode GEMM shapes → BENCH_planner.json;
 //   - serve: goodput-under-SLO on synthetic multi-tenant LLM traffic through
-//     the paged KV cache and scheduler → BENCH_serve.json.
+//     the paged KV cache and scheduler → BENCH_serve.json;
+//   - plancache: cold vs warm plans-before-first-hit through the persistent
+//     plan-cache tier (self-gating; no baseline file).
 //
 // Run a suite and write a fresh baseline:
 //
@@ -35,6 +37,12 @@
 // baseline and between reuse-on/off runs, KV pages may never leak, p99
 // decode-step latency must sit within each case's SLO bound, and
 // goodput-under-SLO may drop at most -tolerance (default -10% for serve).
+//
+// Plancache gate (self-contained, no -baseline): a warm-started replica must
+// plan 0 of the suite's hot shapes online, with every served program bitwise
+// identical (program string + cost bits) to the cold-planned one, the
+// snapshot file must round-trip losslessly, and a tampered library hash must
+// reject cleanly with a working online replan.
 package main
 
 import (
@@ -45,11 +53,12 @@ import (
 	"time"
 
 	"mikpoly/internal/bench"
+	"mikpoly/internal/tune"
 )
 
 func main() {
 	var (
-		suite     = flag.String("suite", "planner", "benchmark suite to run: planner or serve")
+		suite     = flag.String("suite", "planner", "benchmark suite to run: planner, serve or plancache")
 		out       = flag.String("out", "", "write the measured report to this file (JSON)")
 		baseline  = flag.String("baseline", "", "compare against this baseline report and exit 1 on regression")
 		quick     = flag.Bool("quick", false, "run the subsampled suite (tests and smoke runs)")
@@ -64,9 +73,12 @@ func main() {
 	case "serve":
 		runServe(*out, *baseline, *quick, *tolerance)
 		return
+	case "plancache":
+		runPlanCache(*out, *quick)
+		return
 	case "planner":
 	default:
-		fmt.Fprintf(os.Stderr, "mikbench: unknown -suite %q (want planner or serve)\n", *suite)
+		fmt.Fprintf(os.Stderr, "mikbench: unknown -suite %q (want planner, serve or plancache)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -130,6 +142,50 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mikbench: PASS — within tolerances of %s (%d cases, latency tolerance %.0f%%)\n",
 		*baseline, len(base.Cases), *tolerance*100)
+}
+
+// runPlanCache runs the self-gating plan-cache warm-start suite: the gate
+// quantities (online-plan counts, program fingerprints) are exact by
+// construction, so there is no baseline file to compare against.
+func runPlanCache(out string, quick bool) {
+	fmt.Fprintf(os.Stderr, "mikbench: running plancache suite (quick=%v)\n", quick)
+	start := time.Now()
+	rep, regs, err := bench.RunPlanCacheSuite(quick, tune.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mikbench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "mikbench: suite done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("library %s: cold plans %d, snapshot entries %d, imported %d, warm plans %d\n",
+		rep.LibraryHash[:12], rep.ColdPlans, rep.SnapshotSize, rep.Imported, rep.WarmPlans)
+	fmt.Printf("%-24s %8s %8s\n", "case", "bitwise", "warmplan")
+	for _, c := range rep.Cases {
+		fmt.Printf("%-24s %8v %8v\n", c.Name, c.Bitwise, c.WarmPlanned)
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mikbench: marshal: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mikbench: write %s: %v\n", out, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "mikbench: wrote %s\n", out)
+	}
+
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "mikbench: FAIL — %d plan-cache regression(s):\n", len(regs))
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  - %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mikbench: PASS — warm replica served %d hot shapes with 0 online plans, all bitwise-identical\n",
+		len(rep.Cases))
 }
 
 // runServe measures the serving suite and (if baseline is set) gates

@@ -44,6 +44,7 @@ import (
 	"mikpoly/internal/fleet"
 	"mikpoly/internal/hw"
 	"mikpoly/internal/obs"
+	"mikpoly/internal/plancache"
 	"mikpoly/internal/serve"
 	"mikpoly/internal/sim"
 	"mikpoly/internal/tune"
@@ -78,6 +79,8 @@ func main() {
 		ttftSLO     = flag.Float64("ttft-slo-ms", 0, "time-to-first-token SLO in milliseconds for -sched (0 = default)")
 		schedBudget = flag.Int64("sched-tokens", 0, "in-flight token budget for -sched admission; over-budget requests get 429 + Retry-After (0 = default)")
 		tenants     = flag.String("tenants", "", "comma-separated X-Tenant allowlist for /generate (empty = any tenant admitted)")
+		planSnap    = flag.String("plan-snapshot", "", "persistent plan-cache snapshot file: warm-start the program cache from it at bind and flush back via POST /plancache/save (incompatible snapshots are rejected; the server plans online)")
+		snapEvery   = flag.Duration("snapshot-interval", 0, "periodically pre-plan traffic-hot shapes and rewrite -plan-snapshot (0 disables the background flusher)")
 	)
 	flag.Parse()
 
@@ -98,11 +101,16 @@ func main() {
 	o.T().SetEnabled(*withTrace)
 
 	cfg := serve.Config{
-		MaxInFlight:    *inFlight,
-		RequestTimeout: *reqTimeout,
-		PlanTimeout:    *planTimeout,
-		DecodeBatch:    *decodeBatch,
-		Obs:            o,
+		MaxInFlight:      *inFlight,
+		RequestTimeout:   *reqTimeout,
+		PlanTimeout:      *planTimeout,
+		DecodeBatch:      *decodeBatch,
+		PlanSnapshotPath: *planSnap,
+		SnapshotInterval: *snapEvery,
+		Obs:              o,
+	}
+	if *planSnap != "" {
+		log.Printf("mikserve: plan-cache snapshot at %s (flush interval %v)", *planSnap, *snapEvery)
 	}
 	if *planAhead <= 0 {
 		cfg.PlanAhead = -1 // sequential
@@ -168,7 +176,7 @@ func main() {
 
 	go func() {
 		if *fleetSpec != "" {
-			if err := bindFleet(srv, o, *fleetSpec, *fleetChaos, *cacheCap, *planWorkers); err != nil {
+			if err := bindFleet(srv, o, *fleetSpec, *fleetChaos, *cacheCap, *planWorkers, *planSnap); err != nil {
 				log.Fatalf("mikserve: -fleet: %v", err)
 			}
 			return
@@ -206,7 +214,7 @@ func main() {
 // device fleet, and binds it to the server. The first device class's library
 // also backs the single-device endpoints (/plan, /execute), so the server
 // goes fully ready in one step.
-func bindFleet(srv *serve.Server, o *obs.Obs, spec string, chaosSeed uint64, cacheCap, planWorkers int) error {
+func bindFleet(srv *serve.Server, o *obs.Obs, spec string, chaosSeed uint64, cacheCap, planWorkers int, snapPath string) error {
 	raw := []byte(spec)
 	if strings.HasPrefix(spec, "@") {
 		data, err := os.ReadFile(spec[1:])
@@ -228,8 +236,19 @@ func bindFleet(srv *serve.Server, o *obs.Obs, spec string, chaosSeed uint64, cac
 		devFaults = sim.FleetChaosSchedule(chaosSeed, total, 64)
 		log.Printf("mikserve: fleet chaos schedule enabled (seed=%d over %d devices)", chaosSeed, total)
 	}
+	base := fleet.DeviceConfig{Obs: o}
+	if snapPath != "" {
+		// Every device validates the snapshot against its own library hash,
+		// so in a mixed fleet only the matching class warm-starts; the rest
+		// reject it and plan online.
+		if snap, err := plancache.LoadFile(snapPath); err != nil {
+			log.Printf("mikserve: -plan-snapshot %s: %v; devices start cold", snapPath, err)
+		} else {
+			base.PlanSnapshot = snap
+		}
+	}
 	log.Printf("mikserve: tuning libraries for %d fleet devices ...", total)
-	devices, err := fleet.BuildDevices(entries, tune.DefaultOptions(), fleet.DeviceConfig{Obs: o}, devFaults)
+	devices, err := fleet.BuildDevices(entries, tune.DefaultOptions(), base, devFaults)
 	if err != nil {
 		return err
 	}

@@ -24,6 +24,7 @@ import (
 	"mikpoly/internal/health"
 	"mikpoly/internal/hw"
 	"mikpoly/internal/obs"
+	"mikpoly/internal/plancache"
 	"mikpoly/internal/poly"
 	"mikpoly/internal/sim"
 	"mikpoly/internal/tensor"
@@ -34,6 +35,15 @@ import (
 type Compiler struct {
 	lib     *tune.Library
 	planner *poly.Planner
+
+	// libHash is the content digest of lib; every cache key carries it so
+	// a retuned or reloaded library can never serve another library's
+	// programs ("" disables snapshot sharing).
+	libHash string
+
+	// tracker maintains decayed per-shape request counts; its hot set
+	// drives background pre-planning and snapshot flushes.
+	tracker *plancache.Tracker
 
 	// planFn is the planner invocation; a seam tests use to inject slow or
 	// panicking planners. fp is the health fingerprint of the hardware
@@ -69,6 +79,11 @@ type Compiler struct {
 	replans       int64
 	degradedPlans int64
 
+	// plan-cache tier counters
+	imported      int64 // entries warm-loaded from snapshots
+	importRejects int64 // snapshots rejected (incompatible or invalid)
+	prePlans      int64 // background pre-plans of tracker-hot shapes
+
 	// observability (nil-safe no-ops when WithObs was not given)
 	o            *obs.Obs
 	planLatency  *obs.Histogram
@@ -102,6 +117,15 @@ func WithCacheCapacity(n int) Option {
 // replanning of the hot shapes (see SetHealth).
 func WithHealth(reg *health.Registry) Option {
 	return func(c *Compiler) { c.hreg = reg }
+}
+
+// WithSnapshot warm-starts the program cache from a plan-cache snapshot: the
+// replica serves the snapshot's shapes with zero online plans. An
+// incompatible or invalid snapshot is rejected and counted (see PlanCache);
+// construction still succeeds — a cold cache is always correct, merely
+// slower.
+func WithSnapshot(snap *plancache.Snapshot) Option {
+	return func(c *Compiler) { _, _ = c.ImportSnapshot(snap) }
 }
 
 // WithPlannerWorkers sets the online search's candidate-evaluation
@@ -151,6 +175,8 @@ func NewCompiler(h hw.Hardware, opt tune.Options, opts ...Option) (*Compiler, er
 func NewCompilerFromLibrary(lib *tune.Library, opts ...Option) *Compiler {
 	c := &Compiler{
 		lib:      lib,
+		libHash:  lib.Hash(),
+		tracker:  plancache.NewTracker(),
 		planner:  poly.NewPlanner(lib),
 		cache:    newLRU(DefaultCacheCapacity),
 		inflight: make(map[cacheKey]*planCall),
@@ -270,7 +296,7 @@ func (c *Compiler) Invalidate(shape tensor.GemmShape) {
 func (c *Compiler) Cached(shape tensor.GemmShape, fp string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.cache.peek(cacheKey{shape: shape, fp: fp})
+	return c.cache.peek(cacheKey{shape: shape, lib: c.libHash, fp: fp})
 }
 
 // CacheStats reports the program cache bound and cumulative hit/miss/eviction
@@ -323,6 +349,9 @@ func (c *Compiler) Plan(shape tensor.GemmShape) (*poly.Program, error) {
 // pristine H without a registry), and the cache key carries the view's
 // fingerprint so health transitions never serve a stale-mode program.
 func (c *Compiler) PlanContext(ctx context.Context, shape tensor.GemmShape) (*poly.Program, error) {
+	if shape.Valid() {
+		c.tracker.Observe(shape)
+	}
 	v, fp := c.currentView()
 	c.maybeReplanOnChange(v, fp)
 	return c.planForView(ctx, shape, v, fp)
@@ -333,9 +362,9 @@ func (c *Compiler) planForView(ctx context.Context, shape tensor.GemmShape, v he
 	if !shape.Valid() {
 		return nil, fmt.Errorf("core: invalid shape %v", shape)
 	}
-	key := cacheKey{shape: shape, fp: fp}
 	for {
 		c.mu.Lock()
+		key := cacheKey{shape: shape, lib: c.libHash, fp: fp}
 		if prog, ok := c.cache.get(key); ok {
 			c.mu.Unlock()
 			return prog, nil
@@ -463,6 +492,9 @@ func (c *Compiler) planIsolated(ctx context.Context, shape tensor.GemmShape, fp 
 // programs are not cached, so a later request retries full polymerization.
 // Only an invalid shape or an unusable library yields an error.
 func (c *Compiler) PlanOrFallback(ctx context.Context, shape tensor.GemmShape) (prog *poly.Program, degraded bool, err error) {
+	if shape.Valid() {
+		c.tracker.Observe(shape)
+	}
 	v, fp := c.currentView()
 	c.maybeReplanOnChange(v, fp)
 	prog, err = c.planForView(ctx, shape, v, fp)

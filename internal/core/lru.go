@@ -33,18 +33,23 @@ type CacheStats struct {
 	Degraded int `json:"degraded"`
 }
 
-// cacheKey identifies a cached program: the runtime shape plus the health
-// fingerprint of the hardware view it was planned against ("" = pristine).
-// Keying on both is what prevents cache poisoning across health transitions:
-// a program polymerized for 107 live PEs must never be served once PE 31 is
-// quarantined, and the healthy plan must come back verbatim once the view
-// recovers.
+// cacheKey identifies a cached program: the runtime shape, the content hash
+// of the kernel library it was planned from, and the health fingerprint of
+// the hardware view it was planned against ("" = pristine). Keying on all
+// three is what prevents cache poisoning: a program polymerized for 107 live
+// PEs must never be served once PE 31 is quarantined (and the healthy plan
+// must come back verbatim once the view recovers), and a program planned
+// from a retuned or reloaded library must never be served against the old
+// one's kernels — shapes alone cannot distinguish two libraries whose
+// micro-kernel models disagree.
 type cacheKey struct {
 	shape tensor.GemmShape
+	lib   string
 	fp    string
 }
 
-// lruEntry is one cached program keyed by (shape, health fingerprint).
+// lruEntry is one cached program keyed by (shape, library hash, health
+// fingerprint).
 type lruEntry struct {
 	key  cacheKey
 	prog *poly.Program
@@ -137,6 +142,15 @@ func (c *lruCache) removeShape(shape tensor.GemmShape) {
 				c.degraded--
 			}
 		}
+	}
+}
+
+// each calls fn for every cached entry in most-recently-used order. Used by
+// snapshot export; does not touch recency or counters.
+func (c *lruCache) each(fn func(key cacheKey, prog *poly.Program)) {
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry)
+		fn(e.key, e.prog)
 	}
 }
 

@@ -326,15 +326,38 @@ func (f *Dispatcher) strike(d *Device, err error) {
 }
 
 // recordOutcome settles one attempt outcome into the breaker and latency
-// books. Devices already penalized at hedge-fire time are skipped, as are
-// pure caller cancellations and queue-full rejections (load, not fault).
+// books. Devices already penalized at hedge-fire time are skipped entirely —
+// success included: the hedge-fire strike is the deterministic slowness
+// verdict, and a penalized primary that eventually completes must not reset
+// it or book its inflated latency. Pure caller cancellations and queue-full
+// rejections are also skipped (load, not fault).
 func (f *Dispatcher) recordOutcome(d *Device, err error, dur time.Duration, penalized map[*Device]bool) {
+	if penalized[d] {
+		return
+	}
 	if err == nil {
 		f.lat[f.idx[d]].observe(dur)
 		f.brk[f.idx[d]].record(true)
 		return
 	}
-	if penalized[d] || errors.Is(err, ErrDeviceBusy) || !retryableOn(err) {
+	if errors.Is(err, ErrDeviceBusy) || !retryableOn(err) {
+		return
+	}
+	f.strike(d, err)
+}
+
+// recordLateOutcome settles a losing attempt that resolved after the request
+// already had a winner. A late success is dropped outright — the request's
+// success and latency were booked for the winner, so counting the loser too
+// would double-book the request into the mik_fleet_* books and feed its EWMA
+// a duration inflated by losing the race (it includes the time spent losing,
+// not the device's service time). Genuine faults from non-penalized losers
+// still strike their breaker: losing the race does not launder a crash.
+func (f *Dispatcher) recordLateOutcome(d *Device, err error, penalized map[*Device]bool) {
+	if penalized[d] || err == nil {
+		return
+	}
+	if errors.Is(err, ErrDeviceBusy) || !retryableOn(err) {
 		return
 	}
 	f.strike(d, err)
@@ -376,10 +399,11 @@ func (f *Dispatcher) attempt(ctx context.Context, primary *Device, tried map[*De
 		hedgeC = t.C
 	}
 
-	// settle drains still-pending attempts in the background after the
-	// attempt resolves, so a hung loser still feeds the breaker books
-	// (its typed ErrDeviceHung arrives once actx's cancellation releases
-	// the stream).
+	// settle cancels and drains still-pending attempts in the background
+	// after the attempt resolves. Late losers go through recordLateOutcome:
+	// their successes and latencies are excluded from the books (the winner
+	// already booked the request), while genuine faults from non-penalized
+	// losers still strike their breaker.
 	settle := func(c context.CancelFunc) {
 		c()
 		if pending == 0 {
@@ -391,7 +415,7 @@ func (f *Dispatcher) attempt(ctx context.Context, primary *Device, tried map[*De
 			defer f.wg.Done()
 			for i := 0; i < n; i++ {
 				out := <-ch
-				f.recordOutcome(out.d, out.err, out.dur, penalized)
+				f.recordLateOutcome(out.d, out.err, penalized)
 			}
 		}()
 	}

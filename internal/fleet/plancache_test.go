@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"testing"
+
+	"mikpoly/internal/core"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/tensor"
+)
+
+func eventKinds(ev *EventLog, kind string) int {
+	n := 0
+	for _, e := range ev.Snapshot() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDeviceWarmStartFromSnapshot: a device built with a matching snapshot
+// warm-loads the donor's programs and logs the warm event.
+func TestDeviceWarmStartFromSnapshot(t *testing.T) {
+	lib := testLib(t, hw.A100())
+	donor := core.NewCompilerFromLibrary(lib)
+	shape := tensor.GemmShape{M: 96, N: 96, K: 64}
+	if _, err := donor.Plan(shape); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := donor.ExportSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ev := NewEventLog(0)
+	d := NewDevice(lib, DeviceConfig{Name: "warm-0", Events: ev, PlanSnapshot: snap})
+	if st := d.comp.PlanCache(); st.Imported != 1 || st.ImportRejects != 0 {
+		t.Fatalf("PlanCache stats %+v, want imported=1 rejects=0", st)
+	}
+	if eventKinds(ev, "plancache-warm") != 1 {
+		t.Fatalf("no plancache-warm event logged: %+v", ev.Snapshot())
+	}
+}
+
+// TestDeviceRejectsForeignSnapshot: in a mixed fleet every class receives the
+// same base snapshot; non-matching classes must reject it non-fatally (logged,
+// counted, device still comes up cold).
+func TestDeviceRejectsForeignSnapshot(t *testing.T) {
+	donor := core.NewCompilerFromLibrary(testLib(t, hw.A100()))
+	if _, err := donor.Plan(tensor.GemmShape{M: 96, N: 96, K: 64}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := donor.ExportSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ev := NewEventLog(0)
+	d := NewDevice(testLib(t, hw.Ascend910()), DeviceConfig{Name: "cold-0", Events: ev, PlanSnapshot: snap})
+	if st := d.comp.PlanCache(); st.Imported != 0 || st.ImportRejects != 1 {
+		t.Fatalf("PlanCache stats %+v, want imported=0 rejects=1", st)
+	}
+	if eventKinds(ev, "plancache-reject") != 1 {
+		t.Fatalf("no plancache-reject event logged: %+v", ev.Snapshot())
+	}
+	// The rejection is non-fatal: the device still serves, planning online.
+	d.Start()
+	defer d.Close()
+}

@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEstimateBacklogSeconds pins the drain estimate the serve layer turns
+// into Retry-After: zero until a per-token cost is observed, proportional to
+// inflight plus queued token mass after, and strictly growing with queue
+// depth.
+func TestEstimateBacklogSeconds(t *testing.T) {
+	s := New(newFakeExec(), testCfg())
+	if got := s.EstimateBacklogSeconds(); got != 0 {
+		t.Fatalf("estimate before any observed cost = %v, want 0", got)
+	}
+
+	s.mu.Lock()
+	s.cyclesPerTk = 1000
+	s.mu.Unlock()
+	if got := s.EstimateBacklogSeconds(); got != 0 {
+		t.Fatalf("estimate with empty queues = %v, want 0", got)
+	}
+
+	s.mu.Lock()
+	s.inflight = 500
+	s.mu.Unlock()
+	clock := s.cfg.HW.ClockHz
+	want := 500 * 1000 / clock
+	base := s.EstimateBacklogSeconds()
+	if math.Abs(base-want) > want*1e-9 {
+		t.Fatalf("inflight-only estimate = %v, want %v", base, want)
+	}
+
+	s.mu.Lock()
+	s.enqueueLocked(&reqState{req: Request{Tenant: "a", Prompt: make([]int32, 100), Decode: 28}}) // mass 128
+	s.mu.Unlock()
+	withQueue := s.EstimateBacklogSeconds()
+	want = (500 + 128) * 1000 / clock
+	if math.Abs(withQueue-want) > want*1e-9 {
+		t.Fatalf("estimate with one queued request = %v, want %v", withQueue, want)
+	}
+	if withQueue <= base {
+		t.Fatalf("estimate did not grow with queue depth: %v <= %v", withQueue, base)
+	}
+
+	s.mu.Lock()
+	s.enqueueLocked(&reqState{req: Request{Tenant: "b", Priority: 1, Prompt: make([]int32, 256)}})
+	s.mu.Unlock()
+	if deeper := s.EstimateBacklogSeconds(); deeper <= withQueue {
+		t.Fatalf("estimate not monotone in queued mass: %v <= %v", deeper, withQueue)
+	}
+}

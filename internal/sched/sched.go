@@ -309,6 +309,33 @@ func (s *Scheduler) CanAdmit(mass int64) bool {
 	return mass <= s.cfg.MaxInFlightTokens
 }
 
+// EstimateBacklogSeconds estimates how long the scheduler needs to drain its
+// current commitment: the summed token mass of running plus queued requests,
+// priced at the EWMA per-token prefill cost on this hardware's clock. Zero
+// when no per-token cost has been observed yet or nothing is pending. The
+// serve layer turns this into a proportional Retry-After on token-budget
+// rejections, so clients back off in step with actual queue depth instead of
+// hammering a saturated replica every second.
+func (s *Scheduler) EstimateBacklogSeconds() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cyclesPerTk <= 0 || s.cfg.HW.ClockHz <= 0 {
+		return 0
+	}
+	mass := s.inflight
+	for _, q := range s.queues {
+		for p := range q {
+			for _, st := range q[p] {
+				mass += st.mass
+			}
+		}
+	}
+	if mass <= 0 {
+		return 0
+	}
+	return float64(mass) * s.cyclesPerTk / s.cfg.HW.ClockHz
+}
+
 // enqueueLocked files a request under its tenant and priority.
 func (s *Scheduler) enqueueLocked(st *reqState) {
 	if st.req.Decode < 1 {

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 
 	"mikpoly/internal/graphrt"
 	"mikpoly/internal/nn"
@@ -126,7 +128,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		if res.Err != nil {
 			if errors.Is(res.Err, sched.ErrRejected) {
 				s.nTokenRejected.Add(1)
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", retryAfterSeconds(loop.Scheduler()))
 				httpError(w, http.StatusTooManyRequests,
 					fmt.Sprintf("token budget exhausted: request mass %d tokens", sreq.Mass()))
 				return
@@ -155,6 +157,40 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 
 // maxGenerateFanout bounds parallel-sampling branches per request.
 const maxGenerateFanout = 8
+
+// retryAfterBounds clamp the token-budget Retry-After header: at least 1s
+// (the HTTP-sensible floor), at most 30s so a transient spike never tells
+// clients to disappear for minutes.
+const (
+	retryAfterMin = 1
+	retryAfterMax = 30
+)
+
+// retryAfterSeconds derives the Retry-After value for a token-budget 429
+// from the scheduler's drain estimate — EWMA per-token cost times the
+// running-plus-queued token mass — rounded up and clamped to
+// [retryAfterMin, retryAfterMax]. A fixed "1" taught every rejected client
+// to retry in lockstep regardless of backlog; this backs them off in
+// proportion to how saturated the replica actually is.
+func retryAfterSeconds(sc *sched.Scheduler) string {
+	return retryAfterFromEstimate(sc.EstimateBacklogSeconds())
+}
+
+// retryAfterFromEstimate maps a backlog estimate in seconds onto the header
+// value (split from retryAfterSeconds so the clamp is unit-testable).
+func retryAfterFromEstimate(est float64) string {
+	secs := retryAfterMin
+	if est > 0 {
+		secs = int(math.Ceil(est))
+		if secs < retryAfterMin {
+			secs = retryAfterMin
+		}
+		if secs > retryAfterMax {
+			secs = retryAfterMax
+		}
+	}
+	return strconv.Itoa(secs)
+}
 
 func (e schedExecutor) ExecGraph(ctx context.Context, g nn.Graph, _ string) (float64, error) {
 	rep, err := e.rt.Execute(ctx, g)

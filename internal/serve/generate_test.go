@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 	"testing"
 )
 
@@ -121,8 +122,9 @@ func TestGenerateTokenBudget429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-budget status %d, want 429: %s", resp.StatusCode, data)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("429 missing Retry-After header")
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("429 Retry-After = %q, want an integer >= 1", resp.Header.Get("Retry-After"))
 	}
 	if got := srv.nTokenRejected.Load(); got != 1 {
 		t.Fatalf("token_rejected counter %d, want 1", got)
@@ -132,5 +134,35 @@ func TestGenerateTokenBudget429(t *testing.T) {
 	resp, data = postTenant(t, ts.URL+"/generate", "acme", generateRequest{PromptLen: 32, Steps: 2})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("in-budget status %d, want 200: %s", resp.StatusCode, data)
+	}
+}
+
+// TestRetryAfterFromEstimate pins the backlog→header mapping: the floor is
+// 1s regardless of estimate, values round up, growth is monotone with the
+// backlog, and a pathological estimate clamps at 30s.
+func TestRetryAfterFromEstimate(t *testing.T) {
+	cases := []struct {
+		est  float64
+		want string
+	}{
+		{0, "1"},
+		{0.2, "1"},
+		{1.0, "1"},
+		{1.01, "2"},
+		{3.4, "4"},
+		{29.5, "30"},
+		{1e9, "30"},
+	}
+	prev := 0
+	for _, c := range cases {
+		got := retryAfterFromEstimate(c.est)
+		if got != c.want {
+			t.Errorf("retryAfterFromEstimate(%v) = %q, want %q", c.est, got, c.want)
+		}
+		n, _ := strconv.Atoi(got)
+		if n < prev {
+			t.Errorf("Retry-After not monotone in backlog: %d after %d", n, prev)
+		}
+		prev = n
 	}
 }

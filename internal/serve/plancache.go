@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"time"
+
+	"mikpoly/internal/core"
+	"mikpoly/internal/obs"
+	"mikpoly/internal/plancache"
+)
+
+// This file is the serving layer's plan-cache tier surface: snapshot
+// warm-load on compiler bind, a periodic flusher that pre-plans the traffic
+// tracker's hot shapes and atomically rewrites the snapshot file, admin
+// endpoints to inspect/flush/reload, and the mik_plancache_* metrics.
+
+// snapshotHotLimit bounds how many tracker-hot shapes one flush pre-plans;
+// snapshotFlushTimeout bounds the whole pre-plan sweep so a pathological
+// shape cannot wedge the flusher.
+const (
+	snapshotHotLimit     = 64
+	snapshotFlushTimeout = 30 * time.Second
+)
+
+// loadSnapshotInto warm-starts c's program cache from the configured
+// snapshot path. Missing file, corruption, and compatibility mismatches are
+// all non-fatal: the replica plans online. File-level failures count in
+// nSnapshotRejects (a simply absent file does not); compatibility rejects
+// are counted by the compiler itself (PlanCache().ImportRejects).
+func (s *Server) loadSnapshotInto(c *core.Compiler) {
+	snap, err := plancache.LoadFile(s.cfg.PlanSnapshotPath)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.nSnapshotRejects.Add(1)
+		}
+		return
+	}
+	if _, err := c.ImportSnapshot(snap); err != nil {
+		return
+	}
+	s.nSnapshotLoads.Add(1)
+}
+
+// startSnapshotFlusher launches the periodic flush loop; Close stops it.
+func (s *Server) startSnapshotFlusher() {
+	s.snapWG.Add(1)
+	go func() {
+		defer s.snapWG.Done()
+		t := time.NewTicker(s.cfg.SnapshotInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				_, _ = s.flushSnapshot(context.Background())
+			case <-s.snapQuit:
+				return
+			}
+		}
+	}()
+}
+
+// flushSnapshot pre-plans the tracker's hot shapes and atomically rewrites
+// the configured snapshot file, returning how many programs it persisted.
+func (s *Server) flushSnapshot(ctx context.Context) (int, error) {
+	c := s.comp()
+	if c == nil {
+		return 0, errors.New("compiler not ready")
+	}
+	pctx, cancel := context.WithTimeout(ctx, snapshotFlushTimeout)
+	defer cancel()
+	_, _ = c.PrePlanHot(pctx, snapshotHotLimit)
+	snap, err := c.ExportSnapshot()
+	if err != nil {
+		return 0, err
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if err := plancache.SaveFile(snap, s.cfg.PlanSnapshotPath); err != nil {
+		return 0, err
+	}
+	s.nSnapshotSaves.Add(1)
+	return len(snap.Entries), nil
+}
+
+// planCacheResponse is the GET /plancache (and /stats plancache section)
+// wire format.
+type planCacheResponse struct {
+	core.PlanCacheStats
+	SnapshotPath    string   `json:"snapshot_path,omitempty"`
+	SnapshotSaves   int64    `json:"snapshot_saves"`
+	SnapshotLoads   int64    `json:"snapshot_loads"`
+	SnapshotRejects int64    `json:"snapshot_rejects"`
+	CachedPrograms  int      `json:"cached_programs"`
+	HotShapes       []string `json:"hot_shapes,omitempty"`
+}
+
+// planCacheStats assembles the tier's live view from the bound compiler.
+func (s *Server) planCacheStats(c *core.Compiler) planCacheResponse {
+	resp := planCacheResponse{
+		PlanCacheStats:  c.PlanCache(),
+		SnapshotPath:    s.cfg.PlanSnapshotPath,
+		SnapshotSaves:   s.nSnapshotSaves.Load(),
+		SnapshotLoads:   s.nSnapshotLoads.Load(),
+		SnapshotRejects: s.nSnapshotRejects.Load(),
+		CachedPrograms:  c.CacheStats().Size,
+	}
+	for _, sh := range c.HotShapes(8) {
+		resp.HotShapes = append(resp.HotShapes, sh.String())
+	}
+	return resp
+}
+
+// handlePlanCache reports the plan-cache tier's state.
+func (s *Server) handlePlanCache(w http.ResponseWriter, r *http.Request) {
+	c := s.ready(w)
+	if c == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.planCacheStats(c))
+}
+
+// savedResponse reports one manual snapshot flush.
+type savedResponse struct {
+	Path    string `json:"path"`
+	Entries int    `json:"entries"`
+}
+
+// handlePlanCacheSave flushes the program cache to the configured snapshot
+// path immediately (pre-planning hot shapes first, like the periodic
+// flusher). 409 when no snapshot path is configured.
+func (s *Server) handlePlanCacheSave(w http.ResponseWriter, r *http.Request) {
+	if s.ready(w) == nil {
+		return
+	}
+	if s.cfg.PlanSnapshotPath == "" {
+		httpError(w, http.StatusConflict, "no snapshot path configured (-plan-snapshot)")
+		return
+	}
+	n, err := s.flushSnapshot(r.Context())
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, savedResponse{Path: s.cfg.PlanSnapshotPath, Entries: n})
+}
+
+// loadedResponse reports one manual snapshot load.
+type loadedResponse struct {
+	Path     string `json:"path"`
+	Imported int    `json:"imported"`
+}
+
+// handlePlanCacheLoad re-reads the configured snapshot file into the live
+// program cache — the warm-start path, invocable at runtime (e.g. after
+// another replica flushed a richer snapshot to shared storage). Corruption
+// and compatibility mismatches answer 409 and leave the cache untouched.
+func (s *Server) handlePlanCacheLoad(w http.ResponseWriter, r *http.Request) {
+	c := s.ready(w)
+	if c == nil {
+		return
+	}
+	if s.cfg.PlanSnapshotPath == "" {
+		httpError(w, http.StatusConflict, "no snapshot path configured (-plan-snapshot)")
+		return
+	}
+	snap, err := plancache.LoadFile(s.cfg.PlanSnapshotPath)
+	if err != nil {
+		s.nSnapshotRejects.Add(1)
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	n, err := c.ImportSnapshot(snap)
+	if err != nil {
+		// Compatibility rejects are counted by the compiler
+		// (PlanCache().ImportRejects); don't double-book them here.
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	s.nSnapshotLoads.Add(1)
+	writeJSON(w, http.StatusOK, loadedResponse{Path: s.cfg.PlanSnapshotPath, Imported: n})
+}
+
+// registerPlanCacheObs exports the tier's counters (scrape-time bridges, same
+// idiom as registerObs).
+func (s *Server) registerPlanCacheObs() {
+	m := s.o.M()
+	if m == nil {
+		return
+	}
+	one := func(v float64) []obs.Sample { return []obs.Sample{{Value: v}} }
+
+	m.Collect("mik_plancache_imported_total", "Programs warm-loaded into the cache from snapshots.", "counter",
+		func() []obs.Sample {
+			c := s.comp()
+			if c == nil {
+				return nil
+			}
+			return one(float64(c.PlanCache().Imported))
+		})
+	m.Collect("mik_plancache_preplans_total", "Background pre-plans of traffic-hot shapes.", "counter",
+		func() []obs.Sample {
+			c := s.comp()
+			if c == nil {
+				return nil
+			}
+			return one(float64(c.PlanCache().PrePlans))
+		})
+	m.Collect("mik_plancache_tracked_shapes", "Distinct shapes with non-zero decayed traffic weight.", "gauge",
+		func() []obs.Sample {
+			c := s.comp()
+			if c == nil {
+				return nil
+			}
+			return one(float64(c.PlanCache().TrackedShapes))
+		})
+	m.Collect("mik_plancache_snapshot_ops_total", "Snapshot file operations: saves, loads, and rejected loads/imports (incl. compiler-side rejects).", "counter",
+		func() []obs.Sample {
+			rejects := s.nSnapshotRejects.Load()
+			if c := s.comp(); c != nil {
+				rejects += c.PlanCache().ImportRejects
+			}
+			return []obs.Sample{
+				{Labels: [][2]string{{"op", "save"}}, Value: float64(s.nSnapshotSaves.Load())},
+				{Labels: [][2]string{{"op", "load"}}, Value: float64(s.nSnapshotLoads.Load())},
+				{Labels: [][2]string{{"op", "reject"}}, Value: float64(rejects)},
+			}
+		})
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func fetchJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+// TestPlanCacheSaveAndWarmStart drives the tier end to end over HTTP: replica
+// one plans a shape and flushes a snapshot; replica two, configured with the
+// same path, warm-starts at construction and serves the shape with zero
+// online plans.
+func TestPlanCacheSaveAndWarmStart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.snap")
+
+	srv1, ts1 := newTestServer(t, Config{PlanSnapshotPath: path})
+	resp, data := postJSON(t, ts1.URL+"/plan", planRequest{M: 512, N: 768, K: 768})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan status %d: %s", resp.StatusCode, data)
+	}
+	resp, err := http.Post(ts1.URL+"/plancache/save", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saved savedResponse
+	if err := json.NewDecoder(resp.Body).Decode(&saved); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || saved.Entries < 1 {
+		t.Fatalf("save status %d, entries %d: want 200 with >=1", resp.StatusCode, saved.Entries)
+	}
+	if srv1.nSnapshotSaves.Load() != 1 {
+		t.Fatalf("snapshot_saves = %d, want 1", srv1.nSnapshotSaves.Load())
+	}
+
+	var pc planCacheResponse
+	if resp := fetchJSON(t, ts1.URL+"/plancache", &pc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /plancache status %d", resp.StatusCode)
+	}
+	if pc.SnapshotPath != path || pc.SnapshotSaves != 1 || pc.LibraryHash == "" {
+		t.Fatalf("plancache stats %+v", pc)
+	}
+
+	// Replica two: warm-started from the file during New, before the
+	// compiler goes live.
+	srv2, ts2 := newTestServer(t, Config{PlanSnapshotPath: path})
+	if srv2.nSnapshotLoads.Load() != 1 {
+		t.Fatalf("replica two snapshot_loads = %d, want 1", srv2.nSnapshotLoads.Load())
+	}
+	if imported := srv2.comp().PlanCache().Imported; imported < 1 {
+		t.Fatalf("replica two imported %d entries, want >=1", imported)
+	}
+	resp, data = postJSON(t, ts2.URL+"/plan", planRequest{M: 512, N: 768, K: 768})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm plan status %d: %s", resp.StatusCode, data)
+	}
+	if plans, _ := srv2.comp().PlanStats(); plans != 0 {
+		t.Fatalf("warm replica planned %d shapes online, want 0", plans)
+	}
+
+	// Manual reload is idempotent and counted.
+	resp, err = http.Post(ts2.URL+"/plancache/load", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("manual load status %d, want 200", resp.StatusCode)
+	}
+	if srv2.nSnapshotLoads.Load() != 2 {
+		t.Fatalf("snapshot_loads = %d, want 2", srv2.nSnapshotLoads.Load())
+	}
+
+	// /stats carries the plancache section when a snapshot path is set.
+	var stats struct {
+		PlanCache *planCacheResponse `json:"plancache"`
+	}
+	if resp := fetchJSON(t, ts2.URL+"/stats", &stats); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats status %d", resp.StatusCode)
+	}
+	if stats.PlanCache == nil || stats.PlanCache.Imported < 1 {
+		t.Fatalf("/stats plancache section missing or empty: %+v", stats.PlanCache)
+	}
+}
+
+// TestPlanCacheCorruptSnapshotNonFatal: a torn snapshot file must not stop
+// the server from coming up — it starts cold, counts the reject, and the
+// manual load endpoint answers 409.
+func TestPlanCacheCorruptSnapshotNonFatal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.snap")
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, ts := newTestServer(t, Config{PlanSnapshotPath: path})
+	if srv.nSnapshotRejects.Load() != 1 {
+		t.Fatalf("snapshot_rejects = %d, want 1", srv.nSnapshotRejects.Load())
+	}
+	resp, data := postJSON(t, ts.URL+"/plan", planRequest{M: 128, N: 256, K: 512})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold plan status %d: %s", resp.StatusCode, data)
+	}
+	resp, err := http.Post(ts.URL+"/plancache/load", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("load of corrupt snapshot status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestPlanCacheEndpointsWithoutPath: the flush/reload admin surface requires
+// a configured path (no client-supplied paths), answering 409 otherwise.
+func TestPlanCacheEndpointsWithoutPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, ep := range []string{"/plancache/save", "/plancache/load"} {
+		resp, err := http.Post(ts.URL+ep, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("%s without configured path: status %d, want 409", ep, resp.StatusCode)
+		}
+	}
+	var pc planCacheResponse
+	if resp := fetchJSON(t, ts.URL+"/plancache", &pc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /plancache status %d, want 200 even without a path", resp.StatusCode)
+	}
+}
