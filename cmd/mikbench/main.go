@@ -2,14 +2,17 @@
 // against a committed baseline. It is the CI perf jobs' engine and the local
 // tool for refreshing the BENCH_*.json baselines.
 //
-// Three suites are available via -suite:
+// Four suites are available via -suite:
 //
 //   - planner (default): online-planner latency over BERT-style dynamic-
 //     sequence-length and Llama-decode GEMM shapes → BENCH_planner.json;
 //   - serve: goodput-under-SLO on synthetic multi-tenant LLM traffic through
 //     the paged KV cache and scheduler → BENCH_serve.json;
 //   - plancache: cold vs warm plans-before-first-hit through the persistent
-//     plan-cache tier (self-gating; no baseline file).
+//     plan-cache tier (self-gating; no baseline file);
+//   - overload: surge survival — the same Poisson burst replayed with the
+//     overload defenses (adaptive admission, deadline shedding, KV-pressure
+//     preemption) on vs off (self-gating; no baseline file).
 //
 // Run a suite and write a fresh baseline:
 //
@@ -43,6 +46,13 @@
 // identical (program string + cost bits) to the cold-planned one, the
 // snapshot file must round-trip losslessly, and a tampered library hash must
 // reject cleanly with a working online replan.
+//
+// Overload gate (self-contained, no -baseline): per seed, goodput-under-SLO
+// with the defenses on must be at least 2x the undefended run of the same
+// surge, no run may leak a KV page, preempt→restore through a tight arena
+// must reproduce the wide arena's decode digests bit for bit with every
+// request completed, and a repeated defended replay must be bitwise
+// identical. -seeds overrides the seed matrix (comma-separated).
 package main
 
 import (
@@ -50,6 +60,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"mikpoly/internal/bench"
@@ -58,7 +70,7 @@ import (
 
 func main() {
 	var (
-		suite     = flag.String("suite", "planner", "benchmark suite to run: planner, serve or plancache")
+		suite     = flag.String("suite", "planner", "benchmark suite to run: planner, serve, plancache or overload")
 		out       = flag.String("out", "", "write the measured report to this file (JSON)")
 		baseline  = flag.String("baseline", "", "compare against this baseline report and exit 1 on regression")
 		quick     = flag.Bool("quick", false, "run the subsampled suite (tests and smoke runs)")
@@ -66,6 +78,7 @@ func main() {
 		repeats   = flag.Int("repeats", 3, "sampling repetitions per case (planner; minimum ns/op is reported)")
 		tolerance = flag.Float64("tolerance", 0, "allowed fractional regression vs baseline (default 0.15 planner ns/op, 0.10 serve goodput)")
 		slowdown  = flag.Int("slowdown", 1, "plan each shape this many times per op (planner gate-trip injection)")
+		seeds     = flag.String("seeds", "", "comma-separated trace seeds (overload; default suite matrix)")
 	)
 	flag.Parse()
 
@@ -76,9 +89,12 @@ func main() {
 	case "plancache":
 		runPlanCache(*out, *quick)
 		return
+	case "overload":
+		runOverload(*out, *quick, *seeds)
+		return
 	case "planner":
 	default:
-		fmt.Fprintf(os.Stderr, "mikbench: unknown -suite %q (want planner, serve or plancache)\n", *suite)
+		fmt.Fprintf(os.Stderr, "mikbench: unknown -suite %q (want planner, serve, plancache or overload)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -186,6 +202,66 @@ func runPlanCache(out string, quick bool) {
 	}
 	fmt.Fprintf(os.Stderr, "mikbench: PASS — warm replica served %d hot shapes with 0 online plans, all bitwise-identical\n",
 		len(rep.Cases))
+}
+
+// runOverload replays the surge suite and applies its self-contained gates:
+// defended goodput >= 2x undefended, zero KV leaks, bitwise preempt→restore,
+// deterministic replay.
+func runOverload(out string, quick bool, seedList string) {
+	var seeds []uint64
+	if seedList != "" {
+		for _, part := range strings.Split(seedList, ",") {
+			s, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mikbench: bad -seeds entry %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			seeds = append(seeds, s)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mikbench: running overload suite (quick=%v)\n", quick)
+	start := time.Now()
+	rep, regs, err := bench.RunOverloadSuite(quick, seeds, bench.ServeMeasureOpts{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mikbench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "mikbench: suite done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("%-6s %14s %14s %7s %6s %9s %8s %8s %6s\n",
+		"seed", "defended t/s", "undefended", "ratio", "sheds", "preempts", "bitwise", "determ", "leaks")
+	for _, s := range rep.Seeds {
+		ratio := "inf"
+		if s.GoodputRatio > 0 {
+			ratio = fmt.Sprintf("%.2fx", s.GoodputRatio)
+		}
+		fmt.Printf("%-6d %14.1f %14.1f %7s %6d %9d %8v %8v %6d\n",
+			s.Seed, s.DefendedGoodput, s.UndefendedGoodput, ratio,
+			s.DeadlineSheds, s.Preemptions, s.RestoreBitwise, s.Deterministic, s.LeakedPages)
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mikbench: marshal: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mikbench: write %s: %v\n", out, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "mikbench: wrote %s\n", out)
+	}
+
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "mikbench: FAIL — %d overload regression(s):\n", len(regs))
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  - %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mikbench: PASS — defended goodput >= %.0fx undefended across %d seed(s), 0 leaks, bitwise restore\n",
+		bench.OverloadGoodputFactor, len(rep.Seeds))
 }
 
 // runServe measures the serving suite and (if baseline is set) gates

@@ -1,0 +1,345 @@
+// Overload benchmark harness: surge survival with the defenses on vs off.
+//
+// The overload suite drives the scheduler through a Poisson trace whose base
+// rate already saturates the simulated device and whose burst window multiplies
+// arrivals several-fold — the traffic shape that melts an undefended replica.
+// Every seed replays the same surge four ways:
+//
+//   - defended: AIMD adaptive admission + queue-time deadline shedding +
+//     KV-pressure preemption over a tight arena;
+//   - undefended: the same scheduler with every defense off;
+//   - restore-tight / restore-wide: preemption alone through a tight arena vs
+//     an arena that never preempts, for the bitwise-restore invariant.
+//
+// The gate is self-contained (no committed baseline) because the replay clock
+// is virtual: goodput-under-SLO of the defended run must be at least
+// OverloadGoodputFactor times the undefended run, no configuration may leak a
+// single KV page, preempt→restore must reproduce the no-preemption decode
+// digests bit for bit while completing every request, and a second defended
+// replay must be bitwise-identical to the first (per-seed determinism).
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"mikpoly/internal/core"
+	"mikpoly/internal/graphrt"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/kvcache"
+	"mikpoly/internal/sched"
+	"mikpoly/internal/tune"
+	"mikpoly/internal/workload"
+)
+
+// OverloadBenchSchema versions the overload suite report layout.
+const OverloadBenchSchema = "mikpoly-bench-overload/v1"
+
+// OverloadGoodputFactor is the headline gate: goodput-under-SLO with the
+// defenses on must be at least this multiple of the undefended run on the
+// same surge.
+const OverloadGoodputFactor = 2.0
+
+// DefaultOverloadSeeds is the seed matrix when the caller passes none (the
+// CI job overrides it per matrix entry).
+func DefaultOverloadSeeds(quick bool) []uint64 {
+	if quick {
+		return []uint64{11}
+	}
+	return []uint64{11, 29}
+}
+
+// OverloadCase pins the surge shape and the scheduler configuration both
+// sides run under; only the defense switches differ between runs.
+type OverloadCase struct {
+	Requests       int     `json:"requests"`
+	Tenants        int     `json:"tenants"`
+	ArrivalsPerSec float64 `json:"arrivals_per_sec"`
+	BurstFactor    float64 `json:"burst_factor"`
+	BurstStartSec  float64 `json:"burst_start_sec"`
+	BurstLenSec    float64 `json:"burst_len_sec"`
+	PromptMin      int     `json:"prompt_min"`
+	PromptMax      int     `json:"prompt_max"`
+	DecodeMin      int     `json:"decode_min"`
+	DecodeMax      int     `json:"decode_max"`
+
+	KVPages        int     `json:"kv_pages"`
+	KVPagesWide    int     `json:"kv_pages_wide"`
+	PageTokens     int     `json:"page_tokens"`
+	PrefillChunk   int     `json:"prefill_chunk"`
+	StepSLOMs      float64 `json:"step_slo_ms"`
+	TTFTSLOMs      float64 `json:"ttft_slo_ms"`
+	InFlightTokens int64   `json:"inflight_tokens"`
+	AdaptiveMin    int64   `json:"adaptive_min_tokens"`
+}
+
+// OverloadSuiteCase returns the pinned surge shape. The trace length is the
+// same in quick mode — a shorter surge does not sustain the overload the
+// gates are calibrated against — so quick subsamples the seed matrix
+// (DefaultOverloadSeeds) instead.
+func OverloadSuiteCase(quick bool) OverloadCase {
+	c := OverloadCase{
+		// The device drains this request mix at roughly 50 requests per
+		// virtual second (measured; the serve suite's cases sit well under
+		// that). 1200 arrivals/s with a 5x burst window on top is a >20x
+		// overload: the shape that makes an undefended replica burn cycles
+		// on requests that have already missed their deadline and drop
+		// sequences mid-decode when the tight 48-page arena runs out.
+		Requests: 48, Tenants: 3, ArrivalsPerSec: 1200,
+		BurstFactor: 5, BurstStartSec: 0.01, BurstLenSec: 0.03,
+		PromptMin: 64, PromptMax: 512, DecodeMin: 8, DecodeMax: 24,
+		KVPages: 48, KVPagesWide: 8192, PageTokens: 16, PrefillChunk: 256,
+		StepSLOMs: 30, TTFTSLOMs: 300, InFlightTokens: 16384, AdaptiveMin: 1024,
+	}
+	_ = quick
+	return c
+}
+
+// OverloadSeedResult is one seed's four-way replay outcome.
+type OverloadSeedResult struct {
+	Seed     uint64 `json:"seed"`
+	Requests int    `json:"requests"`
+
+	// Defended run (adaptive + deadline shed + KV preemption).
+	DefendedGoodput     float64 `json:"defended_goodput_tps"`
+	DefendedGoodputBits string  `json:"defended_goodput_bits"`
+	DefendedSLOGood     int     `json:"defended_slo_good"`
+	DefendedCompleted   int     `json:"defended_completed"`
+	DeadlineSheds       int64   `json:"deadline_sheds"`
+	Preemptions         int64   `json:"preemptions"`
+	Restores            int64   `json:"restores"`
+	AdaptiveLimitTokens int64   `json:"adaptive_limit_tokens"`
+
+	// Undefended run on the same surge.
+	UndefendedGoodput float64 `json:"undefended_goodput_tps"`
+	UndefendedSLOGood int     `json:"undefended_slo_good"`
+
+	// GoodputRatio is defended/undefended (+Inf encoded as 0 ratio with
+	// UndefendedGoodput 0 — the gate treats that as a pass when the
+	// defended side produced goodput).
+	GoodputRatio float64 `json:"goodput_ratio"`
+
+	// Restore invariant: preemption churn vs the arena that never preempts.
+	RestorePreemptions int64  `json:"restore_preemptions"`
+	RestoreDigest      string `json:"restore_digest"`
+	WideDigest         string `json:"wide_digest"`
+	RestoreBitwise     bool   `json:"restore_bitwise_equal"`
+
+	Deterministic bool `json:"deterministic"`
+	LeakedPages   int  `json:"leaked_pages"` // summed across all runs
+
+	// Events is the defended run's bounded overload decision log (preempt,
+	// restore, shed-deadline, limit-cut) — the CI failure artifact.
+	Events []sched.Event `json:"events,omitempty"`
+
+	WallSec float64 `json:"wall_sec"`
+}
+
+// OverloadReport is the -suite overload document (informational; the gate is
+// self-contained).
+type OverloadReport struct {
+	Schema   string               `json:"schema"`
+	GoOS     string               `json:"goos"`
+	GoArch   string               `json:"goarch"`
+	TuneNGen int                  `json:"tune_ngen"`
+	TuneNMik int                  `json:"tune_nmik"`
+	Case     OverloadCase         `json:"case"`
+	Seeds    []OverloadSeedResult `json:"seeds"`
+}
+
+func (c OverloadCase) traceConfig(seed uint64, h hw.Hardware) workload.TraceConfig {
+	return workload.TraceConfig{
+		Seed:           seed,
+		Requests:       c.Requests,
+		Tenants:        c.Tenants,
+		ArrivalsPerSec: c.ArrivalsPerSec,
+		ClockHz:        h.ClockHz,
+		PromptMin:      c.PromptMin,
+		PromptMax:      c.PromptMax,
+		DecodeMin:      c.DecodeMin,
+		DecodeMax:      c.DecodeMax,
+		BurstFactor:    c.BurstFactor,
+		BurstStartSec:  c.BurstStartSec,
+		BurstLenSec:    c.BurstLenSec,
+	}
+}
+
+// overloadRun describes one replay variant.
+type overloadRun struct {
+	pages    int
+	adaptive bool
+	shed     bool
+	preempt  bool
+	events   bool
+}
+
+func (c OverloadCase) schedConfig(h hw.Hardware, r overloadRun) sched.Config {
+	return sched.Config{
+		HW:                h,
+		KV:                kvcache.Config{NumPages: r.pages, TokensPerPage: c.PageTokens},
+		PrefillChunk:      c.PrefillChunk,
+		StepSLOMs:         c.StepSLOMs,
+		TTFTSLOMs:         c.TTFTSLOMs,
+		MaxInFlightTokens: c.InFlightTokens,
+		Adaptive:          r.adaptive,
+		AdaptiveMinTokens: c.AdaptiveMin,
+		ShedDeadlines:     r.shed,
+		PreemptKV:         r.preempt,
+		RecordEvents:      r.events,
+	}
+}
+
+// RunOverloadSuite replays the surge for every seed and returns the report
+// plus the gate regressions (empty = pass). An error means the suite itself
+// could not run.
+func RunOverloadSuite(quick bool, seeds []uint64, opts ServeMeasureOpts) (*OverloadReport, []string, error) {
+	opts = opts.withDefaults()
+	if len(seeds) == 0 {
+		seeds = DefaultOverloadSeeds(quick)
+	}
+	c := OverloadSuiteCase(quick)
+	h := hw.A100()
+	lib, err := core.SharedLibrary(h, opts.Tune)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rep := &OverloadReport{
+		Schema:   OverloadBenchSchema,
+		GoOS:     runtime.GOOS,
+		GoArch:   runtime.GOARCH,
+		TuneNGen: opts.Tune.NGen,
+		TuneNMik: opts.Tune.NMik,
+		Case:     c,
+	}
+	var regressions []string
+	for _, seed := range seeds {
+		res, regs, err := measureOverloadSeed(c, seed, lib)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: overload seed %d: %w", seed, err)
+		}
+		rep.Seeds = append(rep.Seeds, res)
+		regressions = append(regressions, regs...)
+	}
+	return rep, regressions, nil
+}
+
+// replayOverload runs one variant over the trace and returns the report,
+// stats, and event log. Defended and restore runs are strict: every failure
+// must be a deadline shed. Undefended runs are not — dropping requests on
+// arena exhaustion is exactly the collapse the defenses exist to prevent,
+// so those failures feed the baseline's goodput rather than erroring the
+// suite. Leak accounting stays strict on both sides.
+func replayOverload(c OverloadCase, lib *tune.Library, trace []workload.TraceRequest, r overloadRun, strict bool) (sched.Report, sched.Stats, []sched.Event, error) {
+	comp := core.NewCompilerFromLibrary(lib)
+	rt := graphrt.New(comp, graphrt.Config{})
+	s := sched.New(rtExecutor{rt}, c.schedConfig(lib.HW, r))
+	rep, results, err := s.Replay(context.Background(), trace)
+	if err != nil {
+		return sched.Report{}, sched.Stats{}, nil, err
+	}
+	if strict {
+		for _, res := range results {
+			if res.Err != nil && !errors.Is(res.Err, sched.ErrDeadline) {
+				return sched.Report{}, sched.Stats{}, nil, fmt.Errorf("request %d failed: %w", res.ID, res.Err)
+			}
+		}
+	}
+	if err := s.KV().Quiescent(); err != nil {
+		return sched.Report{}, sched.Stats{}, nil, fmt.Errorf("arena not quiescent after drain: %w", err)
+	}
+	return rep, s.Stats(), s.Events(), nil
+}
+
+func measureOverloadSeed(c OverloadCase, seed uint64, lib *tune.Library) (OverloadSeedResult, []string, error) {
+	trace := workload.GenerateTrace(c.traceConfig(seed, lib.HW))
+	start := time.Now()
+	tag := func(format string, args ...any) string {
+		return fmt.Sprintf("seed %d: ", seed) + fmt.Sprintf(format, args...)
+	}
+
+	defended := overloadRun{pages: c.KVPages, adaptive: true, shed: true, preempt: true, events: true}
+	defRep, defStats, events, err := replayOverload(c, lib, trace, defended, true)
+	if err != nil {
+		return OverloadSeedResult{}, nil, err
+	}
+	undefRep, _, _, err := replayOverload(c, lib, trace, overloadRun{pages: c.KVPages}, false)
+	if err != nil {
+		return OverloadSeedResult{}, nil, err
+	}
+	tightRep, tightStats, _, err := replayOverload(c, lib, trace, overloadRun{pages: c.KVPages, preempt: true}, true)
+	if err != nil {
+		return OverloadSeedResult{}, nil, err
+	}
+	wideRep, _, _, err := replayOverload(c, lib, trace, overloadRun{pages: c.KVPagesWide}, true)
+	if err != nil {
+		return OverloadSeedResult{}, nil, err
+	}
+	defRep2, defStats2, _, err := replayOverload(c, lib, trace, defended, true)
+	if err != nil {
+		return OverloadSeedResult{}, nil, err
+	}
+
+	res := OverloadSeedResult{
+		Seed:                seed,
+		Requests:            len(trace),
+		DefendedGoodput:     defRep.GoodputTokensPerSec,
+		DefendedGoodputBits: fmt.Sprintf("%016x", math.Float64bits(defRep.GoodputTokensPerSec)),
+		DefendedSLOGood:     defRep.SLOGood,
+		DefendedCompleted:   defRep.Completed,
+		DeadlineSheds:       defStats.DeadlineSheds,
+		Preemptions:         defStats.Preemptions,
+		Restores:            defStats.Restores,
+		AdaptiveLimitTokens: defStats.AdaptiveLimitTokens,
+		UndefendedGoodput:   undefRep.GoodputTokensPerSec,
+		UndefendedSLOGood:   undefRep.SLOGood,
+		RestorePreemptions:  tightStats.Preemptions,
+		RestoreDigest:       fmt.Sprintf("%016x", tightRep.DigestBits),
+		WideDigest:          fmt.Sprintf("%016x", wideRep.DigestBits),
+		RestoreBitwise:      tightRep.DigestBits == wideRep.DigestBits && tightRep.Completed == wideRep.Completed,
+		Deterministic:       defRep == defRep2 && defStats == defStats2,
+		LeakedPages:         defRep.LeakedPages + undefRep.LeakedPages + tightRep.LeakedPages + wideRep.LeakedPages + defRep2.LeakedPages,
+		Events:              events,
+		WallSec:             time.Since(start).Seconds(),
+	}
+	if res.UndefendedGoodput > 0 {
+		res.GoodputRatio = res.DefendedGoodput / res.UndefendedGoodput
+	}
+
+	var regs []string
+	// Every request must be accounted for: completed or deadline-shed.
+	if got := defRep.Completed + defRep.Failed; got != len(trace) {
+		regs = append(regs, tag("defended run accounted %d of %d requests", got, len(trace)))
+	}
+	if res.LeakedPages != 0 {
+		regs = append(regs, tag("%d KV pages leaked across the surge runs (must be 0)", res.LeakedPages))
+	}
+	switch {
+	case res.UndefendedGoodput == 0 && res.DefendedGoodput == 0:
+		regs = append(regs, tag("defenses produced no goodput under the surge"))
+	case res.UndefendedGoodput > 0 && res.GoodputRatio < OverloadGoodputFactor:
+		regs = append(regs, tag("defended goodput %.1f tok/s is only %.2fx the undefended %.1f (gate %.1fx)",
+			res.DefendedGoodput, res.GoodputRatio, res.UndefendedGoodput, OverloadGoodputFactor))
+	}
+	if res.RestorePreemptions == 0 {
+		regs = append(regs, tag("tight arena exercised no preemption; the restore invariant went untested"))
+	}
+	if tightRep.Failed != 0 {
+		regs = append(regs, tag("preemption-only run failed %d requests (preemption must be lossless)", tightRep.Failed))
+	}
+	if !res.RestoreBitwise {
+		regs = append(regs, tag("preempt→restore not bitwise-identical: tight %s (%d done) vs wide %s (%d done)",
+			res.RestoreDigest, tightRep.Completed, res.WideDigest, wideRep.Completed))
+	}
+	if !res.Deterministic {
+		regs = append(regs, tag("defended replay not deterministic: identical seed produced different bits"))
+	}
+	if res.DeadlineSheds == 0 && res.Preemptions == 0 && defStats.AdaptiveLimitTokens >= c.InFlightTokens {
+		regs = append(regs, tag("surge engaged no defense (no sheds, no preemptions, limiter never moved)"))
+	}
+	return res, regs, nil
+}

@@ -112,4 +112,13 @@ func (s *Scheduler) drainLocked() {
 	for len(s.running) > 0 {
 		s.finishLocked(s.running[0], ErrRejected)
 	}
+	// Parked requests hold no pages; fail them directly.
+	for _, st := range s.parked {
+		st.done = true
+		s.stats.Failed++
+		if st.deliver != nil {
+			st.deliver(Result{ID: st.req.ID, Tenant: st.req.Tenant, Err: ErrRejected})
+		}
+	}
+	s.parked = nil
 }

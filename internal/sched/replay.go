@@ -97,10 +97,25 @@ func (s *Scheduler) Replay(ctx context.Context, trace []workload.TraceRequest) (
 
 // failHeadQueued fails the first queued request (admission order) with
 // ErrRejected — the drain path when a request can never fit the arena or
-// budget and everything runnable has already drained.
+// budget and everything runnable has already drained. With nothing running
+// to free pages, an unrestorable parked request is equally stuck, so it
+// drains first (it holds the oldest commitment).
 func (s *Scheduler) failHeadQueued() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if len(s.running) == 0 && len(s.parked) > 0 {
+		st := s.parked[0]
+		s.parked = s.parked[1:]
+		st.done = true
+		s.stats.Failed++
+		res := Result{ID: st.req.ID, Tenant: st.req.Tenant, Err: ErrRejected}
+		if st.deliver != nil {
+			st.deliver(res)
+		} else {
+			s.collected = append(s.collected, res)
+		}
+		return
+	}
 	for p := 0; p < NumPriorities; p++ {
 		for _, tn := range s.tenants {
 			q := s.queues[tn]

@@ -69,6 +69,12 @@ func (f ExecutorFunc) ExecGraph(ctx context.Context, g nn.Graph, pool string) (f
 // request that could never fit, or a closed scheduler).
 var ErrRejected = errors.New("sched: rejected")
 
+// ErrDeadline reports a request shed because it provably could not meet its
+// deadline: its queue wait alone already exceeded the deadline budget, so
+// running it would burn device cycles on a guaranteed SLO miss. The serve
+// layer maps this to 504, counted separately from admission 429s.
+var ErrDeadline = errors.New("sched: deadline exceeded")
+
 // Config tunes the scheduler. Zero fields take defaults.
 type Config struct {
 	// HW is the hardware model used to convert SLO milliseconds to cycles
@@ -100,6 +106,40 @@ type Config struct {
 	// SeparatePools routes prefill and decode to their named pools and
 	// stops charging prefill cycles against the decode-step latency.
 	SeparatePools bool
+
+	// Adaptive replaces the static token-budget gate with an AIMD
+	// concurrency limiter: the admitted token mass shrinks multiplicatively
+	// when a decode wave violates the step SLO and grows additively while
+	// comfortably under it, with growth accelerated when the EWMA queue
+	// wait signals backlog pressure. MaxInFlightTokens stays the hard
+	// ceiling; AdaptiveMinTokens the floor.
+	Adaptive          bool
+	AdaptiveMinTokens int64 // default 4096
+
+	// ShedDeadlines drops queued requests whose deadline has provably
+	// passed (queue wait alone exceeds the deadline budget) with
+	// ErrDeadline before they consume device cycles. Requests without an
+	// explicit DeadlineCycles use the TTFT SLO bound as their deadline.
+	ShedDeadlines bool
+
+	// PreemptKV preempts the least-important running requests (lowest
+	// priority class, then youngest arrival) when the paged KV arena runs
+	// out under decode pressure: their pages are released through the
+	// normal refcount machinery and they park in a restore queue, resuming
+	// later via prefix-cache recompute — bitwise-identical to
+	// uninterrupted execution because KV words and decode tokens are pure
+	// functions of (token, position).
+	PreemptKV bool
+	// KVLowWater/KVHighWater are the preemption hysteresis fractions of
+	// allocatable (free+cached) pages: pressure preemption starts below
+	// the low water mark and frees until the high water mark; parked
+	// requests restore only above it (defaults 1/16 and 1/4).
+	KVLowWater, KVHighWater float64
+
+	// RecordEvents keeps a bounded in-memory log of overload decisions
+	// (preempt, restore, deadline sheds, limit cuts) for harness
+	// artifacts.
+	RecordEvents bool
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +161,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxInFlightTokens <= 0 {
 		c.MaxInFlightTokens = 262144
 	}
+	if c.AdaptiveMinTokens <= 0 {
+		c.AdaptiveMinTokens = 4096
+	}
+	if c.AdaptiveMinTokens > c.MaxInFlightTokens {
+		c.AdaptiveMinTokens = c.MaxInFlightTokens
+	}
+	if c.KVLowWater <= 0 {
+		c.KVLowWater = 1.0 / 16
+	}
+	if c.KVHighWater <= c.KVLowWater {
+		c.KVHighWater = 4 * c.KVLowWater
+	}
+	if c.KVHighWater > 1 {
+		c.KVHighWater = 1
+	}
 	return c
 }
 
@@ -132,6 +187,12 @@ type Request struct {
 	Prompt   []int32
 	Decode   int // tokens to generate per branch
 	Fanout   int // parallel sampling branches (<=1 means 1)
+
+	// DeadlineCycles is the request's deadline budget in device cycles,
+	// relative to its arrival (0 = none; with Config.ShedDeadlines the
+	// TTFT SLO bound applies instead). A queued request whose wait alone
+	// exceeds the budget is shed with ErrDeadline.
+	DeadlineCycles float64
 }
 
 // Mass is the admission cost of a request in tokens: the prompt plus every
@@ -186,6 +247,20 @@ type Stats struct {
 	// attention work charged beyond each sequence's true KV length.
 	PaddedKVTokens int64 `json:"padded_kv_tokens"`
 	PaddedKVBytes  int64 `json:"padded_kv_bytes"`
+
+	// Overload-defense accounting. AdaptiveLimitTokens is the AIMD
+	// limiter's current admitted-mass ceiling (equals BudgetTokens when
+	// the limiter is off); DeadlineSheds counts queued requests dropped
+	// with ErrDeadline; Preemptions/Restores count KV-pressure parks and
+	// their prefix-recompute resumes; Parked is the restore queue depth.
+	AdaptiveLimitTokens int64 `json:"adaptive_limit_tokens"`
+	DeadlineSheds       int64 `json:"deadline_sheds"`
+	Preemptions         int64 `json:"preemptions"`
+	Restores            int64 `json:"restores"`
+	Parked              int   `json:"parked"`
+	// MaxDeferredWaves is the high-water mark of consecutive waves any
+	// single request's prefill went ungranted (starvation-guard bound).
+	MaxDeferredWaves int64 `json:"max_deferred_waves"`
 }
 
 // reqState tracks one admitted request through prefill and decode.
@@ -198,6 +273,13 @@ type reqState struct {
 	need    int                 // prompt tokens requiring prefill compute
 	filled  int                 // prefill tokens executed so far
 	decoded []int               // decode steps completed per branch
+
+	// gen is the per-branch generated-token history, kept only under
+	// PreemptKV: it is the restore recipe (prompt ++ gen[b] rebuilds the
+	// branch's exact KV state via prefix-cache recompute).
+	gen      [][]int32
+	parked   bool // preempted, waiting in the restore queue
+	deferred int  // consecutive waves this request's prefill got nothing
 
 	firstTok float64 // clock at first decode token (-1 until then)
 	maxStep  float64
@@ -235,16 +317,22 @@ type Scheduler struct {
 
 	inflight int64
 	running  []*reqState
+	parked   []*reqState // preempted requests awaiting restore (FIFO)
 
-	chunk        int     // last prefill budget granted (stats)
-	cyclesPerTk  float64 // EWMA prefill cycles per token
-	deferredPref int     // consecutive waves prefill was deferred for slack
+	chunk         int     // last prefill budget granted (stats)
+	chunkCap      int     // brownout cap on the prefill chunk (0 = none)
+	cyclesPerTk   float64 // EWMA prefill cycles per token
+	guardCooldown int     // waves until the starvation guard may fire again
+
+	limit     float64 // AIMD admitted-mass ceiling (tokens; Adaptive only)
+	queueWait float64 // EWMA queue wait at admission (cycles)
 
 	clock     float64
 	lastCopy  int64 // kv CopiedBytes already charged
 	stats     Stats
 	steps     quantiles
 	ttfts     quantiles
+	events    []Event
 	collected []Result // replay results
 	closed    bool
 }
@@ -263,6 +351,7 @@ func New(exec Executor, cfg Config) *Scheduler {
 		ttftBound: cfg.TTFTSLOMs / 1e3 * cfg.HW.ClockHz,
 		queues:    make(map[string]*[NumPriorities][]*reqState),
 	}
+	s.limit = float64(cfg.MaxInFlightTokens)
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -285,6 +374,11 @@ func (s *Scheduler) Stats() Stats {
 	st.InFlightTokens = s.inflight
 	st.BudgetTokens = s.cfg.MaxInFlightTokens
 	st.ChunkTokens = s.chunk
+	st.Parked = len(s.parked)
+	st.AdaptiveLimitTokens = s.cfg.MaxInFlightTokens
+	if s.cfg.Adaptive {
+		st.AdaptiveLimitTokens = int64(s.limit)
+	}
 	queued := 0
 	for _, q := range s.queues {
 		for p := range q {
@@ -323,6 +417,9 @@ func (s *Scheduler) EstimateBacklogSeconds() float64 {
 		return 0
 	}
 	mass := s.inflight
+	for _, st := range s.parked {
+		mass += st.mass
+	}
 	for _, q := range s.queues {
 		for p := range q {
 			for _, st := range q[p] {
@@ -334,6 +431,22 @@ func (s *Scheduler) EstimateBacklogSeconds() float64 {
 		return 0
 	}
 	return float64(mass) * s.cyclesPerTk / s.cfg.HW.ClockHz
+}
+
+// SetChunkCap caps the prefill chunk budget below Config.PrefillChunk
+// (brownout stage 2: shrink prefill to protect decode latency). Zero lifts
+// the cap; a positive cap never goes under one KV page.
+func (s *Scheduler) SetChunkCap(tokens int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tokens > 0 {
+		if pt := s.kv.Config().TokensPerPage; tokens < pt {
+			tokens = pt
+		}
+	} else {
+		tokens = 0
+	}
+	s.chunkCap = tokens
 }
 
 // enqueueLocked files a request under its tenant and priority.
@@ -363,8 +476,10 @@ func (s *Scheduler) enqueueLocked(st *reqState) {
 // admitLocked moves queued requests into the running set while the token
 // budget and KV arena allow: priority classes strictly in order, tenants
 // round-robin within a class (rotating start so no tenant is structurally
-// first), FIFO within a tenant.
+// first), FIFO within a tenant. Preempted requests restore first — they
+// were admitted once and hold a prior claim on the arena.
 func (s *Scheduler) admitLocked() {
+	s.restoreParkedLocked()
 	for p := 0; p < NumPriorities; p++ {
 		for {
 			admittedAny := false
@@ -376,7 +491,7 @@ func (s *Scheduler) admitLocked() {
 					continue
 				}
 				st := q[p][0]
-				if s.inflight+st.mass > s.cfg.MaxInFlightTokens {
+				if !s.admitFitsLocked(st.mass) {
 					continue
 				}
 				seq, err := s.kv.NewSequence(st.req.Tenant, st.req.Prompt)
@@ -394,10 +509,21 @@ func (s *Scheduler) admitLocked() {
 					fan = 1
 				}
 				st.decoded = make([]int, 1, fan)
+				if s.cfg.PreemptKV {
+					st.gen = make([][]int32, 1, fan)
+				}
 				s.running = append(s.running, st)
 				s.inflight += st.mass
 				s.stats.Admitted++
 				s.stats.ReusedTokens += int64(seq.Reused())
+				if s.cfg.Adaptive {
+					w := s.clock - st.arrival
+					if s.queueWait == 0 {
+						s.queueWait = w
+					} else {
+						s.queueWait = 0.7*s.queueWait + 0.3*w
+					}
+				}
 				s.rr = (s.rr + i + 1) % n
 				admittedAny = true
 			}
@@ -406,6 +532,20 @@ func (s *Scheduler) admitLocked() {
 			}
 		}
 	}
+}
+
+// admitFitsLocked is the admission budget gate. The static path compares
+// against MaxInFlightTokens; the adaptive path compares against the AIMD
+// limit, with an idle-scheduler escape so a request wider than a collapsed
+// limit still starts once nothing else is running (liveness).
+func (s *Scheduler) admitFitsLocked(mass int64) bool {
+	if !s.cfg.Adaptive {
+		return s.inflight+mass <= s.cfg.MaxInFlightTokens
+	}
+	if s.inflight == 0 {
+		return true
+	}
+	return s.inflight+mass <= int64(s.limit)
 }
 
 // decodeEntry is one branch taking part in this wave's decode step.
@@ -478,35 +618,78 @@ func (s *Scheduler) buildDecodeLocked() []decodeJob {
 	return decode
 }
 
-// buildPrefillLocked carves prefill chunks under a token budget: priority
-// classes in order, then the running set's admission order, each request
-// contributing at most one chunk per wave.
+// starvedWaves is the starvation-guard bound: a request whose prefill went
+// ungranted this many consecutive waves is owed a chunk regardless of
+// decode slack or higher-priority contention.
+const starvedWaves = 4
+
+// buildPrefillLocked carves prefill chunks under a token budget: starved
+// requests first (most-deferred first, so the per-request guard bound
+// holds even when multiple prefills compete), then priority classes in
+// order, then the running set's admission order, each request contributing
+// at most one chunk per wave. Requests whose prefill got nothing this wave
+// age their deferral counter; granted ones reset it.
 func (s *Scheduler) buildPrefillLocked(budget int) []prefillJob {
 	var prefill []prefillJob
 	if budget > s.cfg.PrefillChunk {
 		budget = s.cfg.PrefillChunk
 	}
+	if s.chunkCap > 0 && budget > s.chunkCap {
+		budget = s.chunkCap
+	}
 	s.chunk = budget
+	granted := make(map[*reqState]bool)
+	grant := func(st *reqState) {
+		n := st.need - st.filled
+		if n > budget {
+			n = budget
+		}
+		prefill = append(prefill, prefillJob{
+			st: st, chunk: n, g: nn.Llama2Prefill(1, n),
+		})
+		budget -= n
+		granted[st] = true
+	}
+	// Starved requests jump the priority order, most-deferred first
+	// (admission order breaks ties deterministically).
+	if budget > 0 {
+		var starved []*reqState
+		for _, st := range s.running {
+			if !st.done && !st.prefillDone() && st.deferred >= starvedWaves {
+				starved = append(starved, st)
+			}
+		}
+		sort.SliceStable(starved, func(i, j int) bool { return starved[i].deferred > starved[j].deferred })
+		for _, st := range starved {
+			if budget <= 0 {
+				break
+			}
+			grant(st)
+		}
+	}
 	for p := 0; p < NumPriorities && budget > 0; p++ {
 		for _, st := range s.running {
 			if budget <= 0 {
 				break
 			}
-			if st.done || st.req.Priority != p || st.prefillDone() {
+			if st.done || st.req.Priority != p || st.prefillDone() || granted[st] {
 				continue
 			}
-			n := st.need - st.filled
-			if n > budget {
-				n = budget
-			}
-			prefill = append(prefill, prefillJob{
-				st: st, chunk: n, g: nn.Llama2Prefill(1, n),
-			})
-			budget -= n
+			grant(st)
 		}
 	}
-	if len(prefill) > 0 {
-		s.deferredPref = 0
+	for _, st := range s.running {
+		if st.done || st.prefillDone() {
+			continue
+		}
+		if granted[st] {
+			st.deferred = 0
+			continue
+		}
+		st.deferred++
+		if int64(st.deferred) > s.stats.MaxDeferredWaves {
+			s.stats.MaxDeferredWaves = int64(st.deferred)
+		}
 	}
 	return prefill
 }
@@ -516,8 +699,9 @@ func (s *Scheduler) buildPrefillLocked(budget int) []prefillJob {
 // the slack the decode-step SLO bound leaves, at the running cycles-per-
 // token estimate. With no decode in flight or with separated pools the
 // budget is the full configured chunk. When decode alone consumes the
-// bound, prefill defers — but never more than a few waves in a row
-// (starvation guard: one page then progresses regardless).
+// bound, prefill defers — but never more than starvedWaves in a row for
+// any single request (per-request starvation guard: once the most-starved
+// request has waited out the bound, the wave grants one page regardless).
 func (s *Scheduler) prefillBudgetLocked(decodeActive bool, decodeCycles float64) int {
 	if !decodeActive || s.cfg.SeparatePools {
 		return s.cfg.PrefillChunk
@@ -531,11 +715,24 @@ func (s *Scheduler) prefillBudgetLocked(decodeActive bool, decodeCycles float64)
 	fit := int(slack / s.cyclesPerTk)
 	fit -= fit % pageTokens // page-granular chunks bound the shape vocabulary
 	if fit < pageTokens {
-		s.deferredPref++
-		if s.deferredPref <= 4 {
-			return 0 // defer; decode already fills the bound
+		if s.guardCooldown > 0 {
+			s.guardCooldown--
+			return 0
 		}
-		return pageTokens // starvation guard: bounded overshoot
+		for _, st := range s.running {
+			if !st.done && !st.prefillDone() && st.deferred >= starvedWaves {
+				// Starvation guard: bounded overshoot, paced to at most
+				// one guard page per starvedWaves+1 waves so sustained
+				// contention cannot turn every wave into an SLO
+				// violation. buildPrefillLocked hands the page to the
+				// most-starved request, so per-request deferral stays
+				// bounded by the guard cadence times the prefill queue
+				// length.
+				s.guardCooldown = starvedWaves
+				return pageTokens
+			}
+		}
+		return 0 // defer; decode already fills the bound
 	}
 	return fit
 }
@@ -547,7 +744,9 @@ func (s *Scheduler) prefillBudgetLocked(decodeActive bool, decodeCycles float64)
 // returns the cycles the wave consumed and whether it did any work.
 func (s *Scheduler) runWave(ctx context.Context) (float64, bool) {
 	s.mu.Lock()
+	s.shedLateLocked()
 	s.admitLocked()
+	s.preemptForPressureLocked()
 	decode := s.buildDecodeLocked()
 	s.mu.Unlock()
 
@@ -669,14 +868,20 @@ func (s *Scheduler) applyWaveLocked(w waveExec, prefillCycles, decodeCycles floa
 		decodedAny = true
 		for _, e := range job.entries {
 			st := e.st
-			if st.done || e.branch >= len(st.seqs) {
-				continue // request already failed this wave
+			if st.done || st.parked || e.branch >= len(st.seqs) {
+				continue // request already failed or was preempted this wave
 			}
 			seq := st.seqs[e.branch]
 			tok := nextToken(s.kv.Digest(seq), e.branch)
-			if err := s.kv.Append(seq, tok); err != nil {
+			if err := s.appendWithPreemptLocked(st, seq, tok); err != nil {
 				s.finishLocked(st, fmt.Errorf("kv append: %w", err))
 				continue
+			}
+			if st.parked {
+				continue // preempted itself under KV pressure; restored later
+			}
+			if s.cfg.PreemptKV {
+				st.gen[e.branch] = append(st.gen[e.branch], tok)
 			}
 			st.decoded[e.branch]++
 			s.stats.DecodeSteps++
@@ -697,6 +902,7 @@ func (s *Scheduler) applyWaveLocked(w waveExec, prefillCycles, decodeCycles floa
 		if stepLatency > s.stepBound {
 			s.stats.StepViolations++
 		}
+		s.adaptLimitLocked(stepLatency)
 	}
 
 	// Completions. Collect first: finishLocked edits s.running in place,
@@ -731,6 +937,9 @@ func (s *Scheduler) forkLocked(st *reqState) {
 	for len(st.decoded) < cap(st.decoded) {
 		st.seqs = append(st.seqs, s.kv.Fork(st.seqs[0]))
 		st.decoded = append(st.decoded, 0)
+		if s.cfg.PreemptKV {
+			st.gen = append(st.gen, append([]int32(nil), st.gen[0]...))
+		}
 	}
 }
 
@@ -789,9 +998,9 @@ func (s *Scheduler) finishLocked(st *reqState, err error) {
 	}
 }
 
-// pendingLocked reports whether any request is queued or running.
+// pendingLocked reports whether any request is queued, running or parked.
 func (s *Scheduler) pendingLocked() bool {
-	if len(s.running) > 0 {
+	if len(s.running) > 0 || len(s.parked) > 0 {
 		return true
 	}
 	for _, q := range s.queues {

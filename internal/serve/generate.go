@@ -34,6 +34,11 @@ type generateRequest struct {
 	Steps     int `json:"steps,omitempty"`    // decode tokens per branch (default 1)
 	Priority  int `json:"priority,omitempty"` // 0 most urgent
 	Fanout    int `json:"fanout,omitempty"`   // parallel sampling branches
+	// DeadlineMs is this request's deadline budget (arrival → first token)
+	// in milliseconds; zero takes the server's DeadlineMs default. With
+	// ShedDeadlines on, a request whose queue wait alone exceeds the budget
+	// is answered 504 without consuming device cycles.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
 }
 
 // generateResponse reports one scheduled generation.
@@ -103,8 +108,22 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("fanout %d outside [0, %d]", req.Fanout, maxGenerateFanout))
 		return
 	}
+	if req.DeadlineMs < 0 {
+		httpError(w, http.StatusBadRequest, "deadline_ms must be non-negative")
+		return
+	}
 	if req.Steps == 0 {
 		req.Steps = 1
+	}
+
+	// The brownout ladder's last rung: shed the lowest priority class at the
+	// HTTP edge before it touches the scheduler, with a backlog-derived
+	// Retry-After like every other load-shed answer.
+	if s.OverloadStage() >= brownoutShedStage && req.Priority >= sched.NumPriorities-1 {
+		s.nBrownoutSheds.Add(1)
+		w.Header().Set("Retry-After", s.retryAfterHint())
+		httpError(w, http.StatusServiceUnavailable, "brownout: lowest-priority traffic shed")
+		return
 	}
 
 	prompt := workload.TraceRequest{
@@ -122,6 +141,13 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		Decode:   req.Steps,
 		Fanout:   req.Fanout,
 	}
+	deadlineMs := req.DeadlineMs
+	if deadlineMs == 0 {
+		deadlineMs = s.cfg.DeadlineMs
+	}
+	if deadlineMs > 0 {
+		sreq.DeadlineCycles = deadlineMs / 1e3 * loop.Scheduler().Config().HW.ClockHz
+	}
 
 	select {
 	case res := <-loop.Submit(sreq):
@@ -131,6 +157,12 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 				w.Header().Set("Retry-After", retryAfterSeconds(loop.Scheduler()))
 				httpError(w, http.StatusTooManyRequests,
 					fmt.Sprintf("token budget exhausted: request mass %d tokens", sreq.Mass()))
+				return
+			}
+			if errors.Is(res.Err, sched.ErrDeadline) {
+				s.nDeadlineSheds.Add(1)
+				httpError(w, http.StatusGatewayTimeout,
+					"deadline exceeded while queued; request shed before execution")
 				return
 			}
 			httpError(w, http.StatusInternalServerError, res.Err.Error())
@@ -165,6 +197,18 @@ const (
 	retryAfterMin = 1
 	retryAfterMax = 30
 )
+
+// retryAfterHint is the Retry-After value for load-shed answers outside the
+// token-budget path (admitMW 429s, brownout 503s): backlog-derived when the
+// generation scheduler is running, the 1-second floor otherwise. Before this
+// helper, admitMW hardcoded "1", teaching every rejected client to retry in
+// lockstep one second later regardless of how deep the backlog actually was.
+func (s *Server) retryAfterHint() string {
+	if l := s.sched.Load(); l != nil {
+		return retryAfterSeconds(l.Scheduler())
+	}
+	return strconv.Itoa(retryAfterMin)
+}
 
 // retryAfterSeconds derives the Retry-After value for a token-budget 429
 // from the scheduler's drain estimate — EWMA per-token cost times the

@@ -455,6 +455,19 @@ type schedStatsView struct {
 	P99StepMs     float64 `json:"p99_step_ms"`
 }
 
+// overloadStats is the /stats view of the overload defenses: the brownout
+// ladder's stage, shed counts by reason, KV-pressure preemption traffic, and
+// the adaptive admission limiter's live ceiling.
+type overloadStats struct {
+	Stage               int   `json:"stage"`
+	BrownoutSheds       int64 `json:"brownout_sheds"`
+	DeadlineSheds       int64 `json:"deadline_sheds"`
+	Preemptions         int64 `json:"preemptions"`
+	Restores            int64 `json:"restores"`
+	Parked              int   `json:"parked"`
+	AdaptiveLimitTokens int64 `json:"adaptive_limit_tokens"`
+}
+
 // statsResponse is the /stats wire format.
 type statsResponse struct {
 	Uptime          string             `json:"uptime"`
@@ -479,6 +492,7 @@ type statsResponse struct {
 	Health          *healthStats       `json:"health,omitempty"`
 	Sched           *schedStatsView    `json:"sched,omitempty"`
 	KV              *kvcache.Stats     `json:"kv,omitempty"`
+	Overload        *overloadStats     `json:"overload,omitempty"`
 	PlanCache       *planCacheResponse `json:"plancache,omitempty"`
 }
 
@@ -573,6 +587,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		kv := sc.KV().Stats()
 		resp.KV = &kv
+	}
+	if l := s.sched.Load(); l != nil || s.cfg.Brownout {
+		ov := &overloadStats{
+			Stage:         s.OverloadStage(),
+			BrownoutSheds: s.nBrownoutSheds.Load(),
+			DeadlineSheds: s.nDeadlineSheds.Load(),
+		}
+		if l != nil {
+			// The scheduler's count is authoritative: it includes sheds whose
+			// HTTP 504 was never delivered (client already disconnected).
+			ss := l.Scheduler().Stats()
+			ov.DeadlineSheds = ss.DeadlineSheds
+			ov.Preemptions = ss.Preemptions
+			ov.Restores = ss.Restores
+			ov.Parked = ss.Parked
+			ov.AdaptiveLimitTokens = ss.AdaptiveLimitTokens
+		}
+		resp.Overload = ov
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

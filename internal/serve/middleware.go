@@ -33,7 +33,7 @@ func (s *Server) admitMW(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 		default:
 			s.nRejected.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfterHint())
 			httpError(w, http.StatusTooManyRequests, "server at capacity")
 		}
 	})

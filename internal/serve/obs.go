@@ -319,4 +319,5 @@ func (s *Server) registerObs() {
 
 	s.registerFleetObs()
 	s.registerPlanCacheObs()
+	s.registerOverloadObs()
 }

@@ -132,6 +132,33 @@ type Config struct {
 	// Empty admits any tenant name.
 	Tenants []string
 
+	// AdaptiveAdmission replaces the scheduler's static token-budget gate
+	// with an AIMD limiter that shrinks the admitted mass when decode waves
+	// violate the step SLO and grows it while comfortably under.
+	AdaptiveAdmission bool
+
+	// ShedDeadlines drops queued /generate requests whose queue wait alone
+	// already exceeds their deadline budget: they are answered 504
+	// (deadline-exceeded) without ever consuming device cycles, counted
+	// separately from admission 429s.
+	ShedDeadlines bool
+
+	// DeadlineMs is the default deadline budget (arrival → first token) for
+	// /generate requests that do not carry their own deadline_ms; zero falls
+	// back to the scheduler's TTFT SLO bound when ShedDeadlines is on.
+	DeadlineMs float64
+
+	// KVPreempt lets the scheduler preempt the least-important running
+	// sequences when the paged KV arena runs dry, parking them for a
+	// bitwise-identical prefix-recompute resume instead of failing them.
+	KVPreempt bool
+
+	// Brownout runs the overload ladder controller: ordered degradation
+	// stages (tracing off → smaller prefill chunks → stretched hedges →
+	// lowest-class shedding) driven by admission occupancy, scheduler
+	// backlog, KV pressure, and breaker state, with hysteresis.
+	Brownout bool
+
 	// PlanSnapshotPath, when set, names the persistent plan-cache snapshot
 	// artifact: SetCompiler warm-starts the program cache from it (an
 	// incompatible snapshot is rejected and the replica plans online), and
@@ -257,6 +284,13 @@ type Server struct {
 	snapWG   sync.WaitGroup
 	snapMu   sync.Mutex // serializes snapshot file writes
 
+	// Brownout ladder state (overload.go).
+	overStage   atomic.Int32  // current stage, 0 = normal
+	overQuit    chan struct{} // stops the ladder controller
+	overOnce    sync.Once
+	overWG      sync.WaitGroup
+	tracerWasOn bool // whether stage 0 should re-enable tracing
+
 	// cumulative counters, exported by /stats
 	nRequests      atomic.Int64 // admitted plan/execute/model requests
 	nRejected      atomic.Int64 // 429s from admission control
@@ -270,6 +304,8 @@ type Server struct {
 	nBreakerDrops  atomic.Int64 // requests rejected by an open breaker
 	nGenerated     atomic.Int64 // /generate requests completed
 	nTokenRejected atomic.Int64 // /generate 429s from the token budget
+	nDeadlineSheds atomic.Int64 // /generate 504s (deadline provably missed)
+	nBrownoutSheds atomic.Int64 // /generate 503s from the brownout ladder
 
 	// plan-cache tier counters
 	nSnapshotSaves   atomic.Int64 // snapshot files written
@@ -290,6 +326,7 @@ func New(c *core.Compiler, cfg Config) *Server {
 		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		started:  time.Now(),
 		snapQuit: make(chan struct{}),
+		overQuit: make(chan struct{}),
 	}
 	s.registerObs()
 	if c != nil {
@@ -297,6 +334,9 @@ func New(c *core.Compiler, cfg Config) *Server {
 	}
 	if cfg.PlanSnapshotPath != "" && cfg.SnapshotInterval > 0 {
 		s.startSnapshotFlusher()
+	}
+	if cfg.Brownout {
+		s.startBrownout()
 	}
 	return s
 }
@@ -351,6 +391,9 @@ func (s *Server) SetCompiler(c *core.Compiler) {
 			StepSLOMs:         s.cfg.StepSLOMs,
 			TTFTSLOMs:         s.cfg.TTFTSLOMs,
 			MaxInFlightTokens: s.cfg.SchedInFlightTokens,
+			Adaptive:          s.cfg.AdaptiveAdmission,
+			ShedDeadlines:     s.cfg.ShedDeadlines,
+			PreemptKV:         s.cfg.KVPreempt,
 		}))
 		if old := s.sched.Swap(loop); old != nil {
 			old.Close()
@@ -362,11 +405,14 @@ func (s *Server) SetCompiler(c *core.Compiler) {
 // comp returns the bound compiler, or nil while the server is not ready.
 func (s *Server) comp() *core.Compiler { return s.compiler.Load() }
 
-// Close releases background resources: the snapshot flusher, the decode
-// batching loop and, when a fleet is bound, its device workers and prober.
+// Close releases background resources: the snapshot flusher, the brownout
+// controller, the decode batching loop and, when a fleet is bound, its
+// device workers and prober.
 func (s *Server) Close() {
 	s.snapOnce.Do(func() { close(s.snapQuit) })
 	s.snapWG.Wait()
+	s.overOnce.Do(func() { close(s.overQuit) })
+	s.overWG.Wait()
 	if b := s.batcher.Load(); b != nil {
 		b.Stop()
 	}

@@ -80,6 +80,15 @@ type TraceConfig struct {
 	// FanoutEvery gives every k-th request parallel-sampling fanout 2
 	// (default 8; 0 disables). Fanout exercises fork + copy-on-write.
 	FanoutEvery int
+
+	// BurstFactor multiplies the arrival rate inside the surge window
+	// [BurstStartSec, BurstStartSec+BurstLenSec) — a Poisson burst on top
+	// of the base rate (default 1 = no burst; the overload harness uses
+	// 5–10×). Arrivals stay exponential, only the mean gap shrinks, so the
+	// trace remains fully deterministic per seed.
+	BurstFactor   float64
+	BurstStartSec float64
+	BurstLenSec   float64
 }
 
 func (c TraceConfig) withDefaults() TraceConfig {
@@ -129,6 +138,12 @@ func (c TraceConfig) withDefaults() TraceConfig {
 	} else if c.FanoutEvery == 0 {
 		c.FanoutEvery = 8
 	}
+	if c.BurstFactor <= 0 {
+		c.BurstFactor = 1
+	}
+	if c.BurstLenSec < 0 {
+		c.BurstLenSec = 0
+	}
 	return c
 }
 
@@ -174,10 +189,17 @@ func GenerateTrace(cfg TraceConfig) []TraceRequest {
 	cyclesPerArrival := cfg.ClockHz / cfg.ArrivalsPerSec
 	clock := 0.0
 	out := make([]TraceRequest, 0, cfg.Requests)
+	burstStart := cfg.BurstStartSec * cfg.ClockHz
+	burstEnd := burstStart + cfg.BurstLenSec*cfg.ClockHz
 	for i := 0; i < cfg.Requests; i++ {
-		// Exponential inter-arrival gap: -ln(U) · mean.
+		// Exponential inter-arrival gap: -ln(U) · mean. Inside the surge
+		// window the mean gap divides by BurstFactor.
 		u := (float64(r.next()>>11) + 1) / float64(1<<53)
-		clock += -math.Log(u) * cyclesPerArrival
+		gap := -math.Log(u) * cyclesPerArrival
+		if cfg.BurstFactor > 1 && clock >= burstStart && clock < burstEnd {
+			gap /= cfg.BurstFactor
+		}
+		clock += gap
 
 		tenant := zipfRank(r, tenantW, tenantTotal)
 		b := zipfRank(r, bucketW, bucketTotal)

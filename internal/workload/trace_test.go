@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTraceBurstWindow checks the surge window: a ×8 burst must pack
+// substantially more arrivals into the window than the unbursted trace,
+// leave arrivals outside it untouched in distribution, and stay
+// deterministic per seed.
+func TestTraceBurstWindow(t *testing.T) {
+	base := TraceConfig{
+		Seed: 7, Requests: 400, ArrivalsPerSec: 50, ClockHz: 1e9,
+	}
+	burst := base
+	burst.BurstFactor = 8
+	burst.BurstStartSec = 1
+	burst.BurstLenSec = 2
+
+	plain := GenerateTrace(base)
+	surged := GenerateTrace(burst)
+
+	count := func(tr []TraceRequest, lo, hi float64) int {
+		n := 0
+		for _, r := range tr {
+			if r.ArrivalCycle >= lo*1e9 && r.ArrivalCycle < hi*1e9 {
+				n++
+			}
+		}
+		return n
+	}
+	inPlain := count(plain, 1, 3)
+	inSurged := count(surged, 1, 3)
+	if inSurged < 3*inPlain {
+		t.Fatalf("burst window holds %d arrivals, plain %d; want >= 3x", inSurged, inPlain)
+	}
+
+	// Before the window the traces are identical: the burst only rescales
+	// gaps once the clock enters [start, start+len).
+	for i := range plain {
+		if plain[i].ArrivalCycle >= 1e9 {
+			break
+		}
+		if !reflect.DeepEqual(plain[i], surged[i]) {
+			t.Fatalf("request %d differs before the burst window", i)
+		}
+	}
+
+	again := GenerateTrace(burst)
+	if !reflect.DeepEqual(surged, again) {
+		t.Fatal("burst trace is not deterministic per seed")
+	}
+}
+
+// TestTraceBurstDefaultOff ensures the zero value means no burst.
+func TestTraceBurstDefaultOff(t *testing.T) {
+	a := GenerateTrace(TraceConfig{Seed: 3, Requests: 64})
+	b := GenerateTrace(TraceConfig{Seed: 3, Requests: 64, BurstFactor: 1})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("BurstFactor 1 changed the trace")
+	}
+}
