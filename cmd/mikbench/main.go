@@ -2,7 +2,7 @@
 // against a committed baseline. It is the CI perf jobs' engine and the local
 // tool for refreshing the BENCH_*.json baselines.
 //
-// Four suites are available via -suite:
+// Five suites are available via -suite:
 //
 //   - planner (default): online-planner latency over BERT-style dynamic-
 //     sequence-length and Llama-decode GEMM shapes → BENCH_planner.json;
@@ -12,7 +12,9 @@
 //     plan-cache tier (self-gating; no baseline file);
 //   - overload: surge survival — the same Poisson burst replayed with the
 //     overload defenses (adaptive admission, deadline shedding, KV-pressure
-//     preemption) on vs off (self-gating; no baseline file).
+//     preemption) on vs off (self-gating; no baseline file);
+//   - fusion: whole-graph polymerization — fused GEMM→epilogue→GEMM chain
+//     programs vs the per-op path → BENCH_fusion.json.
 //
 // Run a suite and write a fresh baseline:
 //
@@ -53,6 +55,12 @@
 // must reproduce the wide arena's decode digests bit for bit with every
 // request completed, and a repeated defended replay must be bitwise
 // identical. -seeds overrides the seed matrix (comma-separated).
+//
+// Fusion gate: fused execution must beat the unfused execution on simulated
+// cycles for every case with the chain actually fused, fused and unfused
+// numerics must produce bitwise-identical output digests, and (vs -baseline)
+// the deterministic cycle numbers must match bit for bit with zero PlanChain
+// allocation growth.
 package main
 
 import (
@@ -92,9 +100,12 @@ func main() {
 	case "overload":
 		runOverload(*out, *quick, *seeds)
 		return
+	case "fusion":
+		runFusion(*out, *baseline, *quick)
+		return
 	case "planner":
 	default:
-		fmt.Fprintf(os.Stderr, "mikbench: unknown -suite %q (want planner, serve, plancache or overload)\n", *suite)
+		fmt.Fprintf(os.Stderr, "mikbench: unknown -suite %q (want planner, serve, plancache, overload or fusion)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -158,6 +169,64 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mikbench: PASS — within tolerances of %s (%d cases, latency tolerance %.0f%%)\n",
 		*baseline, len(base.Cases), *tolerance*100)
+}
+
+// runFusion measures the whole-graph polymerization suite and applies its
+// gates: the self-contained ones always (fused beats unfused, chains fused,
+// bitwise numerics), the baseline-relative ones (bitwise cycle numbers, zero
+// alloc growth) when -baseline is given.
+func runFusion(out, baseline string, quick bool) {
+	fmt.Fprintf(os.Stderr, "mikbench: running fusion suite (quick=%v)\n", quick)
+	start := time.Now()
+	rep, regs, err := bench.RunFusionSuite(quick)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mikbench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "mikbench: suite done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Print(bench.FusionSummary(rep))
+
+	if out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mikbench: marshal: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mikbench: write %s: %v\n", out, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "mikbench: wrote %s\n", out)
+	}
+
+	if baseline != "" {
+		data, err := os.ReadFile(baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mikbench: read baseline: %v\n", err)
+			os.Exit(2)
+		}
+		var base bench.FusionBenchReport
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "mikbench: parse baseline %s: %v\n", baseline, err)
+			os.Exit(2)
+		}
+		// CompareFusion re-applies the self-contained gates, so its result
+		// replaces (not extends) the suite's own checks — no duplicates.
+		more, notes := bench.CompareFusion(&base, rep)
+		regs = more
+		for _, n := range notes {
+			fmt.Fprintf(os.Stderr, "mikbench: note: %s\n", n)
+		}
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "mikbench: FAIL — %d fusion regression(s):\n", len(regs))
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  - %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mikbench: PASS — fused chains beat the per-op path on all %d cases, %d numerics cases bitwise\n",
+		len(rep.Cases), len(rep.Numerics))
 }
 
 // runPlanCache runs the self-gating plan-cache warm-start suite: the gate

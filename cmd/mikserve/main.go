@@ -75,6 +75,7 @@ func main() {
 		planAhead   = flag.Int("plan-ahead", 2, "graph-runtime plan-ahead depth for /model (<= 0 = sequential inline planning)")
 		planWorkers = flag.Int("plan-workers", 0, "online-search candidate-evaluation goroutines per plan (<= 1 = sequential; chosen programs are identical either way)")
 		decodeBatch = flag.Bool("decode-batch", true, "continuously batch concurrent llama2-decode /model requests")
+		fuse        = flag.Bool("fuse", false, "fuse GEMM→epilogue→GEMM graph chains into single programs when the cost model prefers them (whole-graph polymerization)")
 		withTrace   = flag.Bool("trace", true, "record execution spans, served at GET /trace")
 		traceCap    = flag.Int("trace-cap", obs.DefaultTraceCapacity, "span ring-buffer capacity for -trace")
 		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -118,6 +119,7 @@ func main() {
 		RequestTimeout:   *reqTimeout,
 		PlanTimeout:      *planTimeout,
 		DecodeBatch:      *decodeBatch,
+		Fuse:             *fuse,
 		PlanSnapshotPath: *planSnap,
 		SnapshotInterval: *snapEvery,
 		Obs:              o,

@@ -1,0 +1,421 @@
+package bench
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"mikpoly/internal/core"
+	"mikpoly/internal/engine"
+	"mikpoly/internal/graphrt"
+	"mikpoly/internal/hw"
+	"mikpoly/internal/nn"
+	"mikpoly/internal/poly"
+	"mikpoly/internal/tensor"
+	"mikpoly/internal/tune"
+)
+
+// The fusion gate: whole-graph polymerization must (a) beat the unfused
+// execution on simulated cycles for every suite case, (b) be bitwise
+// numerically identical to the per-op path, and (c) keep the fused planner's
+// steady-state allocation count flat. The simulator, the tuner, and the
+// planner are all deterministic, so the cycle numbers are exact quantities
+// gated bitwise against the committed BENCH_fusion.json — regenerate the
+// baseline (mikbench -suite fusion -out BENCH_fusion.json) when a deliberate
+// cost-model change moves them.
+
+// FusionStage describes one GEMM stage of a suite chain.
+type FusionStage struct {
+	N int `json:"n"`
+	K int `json:"k"`
+	// Epilogue names the elementwise function folded onto this stage's
+	// output ("relu", "gelu", "" = none; must be empty on the last stage).
+	Epilogue string `json:"epilogue,omitempty"`
+}
+
+// FusionPerfCase is one end-to-end graph case of the fusion suite.
+type FusionPerfCase struct {
+	Name string `json:"name"`
+	// M is the shared row count of the chain.
+	M      int           `json:"m"`
+	Stages []FusionStage `json:"stages"`
+}
+
+// graph builds the case's operator graph: the GEMM chain with each named
+// epilogue expressed as a standalone elementwise op between the GEMMs —
+// exactly what fusion must detect, fold, and beat.
+func (c FusionPerfCase) graph(h hw.Hardware) nn.Graph {
+	g := nn.Graph{Name: "fusion-" + c.Name}
+	for i, st := range c.Stages {
+		g.Ops = append(g.Ops, nn.Op{
+			Name: fmt.Sprintf("gemm%d", i), Kind: nn.OpGemm,
+			Gemm:  tensor.GemmShape{M: c.M, N: st.N, K: st.K},
+			Count: 1,
+		})
+		if st.Epilogue != "" {
+			g.Ops = append(g.Ops, nn.Op{
+				Name: fmt.Sprintf("%s%d", st.Epilogue, i), Kind: nn.OpOther,
+				OtherBytes:  float64(c.M) * float64(st.N) * float64(h.InputBytes+h.OutputBytes),
+				Elementwise: st.Epilogue,
+				Count:       1,
+			})
+		}
+	}
+	return g
+}
+
+// spec is the planning request the detector would derive from the graph.
+func (c FusionPerfCase) spec() poly.ChainSpec {
+	var spec poly.ChainSpec
+	for _, st := range c.Stages {
+		ep := poly.EpNone
+		switch st.Epilogue {
+		case "relu":
+			ep = poly.EpReLU
+		case "gelu":
+			ep = poly.EpGELU
+		}
+		spec.Stages = append(spec.Stages, poly.ChainStageSpec{
+			Shape:    tensor.GemmShape{M: c.M, N: st.N, K: st.K},
+			Epilogue: ep,
+		})
+	}
+	return spec
+}
+
+// FusionSuite returns the pinned perf cases: long chains of narrow,
+// memory-bound GEMMs with enough rows that strip-level parallelism still
+// fills the device — the regime whole-graph polymerization exists for.
+// Quick mode subsamples for tests.
+func FusionSuite(quick bool) []FusionPerfCase {
+	cases := []FusionPerfCase{
+		{Name: "mlp-relu-14k", M: 13824, Stages: []FusionStage{
+			{N: 256, K: 512, Epilogue: "relu"}, {N: 128, K: 256}}},
+		{Name: "mlp-gelu-16k", M: 16384, Stages: []FusionStage{
+			{N: 128, K: 256, Epilogue: "gelu"}, {N: 128, K: 128}}},
+		{Name: "deep-3stage-8k", M: 8192, Stages: []FusionStage{
+			{N: 192, K: 384, Epilogue: "relu"}, {N: 96, K: 192, Epilogue: "relu"}, {N: 64, K: 96}}},
+		{Name: "ragged-m-relu", M: 7000, Stages: []FusionStage{
+			{N: 256, K: 384, Epilogue: "relu"}, {N: 64, K: 256}}},
+		{Name: "bare-chain-24k", M: 24576, Stages: []FusionStage{
+			{N: 96, K: 192}, {N: 48, K: 96}}},
+	}
+	if quick {
+		return cases[:2]
+	}
+	return cases
+}
+
+// fusionNumericsCases are the conformance shapes for the bitwise gate:
+// deliberately small (they execute real arithmetic on the host) and ragged
+// in every dimension, with biases exercising the epilogue path.
+func fusionNumericsCases() []FusionPerfCase {
+	return []FusionPerfCase{
+		{Name: "tiny-relu", M: 96, Stages: []FusionStage{
+			{N: 48, K: 64, Epilogue: "relu"}, {N: 32, K: 48}}},
+		{Name: "ragged-gelu", M: 117, Stages: []FusionStage{
+			{N: 53, K: 71, Epilogue: "gelu"}, {N: 29, K: 53}}},
+		{Name: "deep-mixed", M: 160, Stages: []FusionStage{
+			{N: 64, K: 80, Epilogue: "relu"}, {N: 48, K: 64, Epilogue: "gelu"}, {N: 24, K: 48}}},
+		{Name: "wide-k-relu", M: 144, Stages: []FusionStage{
+			{N: 40, K: 256, Epilogue: "relu"}, {N: 56, K: 40}}},
+	}
+}
+
+// FusionPerfResult is one measured perf case in the stable JSON schema.
+type FusionPerfResult struct {
+	FusionPerfCase
+
+	// FusedCycles/UnfusedCycles are the simulated end-to-end graph cycles
+	// with fusion on and off; the *_bits fields carry exact IEEE-754 bit
+	// patterns for the bitwise baseline gate.
+	FusedCycles       float64 `json:"fused_cycles"`
+	FusedCyclesBits   string  `json:"fused_cycles_bits"`
+	UnfusedCycles     float64 `json:"unfused_cycles"`
+	UnfusedCyclesBits string  `json:"unfused_cycles_bits"`
+
+	// FusedChains is the number of chains the fused execution actually ran
+	// fused (must be >= 1: a rejected chain makes the case meaningless).
+	FusedChains int `json:"fused_chains"`
+	// SavedBytes is the modeled inter-stage traffic the fusion avoided.
+	SavedBytes float64 `json:"saved_bytes"`
+
+	// PlanAllocsPerOp is the steady-state allocation count of one
+	// PlanChain call (losing candidates must never materialize).
+	PlanAllocsPerOp int64 `json:"plan_allocs_per_op"`
+}
+
+// FusionNumericsResult is one bitwise conformance case.
+type FusionNumericsResult struct {
+	Name          string `json:"name"`
+	FusedDigest   string `json:"fused_digest"`
+	UnfusedDigest string `json:"unfused_digest"`
+	Bitwise       bool   `json:"bitwise"`
+}
+
+// FusionBenchReport is the BENCH_fusion.json document.
+type FusionBenchReport struct {
+	Schema   string                 `json:"schema"`
+	GoOS     string                 `json:"goos"`
+	GoArch   string                 `json:"goarch"`
+	HW       string                 `json:"hw"`
+	Cases    []FusionPerfResult     `json:"cases"`
+	Numerics []FusionNumericsResult `json:"numerics"`
+}
+
+// FusionReportSchema versions the report format.
+const FusionReportSchema = "mikpoly-fusion-bench/v1"
+
+// RunFusionSuite measures the fusion suite on the shared A100 library and
+// applies the self-contained gates (fused wins, chains fused, bitwise
+// numerics); baseline-relative gates live in CompareFusion.
+func RunFusionSuite(quick bool) (*FusionBenchReport, []string, error) {
+	lib, err := core.SharedLibrary(hw.A100(), tune.DefaultOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	h := lib.HW
+	rep := &FusionBenchReport{
+		Schema: FusionReportSchema,
+		GoOS:   runtime.GOOS, GoArch: runtime.GOARCH,
+		HW: h.Name,
+	}
+	var regs []string
+
+	execute := func(g nn.Graph, fuse bool) (graphrt.Report, error) {
+		rt := graphrt.New(core.NewCompilerFromLibrary(lib), graphrt.Config{Fuse: fuse})
+		return rt.Execute(context.Background(), g)
+	}
+	for _, c := range FusionSuite(quick) {
+		g := c.graph(h)
+		unfused, err := execute(g, false)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fusion case %s unfused: %w", c.Name, err)
+		}
+		fused, err := execute(g, true)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fusion case %s fused: %w", c.Name, err)
+		}
+		allocs, err := measureChainPlanAllocs(lib, c.spec())
+		if err != nil {
+			return nil, nil, fmt.Errorf("fusion case %s allocs: %w", c.Name, err)
+		}
+		res := FusionPerfResult{
+			FusionPerfCase:    c,
+			FusedCycles:       fused.Cycles,
+			FusedCyclesBits:   floatBits(fused.Cycles),
+			UnfusedCycles:     unfused.Cycles,
+			UnfusedCyclesBits: floatBits(unfused.Cycles),
+			FusedChains:       fused.FusedChains,
+			SavedBytes:        fused.FusedSavedBytes,
+			PlanAllocsPerOp:   allocs,
+		}
+		rep.Cases = append(rep.Cases, res)
+		if res.FusedChains < 1 {
+			regs = append(regs, fmt.Sprintf("%s: chain was not fused (%d rejected)", c.Name, fused.FusionRejected))
+		}
+		if !(res.FusedCycles < res.UnfusedCycles) {
+			regs = append(regs, fmt.Sprintf("%s: fused cycles %.0f do not beat unfused %.0f",
+				c.Name, res.FusedCycles, res.UnfusedCycles))
+		}
+	}
+
+	planner := &poly.Planner{Lib: lib}
+	for _, c := range fusionNumericsCases() {
+		res, err := runFusionNumerics(planner, c)
+		if err != nil {
+			return nil, nil, fmt.Errorf("fusion numerics %s: %w", c.Name, err)
+		}
+		rep.Numerics = append(rep.Numerics, res)
+		if !res.Bitwise {
+			regs = append(regs, fmt.Sprintf("numerics %s: fused digest %s != unfused %s",
+				res.Name, res.FusedDigest[:12], res.UnfusedDigest[:12]))
+		}
+	}
+	return rep, regs, nil
+}
+
+// measureChainPlanAllocs reports the steady-state allocations of one
+// PlanChain call: after warmup (pool populated), losing candidates must cost
+// nothing — only the winning program materializes.
+func measureChainPlanAllocs(lib *tune.Library, spec poly.ChainSpec) (int64, error) {
+	p := &poly.Planner{Lib: lib}
+	for i := 0; i < 16; i++ {
+		if _, _, err := p.PlanChain(spec); err != nil {
+			return 0, err
+		}
+	}
+	const iters = 64
+	best := int64(math.MaxInt64)
+	var ms0, ms1 runtime.MemStats
+	for r := 0; r < 3; r++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		for i := 0; i < iters; i++ {
+			if _, _, err := p.PlanChain(spec); err != nil {
+				return 0, err
+			}
+		}
+		runtime.ReadMemStats(&ms1)
+		if a := int64(ms1.Mallocs-ms0.Mallocs) / iters; a < best {
+			best = a
+		}
+	}
+	return best, nil
+}
+
+// runFusionNumerics executes one conformance chain both ways on identical
+// deterministic operands and digests the raw output bits.
+func runFusionNumerics(p *poly.Planner, c FusionPerfCase) (FusionNumericsResult, error) {
+	spec := c.spec()
+	rng := uint64(0x9e3779b97f4a7c15)
+	fill := func(m *tensor.Matrix) {
+		for i := range m.Data {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			m.Data[i] = float32(int64(rng>>40)%2048-1024) / 512
+		}
+	}
+	a := tensor.NewMatrix(c.M, c.Stages[0].K)
+	fill(a)
+	stages := make([]engine.ChainStage, len(c.Stages))
+	acts := make([]engine.Activation, len(c.Stages))
+	for i, st := range c.Stages {
+		b := tensor.NewMatrix(st.K, st.N)
+		fill(b)
+		bias := make([]float32, st.N)
+		for j := range bias {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			bias[j] = float32(int64(rng>>40)%256-128) / 256
+		}
+		stages[i] = engine.ChainStage{B: b, Bias: bias}
+		switch st.Epilogue {
+		case "relu":
+			acts[i] = engine.ActReLU
+		case "gelu":
+			acts[i] = engine.ActGELU
+		}
+	}
+
+	fusedProg, _, err := p.PlanChain(spec)
+	if err != nil {
+		return FusionNumericsResult{}, err
+	}
+	fusedOut, err := engine.ExecuteChain(fusedProg, a, stages)
+	if err != nil {
+		return FusionNumericsResult{}, err
+	}
+
+	// Unfused reference: each stage plans and executes standalone with its
+	// epilogue applied via the single-op fused write-back.
+	cur := a
+	for i, st := range c.Stages {
+		prog, _, err := p.Plan(tensor.GemmShape{M: c.M, N: st.N, K: st.K})
+		if err != nil {
+			return FusionNumericsResult{}, err
+		}
+		cur, err = engine.ExecuteFused(prog, cur, stages[i].B, engine.Epilogue{Bias: stages[i].Bias, Act: acts[i]})
+		if err != nil {
+			return FusionNumericsResult{}, err
+		}
+	}
+
+	fd, ud := matrixDigest(fusedOut), matrixDigest(cur)
+	return FusionNumericsResult{
+		Name: c.Name, FusedDigest: fd, UnfusedDigest: ud, Bitwise: fd == ud,
+	}, nil
+}
+
+// matrixDigest hashes the exact float bit patterns of a matrix's logical
+// contents (stride-safe).
+func matrixDigest(m *tensor.Matrix) string {
+	h := sha256.New()
+	var buf [4]byte
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CompareFusion applies the baseline-relative gates: matching case sets,
+// bitwise-identical cycle numbers (everything in the pipeline is
+// deterministic), and zero allocation growth in the fused planner path.
+// Self-contained gates (fused wins, bitwise numerics) are re-checked so a
+// gate run never passes on a stale self-check.
+func CompareFusion(base, cur *FusionBenchReport) (regressions, notes []string) {
+	if base.Schema != cur.Schema {
+		regressions = append(regressions, fmt.Sprintf("schema %q != baseline %q — regenerate the baseline", cur.Schema, base.Schema))
+		return regressions, notes
+	}
+	baseCases := make(map[string]FusionPerfResult, len(base.Cases))
+	for _, b := range base.Cases {
+		baseCases[b.Name] = b
+	}
+	for _, c := range cur.Cases {
+		if c.FusedChains < 1 {
+			regressions = append(regressions, fmt.Sprintf("%s: chain was not fused", c.Name))
+		}
+		if !(c.FusedCycles < c.UnfusedCycles) {
+			regressions = append(regressions, fmt.Sprintf("%s: fused cycles %.0f do not beat unfused %.0f",
+				c.Name, c.FusedCycles, c.UnfusedCycles))
+		}
+		b, ok := baseCases[c.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: new case, no baseline", c.Name))
+			continue
+		}
+		delete(baseCases, c.Name)
+		if c.FusedCyclesBits != b.FusedCyclesBits {
+			regressions = append(regressions, fmt.Sprintf("%s: fused cycles %.0f != baseline %.0f (deterministic quantity; regenerate the baseline only for deliberate cost-model changes)",
+				c.Name, c.FusedCycles, b.FusedCycles))
+		}
+		if c.PlanAllocsPerOp > b.PlanAllocsPerOp {
+			regressions = append(regressions, fmt.Sprintf("%s: PlanChain allocs/op %d > baseline %d (no alloc growth allowed)",
+				c.Name, c.PlanAllocsPerOp, b.PlanAllocsPerOp))
+		}
+	}
+	for name := range baseCases {
+		regressions = append(regressions, fmt.Sprintf("%s: baseline case missing from this run", name))
+	}
+	for _, n := range cur.Numerics {
+		if !n.Bitwise {
+			regressions = append(regressions, fmt.Sprintf("numerics %s: fused and unfused outputs differ", n.Name))
+		}
+	}
+	return regressions, notes
+}
+
+// floatBits renders a float64's exact IEEE-754 bit pattern.
+func floatBits(f float64) string {
+	return fmt.Sprintf("%016x", math.Float64bits(f))
+}
+
+// FusionSummary renders the human-readable table mikbench prints.
+func FusionSummary(rep *FusionBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %14s %14s %8s %7s %12s %7s\n",
+		"case", "fused-cycles", "unfused", "speedup", "chains", "saved-bytes", "allocs")
+	for _, c := range rep.Cases {
+		speedup := 0.0
+		if c.FusedCycles > 0 {
+			speedup = c.UnfusedCycles / c.FusedCycles
+		}
+		fmt.Fprintf(&b, "%-18s %14.0f %14.0f %7.2fx %7d %12.3g %7d\n",
+			c.Name, c.FusedCycles, c.UnfusedCycles, speedup, c.FusedChains, c.SavedBytes, c.PlanAllocsPerOp)
+	}
+	for _, n := range rep.Numerics {
+		fmt.Fprintf(&b, "numerics %-16s bitwise=%v\n", n.Name, n.Bitwise)
+	}
+	return b.String()
+}
+
+// fusionElapsed is a tiny helper for mikbench logging.
+func fusionElapsed(start time.Time) string { return time.Since(start).Round(time.Millisecond).String() }

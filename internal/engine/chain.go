@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"fmt"
+
+	"mikpoly/internal/poly"
+	"mikpoly/internal/tensor"
+)
+
+// ChainStage supplies one GEMM stage's operands for a fused-chain execution:
+// the right-hand matrix plus an optional per-column bias folded into the
+// stage's epilogue. The stage's activation comes from the program's chain IR
+// (poly.FusedStage.Epilogue), so the numerics executed always match what the
+// planner priced.
+type ChainStage struct {
+	// B is the stage's right-hand operand (K_s × N_s).
+	B *tensor.Matrix
+	// Bias, when non-nil, is added per output column (length N_s) before
+	// the stage's activation.
+	Bias []float32
+}
+
+// activationFor maps the planner's epilogue kind onto the engine activation.
+func activationFor(e poly.EpilogueKind) (Activation, error) {
+	switch e {
+	case poly.EpNone:
+		return ActNone, nil
+	case poly.EpReLU:
+		return ActReLU, nil
+	case poly.EpGELU:
+		return ActGELU, nil
+	default:
+		return ActNone, fmt.Errorf("engine: unknown epilogue kind %v", e)
+	}
+}
+
+// applyEpilogue runs the epilogue in place over a matrix.
+func applyEpilogue(m *tensor.Matrix, ep Epilogue) {
+	if ep.Bias == nil && ep.Act == ActNone {
+		return
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		if ep.Bias != nil {
+			for j := range row {
+				row[j] += ep.Bias[j]
+			}
+		}
+		if ep.Act != ActNone {
+			for j := range row {
+				row[j] = ep.Act.Apply(row[j])
+			}
+		}
+	}
+}
+
+// ExecuteChain runs a fused multi-stage program (poly.PatternChain) on
+// concrete operands: the input A feeds stage 0, each stage's (epilogued)
+// output feeds the next stage's left operand, and the final stage's output
+// is the result. Execution is strip-banded exactly like the planned program:
+// each region's row band runs every stage back to back with the
+// intermediates held in pooled scratch, never written to the output until
+// the final stage — the numerical mirror of keeping them in M_local.
+//
+// The result is bitwise identical to executing the stages separately
+// through Execute/ExecuteFused: every output element's reduction is
+// accumulated strictly in ascending-K order regardless of tiling (the
+// padded-zero contributions are skipped, not added), rows are independent,
+// and the epilogue applies the same scalar function either way. The
+// conformance suite asserts this equality across the shape set.
+func ExecuteChain(prog *poly.Program, a *tensor.Matrix, stages []ChainStage) (*tensor.Matrix, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if prog.Pattern != poly.PatternChain {
+		return nil, fmt.Errorf("engine: program pattern %s is not a fused chain", prog.Pattern)
+	}
+	chain := prog.Regions[0].Chain
+	nStages := len(chain) + 1
+	if len(stages) != nStages {
+		return nil, fmt.Errorf("engine: %d stage operands for a %d-stage chain", len(stages), nStages)
+	}
+	s0 := prog.Shape
+	if a.Rows != s0.M || a.Cols != chain[0].K {
+		return nil, fmt.Errorf("engine: A is %dx%d, want %dx%d", a.Rows, a.Cols, s0.M, chain[0].K)
+	}
+	dims := func(s int) (n, k int) {
+		if s < len(chain) {
+			return chain[s].N, chain[s].K
+		}
+		return s0.N, s0.K
+	}
+	acts := make([]Activation, nStages)
+	for s := 0; s < nStages; s++ {
+		n, k := dims(s)
+		if stages[s].B == nil || stages[s].B.Rows != k || stages[s].B.Cols != n {
+			return nil, fmt.Errorf("engine: stage %d operand B must be %dx%d", s, k, n)
+		}
+		if stages[s].Bias != nil && len(stages[s].Bias) != n {
+			return nil, fmt.Errorf("engine: stage %d bias length %d, want %d", s, len(stages[s].Bias), n)
+		}
+		ep := poly.EpNone
+		if s < len(chain) {
+			ep = chain[s].Epilogue
+		}
+		act, err := activationFor(ep)
+		if err != nil {
+			return nil, err
+		}
+		acts[s] = act
+	}
+
+	c := tensor.NewMatrix(s0.M, s0.N)
+	var ws scratch
+	defer ws.release()
+	for _, r := range prog.Regions {
+		cur := a.View(r.M0, 0, r.M, a.Cols)
+		for s := 0; s < nStages; s++ {
+			n, k := dims(s)
+			var dst *tensor.Matrix
+			if s == nStages-1 {
+				dst = c.View(r.M0, 0, r.M, r.N)
+			} else {
+				dst = ws.matrix(r.M, n)
+			}
+			executeRegion(poly.Region{M: r.M, N: n, K: k, Kern: r.Kern}, cur, stages[s].B, dst, &ws)
+			applyEpilogue(dst, Epilogue{Bias: stages[s].Bias, Act: acts[s]})
+			cur = dst
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,150 @@
+package engine
+
+// Fused-chain conformance: executing a GEMM→epilogue→GEMM chain through one
+// fused program must be bitwise identical to executing the stages separately
+// — the property that lets the planner choose fused vs unfused purely on
+// cost, never on numerics.
+
+import (
+	"testing"
+
+	"mikpoly/internal/poly"
+	"mikpoly/internal/tensor"
+)
+
+type chainConfCase struct {
+	name   string
+	m      int
+	stages []poly.ChainStageSpec
+}
+
+func chainConfCases(m int) []chainConfCase {
+	sh := func(n, k int) tensor.GemmShape { return tensor.GemmShape{M: m, N: n, K: k} }
+	return []chainConfCase{
+		{"relu-2stage", m, []poly.ChainStageSpec{
+			{Shape: sh(48, 64), Epilogue: poly.EpReLU}, {Shape: sh(32, 48)}}},
+		{"gelu-2stage", m, []poly.ChainStageSpec{
+			{Shape: sh(56, 40), Epilogue: poly.EpGELU}, {Shape: sh(24, 56)}}},
+		{"plain-2stage", m, []poly.ChainStageSpec{
+			{Shape: sh(64, 96), Epilogue: poly.EpNone}, {Shape: sh(48, 64)}}},
+		{"mixed-3stage", m, []poly.ChainStageSpec{
+			{Shape: sh(40, 72), Epilogue: poly.EpReLU},
+			{Shape: sh(64, 40), Epilogue: poly.EpGELU},
+			{Shape: sh(16, 64)}}},
+	}
+}
+
+func actFor(e poly.EpilogueKind) Activation {
+	switch e {
+	case poly.EpReLU:
+		return ActReLU
+	case poly.EpGELU:
+		return ActGELU
+	default:
+		return ActNone
+	}
+}
+
+func TestExecuteChainBitwiseEqualsUnfused(t *testing.T) {
+	pl := planner(t)
+	// Ragged and aligned row counts, including one below a full tile.
+	for _, m := range []int{96, 117, 13} {
+		for _, c := range chainConfCases(m) {
+			t.Run(c.name, func(t *testing.T) {
+				spec := poly.ChainSpec{Stages: c.stages}
+				prog, _, err := pl.PlanChain(spec)
+				if err != nil {
+					t.Fatalf("PlanChain: %v", err)
+				}
+
+				rng := uint32(12345 + uint32(m))
+				fill := func(mat *tensor.Matrix) {
+					for i := range mat.Data {
+						rng = rng*1664525 + 1013904223
+						mat.Data[i] = float32(int32(rng>>16)%512-256) / 128
+					}
+				}
+				a := tensor.NewMatrix(m, c.stages[0].Shape.K)
+				fill(a)
+				stages := make([]ChainStage, len(c.stages))
+				for i, st := range c.stages {
+					b := tensor.NewMatrix(st.Shape.K, st.Shape.N)
+					fill(b)
+					bias := make([]float32, st.Shape.N)
+					for j := range bias {
+						rng = rng*1664525 + 1013904223
+						bias[j] = float32(int32(rng>>16)%64-32) / 64
+					}
+					stages[i] = ChainStage{B: b, Bias: bias}
+				}
+
+				fused, err := ExecuteChain(prog, a, stages)
+				if err != nil {
+					t.Fatalf("ExecuteChain: %v", err)
+				}
+
+				cur := a
+				for i, st := range c.stages {
+					p, _, err := pl.Plan(st.Shape)
+					if err != nil {
+						t.Fatalf("Plan stage %d: %v", i, err)
+					}
+					cur, err = ExecuteFused(p, cur, stages[i].B,
+						Epilogue{Bias: stages[i].Bias, Act: actFor(st.Epilogue)})
+					if err != nil {
+						t.Fatalf("ExecuteFused stage %d: %v", i, err)
+					}
+				}
+
+				if fused.Rows != cur.Rows || fused.Cols != cur.Cols {
+					t.Fatalf("shape %dx%d vs %dx%d", fused.Rows, fused.Cols, cur.Rows, cur.Cols)
+				}
+				for i := 0; i < fused.Rows; i++ {
+					fr, ur := fused.Row(i), cur.Row(i)
+					for j := range fr {
+						if fr[j] != ur[j] {
+							t.Fatalf("m=%d row %d col %d: fused %x != unfused %x",
+								m, i, j, fr[j], ur[j])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestExecuteChainRejectsBadInputs(t *testing.T) {
+	pl := planner(t)
+	spec := poly.ChainSpec{Stages: []poly.ChainStageSpec{
+		{Shape: tensor.GemmShape{M: 64, N: 32, K: 48}, Epilogue: poly.EpReLU},
+		{Shape: tensor.GemmShape{M: 64, N: 16, K: 32}},
+	}}
+	prog, _, err := pl.PlanChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tensor.NewMatrix(64, 48)
+	b0 := tensor.NewMatrix(48, 32)
+	b1 := tensor.NewMatrix(32, 16)
+	ok := []ChainStage{{B: b0}, {B: b1}}
+
+	if _, err := ExecuteChain(prog, tensor.NewMatrix(64, 40), ok); err == nil {
+		t.Fatal("wrong A accepted")
+	}
+	if _, err := ExecuteChain(prog, a, ok[:1]); err == nil {
+		t.Fatal("missing stage operand accepted")
+	}
+	if _, err := ExecuteChain(prog, a, []ChainStage{{B: b0}, {B: tensor.NewMatrix(32, 24)}}); err == nil {
+		t.Fatal("wrong stage B accepted")
+	}
+	if _, err := ExecuteChain(prog, a, []ChainStage{{B: b0, Bias: make([]float32, 7)}, {B: b1}}); err == nil {
+		t.Fatal("wrong bias length accepted")
+	}
+	plain, _, err := pl.Plan(tensor.GemmShape{M: 64, N: 16, K: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecuteChain(plain, a, ok); err == nil {
+		t.Fatal("non-chain program accepted")
+	}
+}

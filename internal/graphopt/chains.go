@@ -1,0 +1,155 @@
+package graphopt
+
+import (
+	"mikpoly/internal/hw"
+	"mikpoly/internal/nn"
+	"mikpoly/internal/poly"
+	"mikpoly/internal/tensor"
+)
+
+// Chain is one fusible GEMM→epilogue→GEMM run detected in a model graph:
+// the member ops can execute as a single fused multi-stage program whose
+// inter-stage intermediates never touch global memory.
+type Chain struct {
+	// Ops are the member op indices in dataflow order, folded elementwise
+	// middles included. Ops[0] is the chain head; the runtime executes
+	// the fused program at the head's schedule slot and skips the rest.
+	Ops []int
+	// Spec is the planning request for poly.PlanChain, built from the
+	// member GEMM shapes and the folded middles' activations.
+	Spec poly.ChainSpec
+	// SavedBytes is the modeled inter-stage global-memory traffic fusion
+	// eliminates: each intermediate's store and reload, plus the folded
+	// elementwise middles' own traffic.
+	SavedBytes float64
+}
+
+// maxChainGemms bounds a chain's GEMM stages: every stage multiplies the
+// per-strip working set and compute, and beyond a few stages the strip task
+// is so long that losing output-tile parallelism outweighs the traffic
+// saving.
+const maxChainGemms = 4
+
+// minStripRows is the least M a chain member may have: fused execution
+// parallelizes over row strips only, so an output with fewer rows than one
+// micro-kernel tile (the planner's tileGrid granularity) degenerates to a
+// single task.
+const minStripRows = 16
+
+// splitKProne reports whether the planner could pick a split-K program for
+// the shape: the output-plane grid underfills the device even at the finest
+// tile granularity. Split-K partials are not final values, so a nonlinear
+// epilogue cannot fuse onto them (see engine/epilogue.go) — such stages stay
+// unfused rather than constraining the planner.
+func splitKProne(s tensor.GemmShape, h hw.Hardware) bool {
+	tiles := ((s.M + minStripRows - 1) / minStripRows) * ((s.N + minStripRows - 1) / minStripRows)
+	return tiles < h.NumPEs
+}
+
+// epilogueFor maps an elementwise op's declared function to the chain
+// epilogue; ok is false for opaque elementwise work.
+func epilogueFor(fn string) (poly.EpilogueKind, bool) {
+	switch fn {
+	case "relu":
+		return poly.EpReLU, true
+	case "gelu":
+		return poly.EpGELU, true
+	default:
+		return poly.EpNone, false
+	}
+}
+
+// DetectChains scans the graph for maximal, non-overlapping fusible chains.
+// A link from GEMM a to GEMM b (optionally through one elementwise op) is
+// legal when:
+//
+//   - both ends are single-count OpGemm ops (convolutions keep their
+//     im2col lowering, repeated ops have no single dataflow to fuse);
+//   - a's output is consumed only by the link (single consumer — a
+//     diamond fan-out needs the intermediate in global memory anyway);
+//   - a middle op is a pure elementwise function (Op.Elementwise) with
+//     exactly that producer and consumer;
+//   - shapes chain under a shared strip anchor: equal M, b.K == a.N;
+//   - every member agrees on the element type;
+//   - the intermediate width fits the hardware bound
+//     poly.ChainWidthLimit (M_local must hold a double-buffered strip) —
+//     the hardware-aware prune applied before any candidate is costed;
+//   - neither end is split-K-prone (see splitKProne), and M supports
+//     strip parallelism at all.
+//
+// Ineligible ops simply stay on the per-op path; detection never alters the
+// graph.
+func DetectChains(g nn.Graph, h hw.Hardware) []Chain {
+	cons := g.Consumers()
+	widthLimit := poly.ChainWidthLimit(h)
+	used := make([]bool, len(g.Ops))
+	var out []Chain
+
+	gemmOK := func(i int) bool {
+		op := g.Ops[i]
+		return !used[i] && op.Kind == nn.OpGemm && op.Count == 1 &&
+			op.Gemm.M >= minStripRows && !splitKProne(op.Gemm, h)
+	}
+	// nextLink follows cur's dataflow to the next fusible GEMM, through at
+	// most one foldable elementwise op. mid is -1 when the link is direct.
+	nextLink := func(dtype string, cur int) (next, mid int, ep poly.EpilogueKind, ok bool) {
+		if len(cons[cur]) != 1 {
+			return 0, -1, poly.EpNone, false
+		}
+		n := cons[cur][0]
+		mid = -1
+		if op := g.Ops[n]; op.Kind == nn.OpOther {
+			e, foldable := epilogueFor(op.Elementwise)
+			if !foldable || op.Count != 1 || op.EffectiveDType() != dtype ||
+				len(g.Deps(n)) != 1 || len(cons[n]) != 1 {
+				return 0, -1, poly.EpNone, false
+			}
+			mid, ep = n, e
+			n = cons[n][0]
+		}
+		nop := g.Ops[n]
+		if !gemmOK(n) || nop.EffectiveDType() != dtype || len(g.Deps(n)) != 1 {
+			return 0, -1, poly.EpNone, false
+		}
+		prev := g.Ops[cur].Gemm
+		if nop.Gemm.M != prev.M || nop.Gemm.K != prev.N || prev.N > widthLimit {
+			return 0, -1, poly.EpNone, false
+		}
+		return n, mid, ep, true
+	}
+
+	for i := range g.Ops {
+		if !gemmOK(i) {
+			continue
+		}
+		dtype := g.Ops[i].EffectiveDType()
+		members := []int{i}
+		spec := poly.ChainSpec{Stages: []poly.ChainStageSpec{{Shape: g.Ops[i].Gemm}}}
+		var saved float64
+		cur := i
+		for gemms := 1; gemms < maxChainGemms; gemms++ {
+			next, mid, ep, ok := nextLink(dtype, cur)
+			if !ok {
+				break
+			}
+			inter := g.Ops[cur].Gemm
+			saved += float64(inter.M) * float64(inter.N) * float64(h.OutputBytes+h.InputBytes)
+			spec.Stages[len(spec.Stages)-1].Epilogue = ep
+			if mid >= 0 {
+				members = append(members, mid)
+				saved += g.Ops[mid].OtherBytes
+			}
+			members = append(members, next)
+			spec.Stages = append(spec.Stages, poly.ChainStageSpec{Shape: g.Ops[next].Gemm})
+			cur = next
+		}
+		if len(spec.Stages) < 2 {
+			continue
+		}
+		for _, m := range members {
+			used[m] = true
+		}
+		out = append(out, Chain{Ops: members, Spec: spec, SavedBytes: saved})
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package graphopt
+
+// Fusion-chain legality edge cases: each ineligible topology must yield no
+// chains, so the runtime falls back to per-op programs identical to the
+// unfused path — detection never alters the graph.
+
+import (
+	"testing"
+
+	"mikpoly/internal/hw"
+	"mikpoly/internal/nn"
+	"mikpoly/internal/poly"
+	"mikpoly/internal/tensor"
+)
+
+func chainGemm(name string, m, n, k int) nn.Op {
+	return nn.Op{Name: name, Kind: nn.OpGemm,
+		Gemm: tensor.GemmShape{M: m, N: n, K: k}, Count: 1}
+}
+
+func reluOp(name string) nn.Op {
+	return nn.Op{Name: name, Kind: nn.OpOther, OtherBytes: 1 << 20,
+		Elementwise: "relu", Count: 1}
+}
+
+func mustValidate(t *testing.T, g nn.Graph) nn.Graph {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("test graph invalid: %v", err)
+	}
+	return g
+}
+
+func TestDetectChainsFusesLinearChain(t *testing.T) {
+	h := hw.A100()
+	g := mustValidate(t, nn.Graph{Name: "mlp", Ops: []nn.Op{
+		chainGemm("up", 8192, 256, 512),
+		reluOp("act"),
+		chainGemm("down", 8192, 128, 256),
+	}})
+	chains := DetectChains(g, h)
+	if len(chains) != 1 {
+		t.Fatalf("got %d chains, want 1", len(chains))
+	}
+	ch := chains[0]
+	if len(ch.Ops) != 3 || ch.Ops[0] != 0 || ch.Ops[1] != 1 || ch.Ops[2] != 2 {
+		t.Fatalf("chain members %v, want [0 1 2]", ch.Ops)
+	}
+	if len(ch.Spec.Stages) != 2 || ch.Spec.Stages[0].Epilogue != poly.EpReLU {
+		t.Fatalf("spec %v: relu middle not folded", ch.Spec)
+	}
+	if err := ch.Spec.Validate(); err != nil {
+		t.Fatalf("emitted spec invalid: %v", err)
+	}
+	if ch.SavedBytes <= 0 {
+		t.Fatal("no traffic saving modeled")
+	}
+}
+
+func TestDetectChainsSingleOpGraph(t *testing.T) {
+	g := mustValidate(t, nn.Graph{Name: "one", Ops: []nn.Op{chainGemm("g", 8192, 256, 512)}})
+	if chains := DetectChains(g, hw.A100()); len(chains) != 0 {
+		t.Fatalf("single-op graph produced %d chains", len(chains))
+	}
+}
+
+func TestDetectChainsDiamondFanOut(t *testing.T) {
+	// g0 feeds both g1 and g2: the intermediate must live in global memory
+	// for the second consumer, so no link may fuse across it.
+	g := mustValidate(t, nn.Graph{Name: "diamond", Ops: []nn.Op{
+		chainGemm("src", 8192, 256, 512),
+		chainGemm("left", 8192, 128, 256),
+		func() nn.Op { o := chainGemm("right", 8192, 128, 256); o.Inputs = []int{0}; return o }(),
+	}})
+	if chains := DetectChains(g, hw.A100()); len(chains) != 0 {
+		t.Fatalf("diamond fan-out produced %d chains", len(chains))
+	}
+}
+
+func TestDetectChainsSplitKProneStage(t *testing.T) {
+	h := hw.A100()
+	// A skinny-output, deep-reduction stage the planner could serve with a
+	// split-K program: its partials are not final values, so it must stay
+	// unfused rather than constrain the planner.
+	g := mustValidate(t, nn.Graph{Name: "skinny", Ops: []nn.Op{
+		chainGemm("a", 64, 64, 4096),
+		chainGemm("b", 64, 32, 64),
+	}})
+	if chains := DetectChains(g, h); len(chains) != 0 {
+		t.Fatalf("split-K-prone chain fused: %d chains", len(chains))
+	}
+}
+
+func TestDetectChainsDTypeMismatch(t *testing.T) {
+	g := mustValidate(t, nn.Graph{Name: "mixed", Ops: []nn.Op{
+		func() nn.Op { o := chainGemm("f32", 8192, 256, 512); o.DType = "f32"; return o }(),
+		func() nn.Op { o := chainGemm("f16", 8192, 128, 256); o.DType = "f16"; return o }(),
+	}})
+	if chains := DetectChains(g, hw.A100()); len(chains) != 0 {
+		t.Fatal("mixed-precision boundary fused")
+	}
+	// The explicit-f32 spelling is equivalent to the default.
+	g2 := mustValidate(t, nn.Graph{Name: "same", Ops: []nn.Op{
+		func() nn.Op { o := chainGemm("f32", 8192, 256, 512); o.DType = "f32"; return o }(),
+		chainGemm("default", 8192, 128, 256),
+	}})
+	if chains := DetectChains(g2, hw.A100()); len(chains) != 1 {
+		t.Fatal("default-dtype link did not fuse")
+	}
+}
+
+func TestDetectChainsDegenerateRows(t *testing.T) {
+	// A 1×N GEMM has no row strips to parallelize over; fused execution
+	// would serialize the whole graph onto one PE.
+	g := mustValidate(t, nn.Graph{Name: "deg", Ops: []nn.Op{
+		chainGemm("a", 1, 4096, 4096),
+		chainGemm("b", 1, 4096, 4096),
+	}})
+	if chains := DetectChains(g, hw.A100()); len(chains) != 0 {
+		t.Fatal("degenerate 1-row chain fused")
+	}
+}
+
+func TestDetectChainsOpaqueMiddle(t *testing.T) {
+	// A non-elementwise middle (layernorm-style) blocks the link.
+	g := mustValidate(t, nn.Graph{Name: "opaque", Ops: []nn.Op{
+		chainGemm("a", 8192, 256, 512),
+		nn.Op{Name: "ln", Kind: nn.OpOther, OtherBytes: 1 << 20, Count: 1},
+		chainGemm("b", 8192, 128, 256),
+	}})
+	if chains := DetectChains(g, hw.A100()); len(chains) != 0 {
+		t.Fatal("opaque middle op fused")
+	}
+}
+
+func TestDetectChainsWidthLimit(t *testing.T) {
+	h := hw.A100()
+	w := poly.ChainWidthLimit(h)
+	g := mustValidate(t, nn.Graph{Name: "wide", Ops: []nn.Op{
+		chainGemm("a", 8192, 8*w, 512),
+		chainGemm("b", 8192, 128, 8*w),
+	}})
+	if chains := DetectChains(g, h); len(chains) != 0 {
+		t.Fatalf("intermediate wider than the %d-column hardware bound fused", w)
+	}
+}
+
+func TestDetectChainsBoundsLengthAndOverlap(t *testing.T) {
+	h := hw.A100()
+	// Six chainable GEMMs: the detector must cap each chain at
+	// maxChainGemms stages and never reuse a member.
+	var ops []nn.Op
+	n := 256
+	for i := 0; i < 6; i++ {
+		ops = append(ops, chainGemm("g", 8192, n, n))
+	}
+	g := mustValidate(t, nn.Graph{Name: "long", Ops: ops})
+	chains := DetectChains(g, h)
+	seen := map[int]bool{}
+	for _, ch := range chains {
+		if len(ch.Spec.Stages) > maxChainGemms {
+			t.Fatalf("chain has %d stages, cap is %d", len(ch.Spec.Stages), maxChainGemms)
+		}
+		for _, m := range ch.Ops {
+			if seen[m] {
+				t.Fatalf("op %d in two chains", m)
+			}
+			seen[m] = true
+		}
+	}
+	if len(chains) != 2 {
+		t.Fatalf("got %d chains from 6 GEMMs, want 2 (4+2)", len(chains))
+	}
+}
+
+func TestDetectChainsRepeatedOps(t *testing.T) {
+	// Count>1 ops (per-head GEMMs) have no single dataflow to fuse.
+	g := mustValidate(t, nn.Graph{Name: "heads", Ops: []nn.Op{
+		func() nn.Op { o := chainGemm("qk", 8192, 256, 512); o.Count = 12; return o }(),
+		chainGemm("proj", 8192, 128, 256),
+	}})
+	if chains := DetectChains(g, hw.A100()); len(chains) != 0 {
+		t.Fatal("repeated producer fused")
+	}
+}

@@ -1,0 +1,127 @@
+package graphrt
+
+import (
+	"context"
+	"testing"
+
+	"mikpoly/internal/nn"
+	"mikpoly/internal/tensor"
+)
+
+// fusibleGraph is a chain the cost model prefers fused on the (small) test
+// library: many rows, narrow stages, an elementwise middle to fold.
+func fusibleGraph() nn.Graph {
+	return nn.Graph{Name: "fusible", Ops: []nn.Op{
+		{Name: "up", Kind: nn.OpGemm, Gemm: tensor.GemmShape{M: 16384, N: 128, K: 256}, Count: 1},
+		{Name: "act", Kind: nn.OpOther, OtherBytes: 16384 * 128 * 8, Elementwise: "gelu", Count: 1},
+		{Name: "down", Kind: nn.OpGemm, Gemm: tensor.GemmShape{M: 16384, N: 128, K: 128}, Count: 1},
+	}}
+}
+
+func TestExecuteFusedBeatsUnfused(t *testing.T) {
+	g := fusibleGraph()
+	off := testRuntime(t, Config{})
+	unfused, err := off.Execute(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := testRuntime(t, Config{Fuse: true})
+	fused, err := on.Execute(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.FusedChains != 1 {
+		t.Fatalf("FusedChains = %d (rejected %d), want 1", fused.FusedChains, fused.FusionRejected)
+	}
+	if fused.FusedSavedBytes <= 0 {
+		t.Fatal("no saved traffic reported")
+	}
+	if fused.Cycles >= unfused.Cycles {
+		t.Fatalf("fused %.0f cycles, unfused %.0f — fusion adopted but slower", fused.Cycles, unfused.Cycles)
+	}
+	// The folded elementwise middle must not be double-charged.
+	if fused.OtherCycles != 0 {
+		t.Fatalf("folded middle still charged %.0f other-cycles", fused.OtherCycles)
+	}
+	st := on.Stats()
+	if st.FusedChains != 1 || st.FusedSavedBytes != fused.FusedSavedBytes {
+		t.Fatalf("aggregate stats %+v do not reflect the fused run", st)
+	}
+}
+
+func TestExecuteFuseRejectsUnprofitableChain(t *testing.T) {
+	// Few rows over wide, deep stages: strip-parallel execution serializes
+	// heavy per-strip work onto a handful of PEs, so the cost model must
+	// keep the chain on the per-op path.
+	g := nn.Graph{Name: "narrow", Ops: []nn.Op{
+		{Name: "a", Kind: nn.OpGemm, Gemm: tensor.GemmShape{M: 1024, N: 1024, K: 1024}, Count: 1},
+		{Name: "b", Kind: nn.OpGemm, Gemm: tensor.GemmShape{M: 1024, N: 512, K: 1024}, Count: 1},
+	}}
+	off := testRuntime(t, Config{})
+	unfused, err := off.Execute(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := testRuntime(t, Config{Fuse: true})
+	rep, err := on.Execute(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FusedChains != 0 {
+		// The chain fused after all — then it must not be slower.
+		if rep.Cycles > unfused.Cycles {
+			t.Fatalf("adopted fusion is slower: %.0f vs %.0f", rep.Cycles, unfused.Cycles)
+		}
+		return
+	}
+	if rep.FusionRejected < 1 {
+		t.Fatalf("chain neither fused nor rejected: %+v", rep)
+	}
+	// Rejected fusion must execute exactly like the unfused path.
+	if rep.Cycles != unfused.Cycles {
+		t.Fatalf("rejected fusion changed cycles: %.0f vs %.0f", rep.Cycles, unfused.Cycles)
+	}
+}
+
+func TestExecuteFuseWithPlanAheadPipeline(t *testing.T) {
+	// Fused member ops are never ticketed; the pipeline's lookahead tokens
+	// must all be released (a stuck token would deadlock later plans).
+	g := fusibleGraph()
+	// Surround the chain with independent planable ops so the pipeline has
+	// genuine lookahead work.
+	for i := 0; i < 6; i++ {
+		g.Ops = append(g.Ops, nn.Op{
+			Name: "tail", Kind: nn.OpGemm,
+			Gemm:  tensor.GemmShape{M: 512 + 16*i, N: 768, K: 768},
+			Count: 1,
+		})
+	}
+	rt := testRuntime(t, Config{Fuse: true, PlanAhead: 2})
+	rep, err := rt.Execute(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FusedChains != 1 {
+		t.Fatalf("FusedChains = %d, want 1", rep.FusedChains)
+	}
+	// Run again: the chain decision and plans are cached; must terminate.
+	if _, err := rt.Execute(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteFuseDeterministicAcrossRuns(t *testing.T) {
+	g := fusibleGraph()
+	rt := testRuntime(t, Config{Fuse: true})
+	a, err := rt.Execute(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rt.Execute(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.FusedChains != b.FusedChains {
+		t.Fatalf("fused execution not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -70,6 +70,13 @@ type Config struct {
 	// MaxStageAttempts bounds total executions of one stage, the initial
 	// run included (default 4: one rung of the ladder each).
 	MaxStageAttempts int
+
+	// Fuse turns on whole-graph polymerization: fusible GEMM→epilogue→GEMM
+	// chains (graphopt.DetectChains) execute as single fused multi-region
+	// programs when the cost model prefers them, keeping inter-stage
+	// intermediates out of global memory. Off by default: fusion changes
+	// which programs a graph executes.
+	Fuse bool
 }
 
 // Runtime executes model graphs against one compiler and its hardware.
@@ -91,9 +98,10 @@ type Runtime struct {
 	// (salt and view ignored).
 	simFn func(h hw.Hardware, v health.View, tasks []sim.Task, salt uint64) sim.Result
 
-	mu       sync.Mutex
-	agg      Stats
-	simCache map[string]simEntry
+	mu         sync.Mutex
+	agg        Stats
+	simCache   map[string]simEntry
+	chainCache map[string]chainEntry
 }
 
 // simEntry caches one stage's simulated execution within a salt generation.
@@ -129,6 +137,11 @@ type Stats struct {
 	// replanning their ops against it — and stages that exhausted the
 	// ladder.
 	RetriedStages, MigratedStages, ReplannedStages, UnrecoverableStages int64
+	// Whole-graph polymerization counters: chains executed fused, chains
+	// the cost model (or a failed plan) rejected, and the modeled
+	// inter-stage global-memory traffic the fused executions avoided.
+	FusedChains, FusionRejected int64
+	FusedSavedBytes             float64
 	// Cycles and SpillBytes accumulate end-to-end device cycles and
 	// memory-planner spill traffic.
 	Cycles     float64
@@ -181,6 +194,13 @@ type Report struct {
 	Degraded     int
 	FaultedTasks int
 
+	// FusedChains counts chains this execution ran as fused programs;
+	// FusionRejected counts detected chains the cost model kept unfused;
+	// FusedSavedBytes is the modeled inter-stage traffic fusion avoided.
+	FusedChains     int
+	FusionRejected  int
+	FusedSavedBytes float64
+
 	// RecoveredStages counts stages that hit faults but were healed by
 	// the recovery ladder; RecoveredFaults the faulted tasks absorbed
 	// doing so (not included in FaultedTasks).
@@ -219,11 +239,12 @@ func New(comp *core.Compiler, cfg Config) *Runtime {
 		cfg.Workers = 1
 	}
 	r := &Runtime{
-		comp:     comp,
-		h:        comp.Hardware(),
-		cfg:      cfg,
-		o:        cfg.Obs,
-		simCache: make(map[string]simEntry),
+		comp:       comp,
+		h:          comp.Hardware(),
+		cfg:        cfg,
+		o:          cfg.Obs,
+		simCache:   make(map[string]simEntry),
+		chainCache: make(map[string]chainEntry),
 	}
 	r.planFn = func(ctx context.Context, shape tensor.GemmShape) (*poly.Program, bool, error) {
 		pctx := ctx
@@ -314,6 +335,14 @@ func (r *Runtime) ExecuteSalted(ctx context.Context, g nn.Graph, salt uint64) (R
 		Attr("spill_bytes", rep.Mem.SpillBytes).End()
 	rep.SpillCycles = rep.Mem.SpillBytes / r.h.GlobalBytesPerCycle
 
+	// Whole-graph polymerization decides before the plan-ahead pipeline
+	// starts: a fused chain's member ops are never ticketed (an unconsumed
+	// ticket would pin one of the pipeline's lookahead tokens forever).
+	var fusion *fusionPlan
+	if r.cfg.Fuse {
+		fusion = r.planFusion(ctx, g, &rep)
+	}
+
 	// Flatten the stage schedule into the planning order and start the
 	// plan-ahead pipeline (nil tickets = inline planning).
 	order := make([]int, 0, len(g.Ops))
@@ -322,7 +351,7 @@ func (r *Runtime) ExecuteSalted(ctx context.Context, g nn.Graph, salt uint64) (R
 	}
 	pctx, stop := context.WithCancel(ctx)
 	defer stop()
-	pipe := r.startPipeline(pctx, g, order)
+	pipe := r.startPipeline(pctx, g, order, fusion)
 
 	// Spans cover novel work only: each memo-missing stage gets a
 	// graphrt.stage span inside runStageCached, while memoized replays —
@@ -339,6 +368,21 @@ func (r *Runtime) ExecuteSalted(ctx context.Context, g nn.Graph, salt uint64) (R
 		v, fp, hEff := r.healthView()
 		for _, i := range stage {
 			op := g.Ops[i]
+			if fusion != nil {
+				if fusion.skip[i] {
+					// Member of a fused chain: its GEMM (or folded
+					// elementwise epilogue) executes inside the head's
+					// program, so it is neither launched nor charged here.
+					continue
+				}
+				if fprog := fusion.head[i]; fprog != nil {
+					tasks = append(tasks, fprog.Tasks(hEff)...)
+					ops = append(ops, stageOp{shape: op.Gemm, count: 1,
+						prog: fprog, chainShapes: fusion.shapes[i]})
+					stageKey += progKey(fprog, 1)
+					continue
+				}
+			}
 			if op.Kind == nn.OpOther {
 				rep.OtherCycles += op.OtherCycles(r.h) * float64(op.Count)
 				continue
@@ -389,6 +433,9 @@ func (r *Runtime) ExecuteSalted(ctx context.Context, g nn.Graph, salt uint64) (R
 	r.agg.HiddenWall += rep.HiddenWall
 	r.agg.Degraded += int64(rep.Degraded)
 	r.agg.FaultedTasks += int64(rep.FaultedTasks)
+	r.agg.FusedChains += int64(rep.FusedChains)
+	r.agg.FusionRejected += int64(rep.FusionRejected)
+	r.agg.FusedSavedBytes += rep.FusedSavedBytes
 	r.agg.Cycles += rep.Cycles
 	r.agg.SpillBytes += rep.Mem.SpillBytes
 	r.mu.Unlock()

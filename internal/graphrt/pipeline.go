@@ -27,9 +27,12 @@ type pipeline struct {
 // startPipeline launches the plan-ahead pipeline for the ops in `order`
 // (the flattened stage schedule). Returns nil when PlanAhead is 0: the
 // executor then plans inline, on its critical path — the sequential mode.
-// All goroutines exit when ctx is cancelled (the executor cancels it on
-// return), so an aborted execution leaks nothing.
-func (r *Runtime) startPipeline(ctx context.Context, g nn.Graph, order []int) *pipeline {
+// Ops covered by a fusion plan (chain heads and their members) get no
+// ticket: heads already hold their fused program and members never execute
+// standalone, so a ticket would hold a lookahead token that is never
+// released. All goroutines exit when ctx is cancelled (the executor cancels
+// it on return), so an aborted execution leaks nothing.
+func (r *Runtime) startPipeline(ctx context.Context, g nn.Graph, order []int, fusion *fusionPlan) *pipeline {
 	if r.cfg.PlanAhead <= 0 {
 		return nil
 	}
@@ -39,7 +42,7 @@ func (r *Runtime) startPipeline(ctx context.Context, g nn.Graph, order []int) *p
 	}
 	var planned []int
 	for _, i := range order {
-		if g.Ops[i].Kind != nn.OpOther {
+		if g.Ops[i].Kind != nn.OpOther && !fusion.covered(i) {
 			p.tickets[i] = &ticket{done: make(chan struct{})}
 			planned = append(planned, i)
 		}

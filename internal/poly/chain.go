@@ -1,0 +1,248 @@
+// Multi-op IR: fused stage chains. A program region may carry a chain of
+// GEMM stages (GEMM → elementwise epilogue → GEMM → …) computed strip by
+// strip, with every intermediate strip resident in M_local instead of
+// round-tripping through M_global — the whole-graph polymerization step the
+// per-operator patterns of Fig. 5 cannot express. The region's own geometry
+// describes the *final* stage's output block; Chain lists the stages that
+// precede it in dataflow order.
+package poly
+
+import (
+	"fmt"
+	"strings"
+
+	"mikpoly/internal/hw"
+	"mikpoly/internal/kernel"
+	"mikpoly/internal/sim"
+	"mikpoly/internal/tensor"
+)
+
+// EpilogueKind names the elementwise nonlinearity applied to a fused stage's
+// output before the next stage consumes it. It mirrors engine.Activation but
+// lives here so the planner IR does not depend on the execution layer (the
+// engine imports poly, never the reverse).
+type EpilogueKind int
+
+const (
+	// EpNone applies no nonlinearity.
+	EpNone EpilogueKind = iota
+	// EpReLU applies max(0, x).
+	EpReLU
+	// EpGELU applies the tanh-approximated GELU.
+	EpGELU
+)
+
+func (e EpilogueKind) String() string {
+	switch e {
+	case EpNone:
+		return "none"
+	case EpReLU:
+		return "relu"
+	case EpGELU:
+		return "gelu"
+	default:
+		return fmt.Sprintf("EpilogueKind(%d)", int(e))
+	}
+}
+
+// FusedStage is one intermediate GEMM stage of a fused chain: an M×N GEMM
+// with reduction depth K whose output (after the elementwise epilogue) feeds
+// the next stage from on-chip scratch. M is the region's M; successive
+// stages must chain shapes (next.K == this.N), and the final stage of the
+// chain is the region itself (Region.N, Region.K).
+type FusedStage struct {
+	// N is the stage's output width.
+	N int
+	// K is the stage's reduction depth.
+	K int
+	// Epilogue is applied elementwise to the stage output before the next
+	// stage consumes it.
+	Epilogue EpilogueKind `json:",omitempty"`
+}
+
+// Fused reports whether the region carries a fused stage chain.
+func (r Region) Fused() bool { return len(r.Chain) > 0 }
+
+// forEachStage visits every GEMM stage of a fused region in dataflow order —
+// the Chain prefix followed by the final stage described by the region's own
+// geometry (which never carries an epilogue — chains end in a GEMM). An
+// iterator rather than a materialized slice, so the planner's scoring loop
+// stays allocation-free.
+func (r Region) forEachStage(fn func(st FusedStage, first, last bool)) {
+	for i, st := range r.Chain {
+		fn(st, i == 0, false)
+	}
+	fn(FusedStage{N: r.N, K: r.K}, len(r.Chain) == 0, true)
+}
+
+// validateChain checks the fused-chain invariants for a region inside a
+// program of the given shape: full-width row band, shape chaining between
+// stages, no reduction slicing (split-K partials are not final values, so a
+// nonlinear inter-stage epilogue cannot be fused — see engine/epilogue.go).
+func (r Region) validateChain(shape tensor.GemmShape) error {
+	if r.N0 != 0 || r.N != shape.N {
+		return fmt.Errorf("poly: fused region %+v is not a full-width row band of %v", r, shape)
+	}
+	if r.KOff != 0 || r.K != shape.K {
+		return fmt.Errorf("poly: fused region %+v slices the reduction dimension", r)
+	}
+	prev := -1
+	for i, st := range r.Chain {
+		if st.N <= 0 || st.K <= 0 {
+			return fmt.Errorf("poly: chain stage %d has invalid dims %dx%d", i, st.N, st.K)
+		}
+		if prev >= 0 && st.K != prev {
+			return fmt.Errorf("poly: chain stage %d reduction %d does not chain from previous width %d", i, st.K, prev)
+		}
+		prev = st.N
+	}
+	if prev >= 0 && r.K != prev {
+		return fmt.Errorf("poly: final stage reduction %d does not chain from width %d", r.K, prev)
+	}
+	return nil
+}
+
+// maxChainWidth is the widest buffered operand any stage of the chain needs
+// in on-chip scratch: intermediate outputs (Chain[i].N) are produced there,
+// and every non-first stage reads its left operand from there.
+func (r Region) maxChainWidth() int {
+	w := 0
+	for _, st := range r.Chain {
+		if st.N > w {
+			w = st.N
+		}
+	}
+	return w
+}
+
+// ChainScratchBytes is the M_local working set of one fused strip task under
+// kernel k: two ping-pong row-strip buffers (one strip's input, one strip's
+// output, each UM × maxWidth in accumulation precision) plus the kernel's
+// own operand staging. The accumulator tile lives in the separate
+// accumulator storage and is not counted here.
+func ChainScratchBytes(k kernel.MicroKernel, maxWidth int, h hw.Hardware) int {
+	return 2*k.UM*maxWidth*h.OutputBytes + k.Footprint(h)
+}
+
+// ChainWidthLimit is the widest intermediate a fused chain can buffer on h
+// under the smallest admissible kernel strip (one tileGrid-high row strip,
+// double buffered in accumulation precision) — the hardware-aware bound the
+// chain detector applies before the planner ever costs a candidate
+// (strategy hierarchization: prune by hardware limits first).
+func ChainWidthLimit(h hw.Hardware) int {
+	return h.LocalMemBytes / (2 * tileGrid * h.OutputBytes)
+}
+
+// chainTask builds the simulator task for one row strip (UM rows) of a fused
+// region: every stage's tile grid runs on one PE with the intermediate strip
+// resident in M_local. Only the first stage streams its left operand from
+// M_global; later stages stream just their right-hand operand, and only the
+// final stage stores — the inter-stage traffic saving the fusion exists for.
+func (r Region) chainTask(h hw.Hardware) sim.Task {
+	k := r.Kern
+	var compute, mem float64
+	r.forEachStage(func(st FusedStage, first, last bool) {
+		t2 := (st.N + k.UN - 1) / k.UN
+		t3 := (st.K + k.UK - 1) / k.UK
+		inst := float64(t2 * t3)
+		compute += inst * k.InstanceComputeCycles(h)
+		if st.Epilogue != EpNone {
+			// One extra vector pass over the stage's output tiles.
+			compute += float64(t2) * float64(k.UM*k.UN) / (16 * float64(k.Cfg.Vec))
+		}
+		if first {
+			mem += inst * k.InstanceLoadBytes(h)
+		} else {
+			mem += inst * k.RHSLoadBytes(h)
+		}
+		if last {
+			mem += float64(t2) * k.StoreBytes(h)
+		}
+	})
+	return sim.Task{
+		ComputeCycles: compute,
+		MemBytes:      mem,
+		StartupCycles: k.StartupCycles(h),
+	}
+}
+
+// ChainStageSpec is one requested GEMM stage of a fusion chain.
+type ChainStageSpec struct {
+	// Shape is the stage's GEMM shape; all stages share M.
+	Shape tensor.GemmShape
+	// Epilogue is applied to the stage output (must be EpNone on the
+	// final stage — chains end in a GEMM).
+	Epilogue EpilogueKind
+}
+
+// ChainSpec is a fusion-chain planning request: an ordered list of GEMM
+// stages where each stage consumes the previous stage's output as its left
+// operand.
+type ChainSpec struct {
+	Stages []ChainStageSpec
+}
+
+// Validate checks the chain is well-formed: at least two stages, a shared M,
+// shape chaining (next.K == this.N), and no epilogue on the final stage.
+func (c ChainSpec) Validate() error {
+	if len(c.Stages) < 2 {
+		return fmt.Errorf("poly: chain needs at least 2 stages, got %d", len(c.Stages))
+	}
+	for i, st := range c.Stages {
+		if !st.Shape.Valid() {
+			return fmt.Errorf("poly: chain stage %d has invalid shape %v", i, st.Shape)
+		}
+		if st.Shape.M != c.Stages[0].Shape.M {
+			return fmt.Errorf("poly: chain stage %d M=%d differs from shared M=%d", i, st.Shape.M, c.Stages[0].Shape.M)
+		}
+		if i > 0 && st.Shape.K != c.Stages[i-1].Shape.N {
+			return fmt.Errorf("poly: chain stage %d reduction %d does not consume previous width %d",
+				i, st.Shape.K, c.Stages[i-1].Shape.N)
+		}
+	}
+	if c.Stages[len(c.Stages)-1].Epilogue != EpNone {
+		return fmt.Errorf("poly: final chain stage cannot carry an epilogue")
+	}
+	return nil
+}
+
+// Shape is the final stage's GEMM shape — the shape of the fused program.
+func (c ChainSpec) Shape() tensor.GemmShape {
+	return c.Stages[len(c.Stages)-1].Shape
+}
+
+// prefix returns the chain's intermediate stages as region FusedStages.
+func (c ChainSpec) prefix() []FusedStage {
+	out := make([]FusedStage, len(c.Stages)-1)
+	for i, st := range c.Stages[:len(c.Stages)-1] {
+		out[i] = FusedStage{N: st.Shape.N, K: st.Shape.K, Epilogue: st.Epilogue}
+	}
+	return out
+}
+
+// maxWidth is the widest buffered intermediate of the chain.
+func (c ChainSpec) maxWidth() int {
+	w := 0
+	for _, st := range c.Stages[:len(c.Stages)-1] {
+		if st.Shape.N > w {
+			w = st.Shape.N
+		}
+	}
+	return w
+}
+
+// String is a content fingerprint of the request, usable as a plan-cache
+// key: stage shapes and epilogues fully determine the planned program for a
+// fixed library.
+func (c ChainSpec) String() string {
+	var b strings.Builder
+	b.WriteString("chain")
+	for _, st := range c.Stages {
+		fmt.Fprintf(&b, " %v", st.Shape)
+		if st.Epilogue != EpNone {
+			b.WriteByte('+')
+			b.WriteString(st.Epilogue.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,197 @@
+package poly
+
+import (
+	"strings"
+	"testing"
+
+	"mikpoly/internal/kernel"
+	"mikpoly/internal/tensor"
+)
+
+func chainSpec2(m int) ChainSpec {
+	return ChainSpec{Stages: []ChainStageSpec{
+		{Shape: tensor.GemmShape{M: m, N: 256, K: 512}, Epilogue: EpReLU},
+		{Shape: tensor.GemmShape{M: m, N: 128, K: 256}},
+	}}
+}
+
+func TestChainSpecValidate(t *testing.T) {
+	if err := chainSpec2(4096).Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		spec ChainSpec
+		want string
+	}{
+		{"single stage", ChainSpec{Stages: []ChainStageSpec{
+			{Shape: tensor.GemmShape{M: 64, N: 64, K: 64}}}}, "at least 2 stages"},
+		{"mismatched M", ChainSpec{Stages: []ChainStageSpec{
+			{Shape: tensor.GemmShape{M: 64, N: 32, K: 64}},
+			{Shape: tensor.GemmShape{M: 128, N: 16, K: 32}}}}, "differs from shared M"},
+		{"broken chaining", ChainSpec{Stages: []ChainStageSpec{
+			{Shape: tensor.GemmShape{M: 64, N: 32, K: 64}},
+			{Shape: tensor.GemmShape{M: 64, N: 16, K: 48}}}}, "does not consume"},
+		{"final epilogue", ChainSpec{Stages: []ChainStageSpec{
+			{Shape: tensor.GemmShape{M: 64, N: 32, K: 64}},
+			{Shape: tensor.GemmShape{M: 64, N: 16, K: 32}, Epilogue: EpReLU}}}, "final chain stage"},
+		{"invalid shape", ChainSpec{Stages: []ChainStageSpec{
+			{Shape: tensor.GemmShape{M: 64, N: 0, K: 64}},
+			{Shape: tensor.GemmShape{M: 64, N: 16, K: 0}}}}, "invalid shape"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestPlanChainProducesValidProgram(t *testing.T) {
+	gpu, npu := libs(t)
+	for name, l := range map[string]*Planner{"gpu": NewPlanner(gpu), "npu": NewPlanner(npu)} {
+		spec := chainSpec2(4096)
+		prog, st, err := l.PlanChain(spec)
+		if err != nil {
+			t.Fatalf("%s: PlanChain: %v", name, err)
+		}
+		if prog.Pattern != PatternChain {
+			t.Fatalf("%s: pattern %v, want chain", name, prog.Pattern)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("%s: planned program invalid: %v", name, err)
+		}
+		if st.Candidates == 0 {
+			t.Fatalf("%s: no candidates costed", name)
+		}
+		if prog.EstimatedCost <= 0 {
+			t.Fatalf("%s: estimated cost %g", name, prog.EstimatedCost)
+		}
+		// The fused program's shape is the final stage's.
+		if prog.Shape != spec.Shape() {
+			t.Fatalf("%s: program shape %v, want %v", name, prog.Shape, spec.Shape())
+		}
+		for _, r := range prog.Regions {
+			if !r.Fused() {
+				t.Fatalf("%s: chain program has unfused region %+v", name, r)
+			}
+			// Never split-K, never column-partitioned: full-width row bands.
+			if r.KOff != 0 || r.K != prog.Shape.K || r.N0 != 0 || r.N != prog.Shape.N {
+				t.Fatalf("%s: fused region %+v is not a full-width row band", name, r)
+			}
+		}
+	}
+}
+
+func TestPlanChainRaggedM(t *testing.T) {
+	gpu, _ := libs(t)
+	p := NewPlanner(gpu)
+	prog, _, err := p.PlanChain(chainSpec2(4097))
+	if err != nil {
+		t.Fatalf("PlanChain ragged: %v", err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("ragged chain program invalid: %v", err)
+	}
+	rows := 0
+	for _, r := range prog.Regions {
+		rows += r.M
+	}
+	if rows != 4097 {
+		t.Fatalf("regions cover %d rows, want 4097", rows)
+	}
+}
+
+func TestPlanChainScratchPruning(t *testing.T) {
+	gpu, _ := libs(t)
+	p := NewPlanner(gpu)
+	// An intermediate wider than the hardware bound must be unplannable.
+	w := ChainWidthLimit(gpu.HW)
+	spec := ChainSpec{Stages: []ChainStageSpec{
+		{Shape: tensor.GemmShape{M: 4096, N: 8 * w, K: 256}, Epilogue: EpReLU},
+		{Shape: tensor.GemmShape{M: 4096, N: 64, K: 8 * w}},
+	}}
+	if _, st, err := p.PlanChain(spec); err == nil {
+		t.Fatalf("oversized chain planned (pruned %d anchors)", st.PrunedAnchors)
+	}
+}
+
+func TestChainTaskSavesTraffic(t *testing.T) {
+	gpu, _ := libs(t)
+	h := gpu.HW
+	k := gpu.Kernels[0]
+	fusedRegion := Region{M: 1024, N: 128, K: 256, Kern: k,
+		Chain: []FusedStage{{N: 256, K: 512, Epilogue: EpReLU}}}
+	fused := fusedRegion.chainTask(h)
+
+	// The unfused pair, one row strip each: each stage standalone, loading
+	// its left operand from and storing its output to global memory.
+	task1 := k.PipelinedTask(h, (512+k.UK-1)/k.UK)
+	task2 := k.PipelinedTask(h, (256+k.UK-1)/k.UK)
+	t2a := (256 + k.UN - 1) / k.UN
+	t2b := (128 + k.UN - 1) / k.UN
+	unfusedMem := float64(t2a)*task1.MemBytes + float64(t2b)*task2.MemBytes
+	if fused.MemBytes >= unfusedMem {
+		t.Fatalf("fused strip streams %g bytes, unfused %g — no saving", fused.MemBytes, unfusedMem)
+	}
+	if fused.ComputeCycles <= 0 || fused.StartupCycles <= 0 {
+		t.Fatalf("degenerate fused task %+v", fused)
+	}
+}
+
+func TestValidateChainInvariants(t *testing.T) {
+	shape := tensor.GemmShape{M: 256, N: 64, K: 128}
+	k := kernel.New(16, 16, 16, kernel.DefaultConfig())
+	base := Region{M: 256, N: 64, K: 128, Kern: k,
+		Chain: []FusedStage{{N: 128, K: 96, Epilogue: EpReLU}}}
+	if err := base.validateChain(shape); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	bad := base
+	bad.N0, bad.N = 16, 48
+	if err := bad.validateChain(shape); err == nil {
+		t.Fatal("column-partitioned fused region accepted")
+	}
+	bad = base
+	bad.KOff, bad.K = 64, 64
+	if err := bad.validateChain(shape); err == nil {
+		t.Fatal("split-K fused region accepted")
+	}
+	bad = base
+	bad.Chain = []FusedStage{{N: 100, K: 96}} // final K=128 != 100
+	if err := bad.validateChain(shape); err == nil {
+		t.Fatal("broken stage chaining accepted")
+	}
+}
+
+func TestProgramValidateChainPattern(t *testing.T) {
+	gpu, _ := libs(t)
+	p := NewPlanner(gpu)
+	prog, _, err := p.PlanChain(chainSpec2(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A chain region under a non-chain pattern (and vice versa) must fail.
+	bad := *prog
+	bad.Pattern = PatternI
+	if err := bad.Validate(); err == nil {
+		t.Fatal("fused regions under PatternI accepted")
+	}
+	plain, _, err := p.Plan(tensor.GemmShape{M: 4096, N: 128, K: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad2 := *plain
+	bad2.Pattern = PatternChain
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("unfused regions under PatternChain accepted")
+	}
+}
+
+func TestChainSpecString(t *testing.T) {
+	got := chainSpec2(64).String()
+	want := "chain (64,256,512)+relu (64,128,256)"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -11,7 +11,28 @@ import (
 // one Planner (the compiler's singleflight dedupes per shape, not globally),
 // so scratch lives in a pool rather than on the Planner.
 type scratch struct {
-	pipe []float64
+	pipe   []float64
+	strips []chainStrip
+}
+
+// chainStrip memoizes one kernel's fused strip-task cycles within a chain
+// plan (the fused analog of the pipe table, lazily filled because the
+// hardware bound prunes most kernels before they are ever priced).
+type chainStrip struct {
+	cycles float64
+	done   bool
+}
+
+// chainStrips returns a reset n-entry strip memo from pooled storage.
+func (sc *scratch) chainStrips(n int) []chainStrip {
+	if cap(sc.strips) < n {
+		sc.strips = make([]chainStrip, n)
+	}
+	sc.strips = sc.strips[:n]
+	for i := range sc.strips {
+		sc.strips[i] = chainStrip{}
+	}
+	return sc.strips
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}

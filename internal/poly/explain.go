@@ -1,6 +1,7 @@
 package poly
 
 import (
+	"mikpoly/internal/sim"
 	"mikpoly/internal/tune"
 )
 
@@ -32,9 +33,16 @@ func Explain(prog *Program, lib *tune.Library) []RegionCost {
 	out := make([]RegionCost, 0, len(prog.Regions))
 	for _, r := range prog.Regions {
 		t1, t2, t3 := r.Tiles()
-		tasks := t1 * t2
+		tasks := r.Tasks()
 		waves := WaveCount(tasks, lib.HW.NumPEs)
-		pipe := lib.PredictTask(r.Kern, t3)
+		var pipe float64
+		if r.Fused() {
+			// A fused region's pipelined task is the whole chain strip;
+			// price it the way the simulator runs it.
+			pipe = sim.PipelinedTaskCycles(r.chainTask(lib.HW), lib.HW.FairShareBandwidth())
+		} else {
+			pipe = lib.PredictTask(r.Kern, t3)
+		}
 		out = append(out, RegionCost{
 			Region: r,
 			T1:     t1, T2: t2, T3: t3,

@@ -84,6 +84,11 @@ type Config struct {
 	// requests (0 = default, negative = sequential inline planning).
 	PlanAhead int
 
+	// Fuse turns on whole-graph polymerization for /model requests:
+	// fusible GEMM→epilogue→GEMM chains execute as fused programs when
+	// the cost model prefers them (graphrt.Config.Fuse).
+	Fuse bool
+
 	// DecodeBatch enables continuous batching of llama2-decode /model
 	// requests: concurrent requests share shape-bucketed step graphs.
 	DecodeBatch bool
@@ -362,6 +367,7 @@ func (s *Server) SetCompiler(c *core.Compiler) {
 		PlanTimeout: s.cfg.PlanTimeout,
 		Obs:         s.o,
 		Health:      reg,
+		Fuse:        s.cfg.Fuse,
 	})
 	rt.SetSimulator(func(h hw.Hardware, v health.View, tasks []sim.Task, salt uint64) sim.Result {
 		return s.simulateTasks(h, v, tasks, salt)

@@ -104,8 +104,9 @@ func analyticFastPath(h hw.Hardware, tasks []Task) (Result, bool) {
 		share := math.Min(bwCap, h.GlobalBytesPerCycle/float64(active))
 		return t.StartupCycles + math.Max(t.ComputeCycles, t.MemBytes/share)
 	}
-	var makespan, busy float64
+	var makespan, busy, streamed float64
 	for _, r := range runs {
+		streamed += float64(r.n) * r.t.MemBytes
 		full := r.n / h.NumPEs
 		rem := r.n % h.NumPEs
 		dFull := duration(r.t, h.NumPEs)
@@ -121,7 +122,7 @@ func analyticFastPath(h hw.Hardware, tasks []Task) (Result, bool) {
 	for i := range peBusy {
 		peBusy[i] = busy / float64(h.NumPEs)
 	}
-	return Result{Cycles: makespan, BusyPECycles: busy, NumTasks: len(tasks), PEBusy: peBusy}, true
+	return Result{Cycles: makespan, BusyPECycles: busy, NumTasks: len(tasks), MemBytesStreamed: streamed, PEBusy: peBusy}, true
 }
 
 // feeder abstracts task placement: next returns the task a freed PE should
@@ -254,12 +255,13 @@ func runEventLoop(h hw.Hardware, f feeder) Result {
 // faults); run-long bandwidth degradation is applied by the caller through h.
 func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent), fs *faultState) Result {
 	var (
-		now     float64
-		active  []*running
-		peBusy  = make([]float64, h.NumPEs)
-		peFree  = make([]bool, h.NumPEs)
-		nTasks  int
-		faulted int
+		now      float64
+		active   []*running
+		peBusy   = make([]float64, h.NumPEs)
+		peFree   = make([]bool, h.NumPEs)
+		nTasks   int
+		faulted  int
+		streamed float64
 	)
 	for i := range peFree {
 		peFree[i] = fs == nil || !fs.dead[i]
@@ -278,6 +280,7 @@ func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent), fs *fa
 			}
 		}
 		nTasks++
+		streamed += t.MemBytes
 		active = append(active, &running{
 			task:          t,
 			pe:            pe,
@@ -443,7 +446,7 @@ func runEventLoopInner(h hw.Hardware, f feeder, collect func(TraceEvent), fs *fa
 	for _, b := range peBusy {
 		busy += b
 	}
-	res := Result{Cycles: now, BusyPECycles: busy, NumTasks: nTasks, FaultedTasks: faulted, PEBusy: peBusy}
+	res := Result{Cycles: now, BusyPECycles: busy, NumTasks: nTasks, FaultedTasks: faulted, MemBytesStreamed: streamed, PEBusy: peBusy}
 	if fs != nil {
 		res.StrandedTasks = fs.stranded
 		res.DeadPEs = fs.deadPEs()

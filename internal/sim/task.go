@@ -54,6 +54,13 @@ type Result struct {
 	// NumTasks is the number of pipelined tasks executed.
 	NumTasks int
 
+	// MemBytesStreamed is the total M_global traffic the executed tasks
+	// streamed (operand loads plus result stores). Fused chain programs
+	// exist to shrink this number: their strip tasks never round-trip
+	// inter-stage intermediates through global memory, so the saving is
+	// directly observable here.
+	MemBytesStreamed float64
+
 	// FaultedTasks counts tasks that reported a transient execution fault
 	// (only non-zero under fault injection, RunWithFaults). A faulted
 	// task's output must be discarded and the work re-planned/re-run by
